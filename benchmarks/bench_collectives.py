@@ -1,0 +1,115 @@
+"""Collective-operation scaling over cluster size.
+
+Not a paper figure, but the natural follow-up to its MPICH2-integration
+plan (§5): how the engine behaves under the MPI layer's collectives. The
+bench sweeps node counts and reports per-collective completion times for
+both engines; tree collectives must scale ~logarithmically.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.config import EngineKind
+from repro.harness.report import format_table
+from repro.harness.runner import ClusterRuntime
+from repro.mpi import MpiWorld
+from repro.units import KiB
+
+NODE_COUNTS = (2, 4, 8)
+PAYLOAD = KiB(4)
+
+
+def _collective_times(engine: str, nodes: int) -> dict[str, float]:
+    rt = ClusterRuntime.build(engine=engine, nodes=nodes)
+    world = MpiWorld(rt)
+    marks: dict[int, dict[str, float]] = {}
+
+    def body(ctx):
+        comm = ctx.env["comm"]
+        me = comm.rank
+        marks[me] = {}
+        t0 = ctx.now
+        yield from comm.barrier(ctx)
+        marks[me]["barrier"] = ctx.now - t0
+        t0 = ctx.now
+        yield from comm.bcast(ctx, b"x" * PAYLOAD if me == 0 else None, root=0)
+        marks[me]["bcast"] = ctx.now - t0
+        t0 = ctx.now
+        yield from comm.allreduce(ctx, float(me))
+        marks[me]["allreduce"] = ctx.now - t0
+        t0 = ctx.now
+        yield from comm.alltoall(ctx, [b"y" * 512 for _ in range(comm.size)])
+        marks[me]["alltoall"] = ctx.now - t0
+
+    world.spawn_all(body)
+    rt.run()
+    return {
+        op: max(marks[r][op] for r in range(nodes))
+        for op in ("barrier", "bcast", "allreduce", "alltoall")
+    }
+
+
+@pytest.fixture(scope="module")
+def scaling():
+    rows = []
+    for nodes in NODE_COUNTS:
+        for engine in (EngineKind.SEQUENTIAL, EngineKind.PIOMAN):
+            rows.append({"nodes": nodes, "engine": engine, **_collective_times(engine, nodes)})
+    return rows
+
+
+def test_collectives_report(scaling, print_report):
+    body = format_table(
+        ["nodes", "engine", "barrier (µs)", "bcast 4K (µs)", "allreduce (µs)", "alltoall (µs)"],
+        [
+            (
+                r["nodes"],
+                r["engine"],
+                f"{r['barrier']:.1f}",
+                f"{r['bcast']:.1f}",
+                f"{r['allreduce']:.1f}",
+                f"{r['alltoall']:.1f}",
+            )
+            for r in scaling
+        ],
+        title="collective completion time (slowest rank)",
+    )
+    print_report("Collectives scaling", body)
+
+
+def test_barrier_scales_logarithmically(scaling):
+    """Dissemination barrier: cost ∝ ⌈log2 p⌉ rounds, so p=8 should cost
+    roughly 3× the p=2 rounds — allow generous slack, reject linear."""
+    piom = {r["nodes"]: r["barrier"] for r in scaling if r["engine"] == EngineKind.PIOMAN}
+    ratio = piom[8] / piom[2]
+    assert ratio < 8.0 / 2.0, f"barrier looks linear: {piom}"
+    assert ratio >= 1.0
+
+
+def test_bcast_grows_with_cluster(scaling):
+    piom = {r["nodes"]: r["bcast"] for r in scaling if r["engine"] == EngineKind.PIOMAN}
+    assert piom[2] <= piom[4] <= piom[8]
+
+
+def test_alltoall_heaviest(scaling):
+    """All-to-all moves O(p) messages per rank: heaviest collective here."""
+    for r in scaling:
+        if r["nodes"] >= 4:
+            assert r["alltoall"] >= r["barrier"]
+
+
+def test_engines_both_correct_comparable(scaling):
+    """Without compute to overlap, engines stay within ~2× of each other."""
+    for nodes in NODE_COUNTS:
+        seq = next(r for r in scaling if r["nodes"] == nodes and r["engine"] == EngineKind.SEQUENTIAL)
+        piom = next(r for r in scaling if r["nodes"] == nodes and r["engine"] == EngineKind.PIOMAN)
+        for op in ("barrier", "bcast", "allreduce", "alltoall"):
+            hi, lo = max(seq[op], piom[op]), min(seq[op], piom[op])
+            assert hi <= lo * 2.5 + 5.0, f"{op}@{nodes}: {seq[op]} vs {piom[op]}"
+
+
+def test_bench_allreduce(benchmark):
+    benchmark(_collective_times, EngineKind.PIOMAN, 4)

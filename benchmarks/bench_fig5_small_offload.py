@@ -1,0 +1,68 @@
+"""Figure 5 (§4.1): small-message submission offloading.
+
+Regenerates the three series (reference / no offloading / offloading) over
+1K–32K with 20 µs of computation and asserts the paper's claims:
+
+* baseline ≈ sum(communication, computation) — reference + 20 µs;
+* PIOMan ≈ max(communication, computation);
+* at the crossover (comm ≈ compute) the offload overhead is ≈2 µs
+  ("we measure an overhead of 2µs due to the communication between CPUs
+  and the invocation of the tasklet").
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.experiments import FIG5_SIZES, experiment_fig5
+
+COMPUTE_US = 20.0
+
+
+@pytest.fixture(scope="module")
+def fig5_result():
+    return experiment_fig5(iterations=20)
+
+
+def test_fig5_regenerates_paper_series(fig5_result, print_report):
+    print_report("Figure 5. Small messages offloading results.", fig5_result.format())
+    ref = fig5_result.series["No computation (reference)"]
+    base = fig5_result.series["No copy offloading"]
+    piom = fig5_result.series["copy offloading"]
+    for size, r, b, p in zip(fig5_result.x_values, ref, base, piom):
+        # baseline = sum(comm, compute) within 15%
+        assert b == pytest.approx(r + COMPUTE_US, rel=0.15), f"sum shape broken at {size}"
+        # pioman = max(comm, compute) + small overhead (≤ 5µs)
+        assert max(r, COMPUTE_US) - 0.5 <= p <= max(r, COMPUTE_US) + 5.0, (
+            f"max shape broken at {size}: {p} vs max({r}, {COMPUTE_US})"
+        )
+        # offloading always wins or ties (within overhead) against baseline
+        assert p <= b + 0.5, f"offloading slower than baseline at {size}"
+
+
+def test_fig5_crossover_overhead_is_about_2us(fig5_result):
+    """The paper's measured ≈2 µs inter-CPU/tasklet overhead."""
+    ref = fig5_result.series["No computation (reference)"]
+    piom = fig5_result.series["copy offloading"]
+    cross = fig5_result.crossover_size()
+    assert cross is not None, "no crossover found in the sweep"
+    i = fig5_result.x_values.index(cross)
+    overhead = piom[i] - max(ref[i], COMPUTE_US)
+    assert 0.5 <= overhead <= 4.0, f"crossover overhead {overhead:.2f}µs not ≈2µs"
+
+
+def test_fig5_below_crossover_is_compute_bound(fig5_result):
+    """Left of the crossover, offloading hides communication entirely."""
+    ref = fig5_result.series["No computation (reference)"]
+    piom = fig5_result.series["copy offloading"]
+    for size, r, p in zip(fig5_result.x_values, ref, piom):
+        if r < COMPUTE_US - 5:
+            assert p == pytest.approx(COMPUTE_US, abs=1.5), (
+                f"below crossover at {size}, offloading should be compute-bound"
+            )
+
+
+def test_bench_fig5(benchmark):
+    """Time the full Figure 5 regeneration (18 simulated runs)."""
+    result = benchmark(experiment_fig5, sizes=FIG5_SIZES, iterations=10)
+    assert len(result.series) == 3

@@ -1,0 +1,81 @@
+"""Figure 6 (§4.2): asynchronous rendezvous handshake progression.
+
+Regenerates the three series over 8K–512K with 100 µs of computation.
+Expected shapes: the original NewMadeleine serializes the handshake behind
+the computation (sum); the PIOMan version progresses it on idle cores and
+fully overlaps (max). The crossover sits where the reference transfer time
+reaches the 100 µs computation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import TimingModel
+from repro.harness.experiments import FIG6_SIZES, experiment_fig6
+from repro.units import KiB
+
+COMPUTE_US = 100.0
+
+
+@pytest.fixture(scope="module")
+def fig6_result():
+    return experiment_fig6(iterations=20)
+
+
+def test_fig6_regenerates_paper_series(fig6_result, print_report):
+    print_report("Figure 6. Offloading of rendezvous progression results.", fig6_result.format())
+    ref = fig6_result.series["No computation (reference)"]
+    base = fig6_result.series["No RDV progression"]
+    piom = fig6_result.series["RDV progression"]
+    for size, r, b, p in zip(fig6_result.x_values, ref, base, piom):
+        assert b == pytest.approx(r + COMPUTE_US, rel=0.15), f"sum shape broken at {size}"
+        assert max(r, COMPUTE_US) - 0.5 <= p <= max(r, COMPUTE_US) + 6.0, (
+            f"max shape broken at {size}: {p}"
+        )
+        assert p <= b + 0.5
+
+
+def test_fig6_rdv_sizes_take_the_rendezvous_path():
+    """Above the 32K MX threshold the engine must switch to RDV."""
+    from repro.apps.overlap import OverlapConfig, run_overlap
+    from repro.config import EngineKind
+    from repro.harness.runner import ClusterRuntime
+
+    timing = TimingModel()
+    assert timing.nic.rdv_threshold == KiB(32)
+    # verify protocol choice through session statistics
+    for size, expect_rdv in ((KiB(16), False), (KiB(64), True)):
+        rt = ClusterRuntime.build(engine=EngineKind.PIOMAN)
+
+        def sender(ctx, s=size):
+            nm = ctx.env["nm"]
+            req = yield from nm.isend(ctx, 1, 0, s)
+            yield from nm.swait(ctx, req)
+
+        def receiver(ctx, s=size):
+            nm = ctx.env["nm"]
+            req = yield from nm.irecv(ctx, 0, 0, s)
+            yield from nm.rwait(ctx, req)
+
+        rt.spawn(0, sender)
+        rt.spawn(1, receiver)
+        rt.run()
+        stats = rt.node(0).session.stats
+        if expect_rdv:
+            assert stats["rdv_sends"] == 1 and stats["eager_sends"] == 0
+        else:
+            assert stats["eager_sends"] == 1 and stats["rdv_sends"] == 0
+
+
+def test_fig6_crossover_position(fig6_result):
+    """The reference curve crosses 100 µs between 32K and 256K (paper:
+    around 100–128K on Myri-10G)."""
+    cross = fig6_result.crossover_size()
+    assert cross is not None
+    assert KiB(32) <= cross <= KiB(256), f"crossover at {cross} out of plausible range"
+
+
+def test_bench_fig6(benchmark):
+    result = benchmark(experiment_fig6, sizes=FIG6_SIZES, iterations=10)
+    assert len(result.series) == 3

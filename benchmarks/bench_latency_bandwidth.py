@@ -1,0 +1,130 @@
+"""Classic communication-library curves: latency and bandwidth.
+
+Not a figure of the paper, but the standard evaluation any NewMadeleine-
+class library ships with (cf. the NewMadeleine paper [2]): a NetPIPE-style
+ping-pong sweep producing half-round-trip latency and effective bandwidth
+per message size, for both engines. It doubles as a regression net for the
+whole protocol stack (PIO → eager → rendezvous transitions show up as
+slope changes).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import EngineKind
+from repro.harness.report import format_table
+from repro.harness.runner import ClusterRuntime
+from repro.units import KiB, fmt_size
+
+SIZES = (64, 256, KiB(1), KiB(4), KiB(16), KiB(32), KiB(64), KiB(256))
+ROUNDS = 10
+
+
+def pingpong_half_rtt(engine: str, size: int) -> float:
+    """Half round-trip time of a size-byte ping-pong (steady state)."""
+    rt = ClusterRuntime.build(engine=engine)
+    out = {}
+
+    def peer(ctx, me):
+        nm = ctx.env["nm"]
+        other = 1 - me
+        t0 = None
+        for i in range(ROUNDS):
+            if me == 0:
+                if i == 2:
+                    t0 = ctx.now  # skip warmup rounds
+                req = yield from nm.isend(ctx, other, 0, size, buffer_id="p")
+                yield from nm.swait(ctx, req)
+                req = yield from nm.irecv(ctx, other, 1, size, buffer_id="q")
+                yield from nm.rwait(ctx, req)
+            else:
+                req = yield from nm.irecv(ctx, other, 0, size, buffer_id="q")
+                yield from nm.rwait(ctx, req)
+                req = yield from nm.isend(ctx, other, 1, size, buffer_id="p")
+                yield from nm.swait(ctx, req)
+        if me == 0:
+            out["elapsed"] = ctx.now - t0
+
+    rt.spawn(0, lambda c: peer(c, 0), name="ping")
+    rt.spawn(1, lambda c: peer(c, 1), name="pong")
+    rt.run()
+    return out["elapsed"] / (2 * (ROUNDS - 2))
+
+
+@pytest.fixture(scope="module")
+def curves():
+    rows = []
+    for size in SIZES:
+        seq = pingpong_half_rtt(EngineKind.SEQUENTIAL, size)
+        piom = pingpong_half_rtt(EngineKind.PIOMAN, size)
+        rows.append(
+            {
+                "size": size,
+                "seq_lat": seq,
+                "piom_lat": piom,
+                "seq_bw": size / seq if seq else 0.0,
+                "piom_bw": size / piom if piom else 0.0,
+            }
+        )
+    return rows
+
+
+def test_latency_bandwidth_report(curves, print_report):
+    body = format_table(
+        ["size", "seq latency (µs)", "pioman latency (µs)", "seq BW (MB/s)", "pioman BW (MB/s)"],
+        [
+            (
+                fmt_size(r["size"]),
+                f"{r['seq_lat']:.1f}",
+                f"{r['piom_lat']:.1f}",
+                f"{r['seq_bw']:.0f}",
+                f"{r['piom_bw']:.0f}",
+            )
+            for r in curves
+        ],
+        title="NetPIPE-style ping-pong (half RTT) on the MX-like fabric",
+    )
+    print_report("Latency / bandwidth curves", body)
+
+
+def test_latency_monotone_within_protocol(curves):
+    """Latency grows with size *within* each protocol regime. Across the
+    eager→rendezvous switch a dip is legitimate (zero-copy beats the slow
+    2008-era memcpy — see bench_ablation_rdv_threshold for the sweep)."""
+    from repro.config import TimingModel
+
+    rdv = TimingModel().nic.rdv_threshold
+    for key in ("seq_lat", "piom_lat"):
+        eager = [r[key] for r in curves if r["size"] <= rdv]
+        big = [r[key] for r in curves if r["size"] > rdv]
+        assert eager == sorted(eager), f"{key} eager regime: {eager}"
+        assert big == sorted(big), f"{key} rdv regime: {big}"
+
+
+def test_small_message_latency_single_digit(curves):
+    """64B PIO half-RTT should be MX-like (single-digit µs)."""
+    assert curves[0]["seq_lat"] < 10.0
+    assert curves[0]["piom_lat"] < 12.0
+
+
+def test_bandwidth_approaches_wire_limit(curves):
+    """At 256K the effective bandwidth approaches the 1 GiB/s wire."""
+    from repro.config import TimingModel
+
+    wire_bw_mb = TimingModel().nic.wire_bw  # bytes/µs == MB/s
+    big = curves[-1]
+    assert big["seq_bw"] > 0.45 * wire_bw_mb
+    # the copy-offload engine should not be slower at bandwidth saturation
+    assert big["piom_bw"] > 0.45 * wire_bw_mb
+
+
+def test_engines_comparable_without_compute(curves):
+    """With no computation to overlap, the two engines' ping-pong times
+    stay within the event-machinery overhead of each other."""
+    for r in curves:
+        assert r["piom_lat"] <= r["seq_lat"] * 1.35 + 3.0, r
+
+
+def test_bench_pingpong(benchmark):
+    benchmark(pingpong_half_rtt, EngineKind.PIOMAN, KiB(4))

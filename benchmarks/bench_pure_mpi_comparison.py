@@ -1,0 +1,123 @@
+"""§1 motivation: hybrid (threads + shared engine) vs "pure MPI".
+
+"The 'pure-MPI' approach, which consists in allocating one process per
+core … exhibits severe limitations in terms of fair and efficient use of
+the underlying network interface cards, as it entirely relies upon the
+network device driver for the scheduling and the multiplexing of the
+multiple communication flows."
+
+Model: 8 flows leave box A for box B.
+
+* **hybrid** — 8 threads in one process per node, all flows multiplexed
+  by NewMadeleine over the full-bandwidth NIC (statistical multiplexing:
+  a large flow may use the whole wire while small flows are quiet);
+* **pure-MPI** — 8 single-core processes per box, each owning a static
+  1/8-bandwidth slice of the NIC (the driver-level partition the paper
+  criticizes: no global view).
+
+With balanced flows the two are comparable; with *imbalanced* flows the
+static partition strands bandwidth on the idle slices and the makespan
+degrades — the hybrid engine's centralized scheduling wins.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.config import EngineKind, TimingModel
+from repro.harness.report import format_table
+from repro.harness.runner import ClusterRuntime
+from repro.units import GiB_per_s, KiB
+
+N_FLOWS = 8
+BALANCED = [KiB(24)] * N_FLOWS
+# one elephant flow plus seven mice, same total bytes as the balanced mix
+_MOUSE = KiB(4)
+IMBALANCED = [KiB(24) * N_FLOWS - _MOUSE * (N_FLOWS - 1)] + [_MOUSE] * (N_FLOWS - 1)
+assert sum(BALANCED) == sum(IMBALANCED)
+
+
+def _hybrid(flow_sizes) -> float:
+    rt = ClusterRuntime.build(engine=EngineKind.PIOMAN)
+
+    def sender(ctx, i, size):
+        nm = ctx.env["nm"]
+        req = yield from nm.isend(ctx, 1, i, size, payload=i)
+        yield from nm.swait(ctx, req)
+
+    def receiver(ctx, i, size):
+        nm = ctx.env["nm"]
+        yield from nm.recv(ctx, 0, i, size)
+
+    for i, size in enumerate(flow_sizes):
+        rt.spawn(0, lambda c, i=i, s=size: sender(c, i, s), name=f"s{i}")
+        rt.spawn(1, lambda c, i=i, s=size: receiver(c, i, s), name=f"r{i}")
+    return rt.run()
+
+
+def _pure_mpi(flow_sizes) -> float:
+    """16 single-core processes; each pair's NIC slice is wire_bw/8."""
+    timing = TimingModel()
+    sliced = timing.replace(
+        nic=dataclasses.replace(timing.nic, wire_bw=timing.nic.wire_bw / N_FLOWS)
+    )
+    makespans = []
+    for i, size in enumerate(flow_sizes):
+        rt = ClusterRuntime.build(
+            engine=EngineKind.SEQUENTIAL, nodes=2, sockets=1, cores_per_socket=1,
+            timing=sliced,
+        )
+
+        def sender(ctx, s=size):
+            nm = ctx.env["nm"]
+            req = yield from nm.isend(ctx, 1, 0, s, payload="x")
+            yield from nm.swait(ctx, req)
+
+        def receiver(ctx, s=size):
+            nm = ctx.env["nm"]
+            yield from nm.recv(ctx, 0, 0, s)
+
+        rt.spawn(0, sender)
+        rt.spawn(1, receiver)
+        makespans.append(rt.run())
+    # processes run concurrently on separate cores: box makespan = slowest
+    return max(makespans)
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    return {
+        "balanced": {"hybrid": _hybrid(BALANCED), "pure": _pure_mpi(BALANCED)},
+        "imbalanced": {"hybrid": _hybrid(IMBALANCED), "pure": _pure_mpi(IMBALANCED)},
+    }
+
+
+def test_pure_mpi_report(comparison, print_report):
+    body = format_table(
+        ["flow mix", "hybrid+pioman (µs)", "pure-MPI static slices (µs)"],
+        [
+            (mix, f"{v['hybrid']:.1f}", f"{v['pure']:.1f}")
+            for mix, v in comparison.items()
+        ],
+        title=f"{N_FLOWS} flows, equal total bytes, box A → box B",
+    )
+    print_report("§1: hybrid multiplexing vs pure-MPI NIC partitioning", body)
+
+
+def test_imbalance_punishes_static_partition(comparison):
+    """The big flow crawls through its 1/8 slice while 7 slices idle."""
+    pure_degradation = comparison["imbalanced"]["pure"] / comparison["balanced"]["pure"]
+    hybrid_degradation = (
+        comparison["imbalanced"]["hybrid"] / comparison["balanced"]["hybrid"]
+    )
+    assert pure_degradation > hybrid_degradation * 1.5
+
+
+def test_hybrid_wins_imbalanced(comparison):
+    assert comparison["imbalanced"]["hybrid"] < comparison["imbalanced"]["pure"]
+
+
+def test_bench_hybrid(benchmark):
+    benchmark(_hybrid, BALANCED)

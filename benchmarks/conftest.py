@@ -1,0 +1,27 @@
+"""Shared benchmark fixtures/helpers.
+
+Every ``bench_*`` module regenerates one table or figure of the paper:
+it prints the same rows/series the paper reports (captured with ``-s`` or
+in the benchmark's ``extra_info``), asserts the reproduced *shape*
+(who wins, by roughly what factor, where crossovers fall), and times the
+regeneration itself under pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def shape_ratio(a: float, b: float) -> float:
+    """Safe ratio for shape assertions."""
+    return a / b if b else float("inf")
+
+
+@pytest.fixture(scope="session")
+def print_report():
+    """Print a report block so `pytest benchmarks/ -s` shows the tables."""
+
+    def _print(title: str, body: str) -> None:
+        print(f"\n{'=' * 72}\n{title}\n{'=' * 72}\n{body}\n")
+
+    return _print

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Irregular asynchronous workload (§4.3's closing argument).
+
+"Irregular applications that use asynchronous communication primitives
+should benefit from the copy offloading." This example generates a
+deterministic log-normal mix of compute bursts and message sizes, runs it
+as a producer/consumer pipeline over 2 nodes with several threads per
+node, and compares engines. It also demonstrates the trace/timeline API:
+per-core busy/service/idle accounting shows *where* the offloaded copies
+went.
+
+Run:  python examples/irregular_workload.py
+"""
+
+from repro.apps.workloads import irregular_phases
+from repro.config import EngineKind
+from repro.harness import ClusterRuntime
+from repro.units import fmt_time
+
+THREADS_PER_NODE = 3
+PHASES = 12
+SEED = 42
+
+
+def make_producer(phases, worker: int):
+    def producer(ctx):
+        nm = ctx.env["nm"]
+        pending = []
+        for i, ph in enumerate(phases):
+            req = yield from nm.isend(
+                ctx, peer=1, tag=worker, size=ph.msg_size, payload=(worker, i)
+            )
+            pending.append(req)
+            yield ctx.compute(ph.compute_us)
+        yield from nm.wait_all(ctx, pending)
+
+    return producer
+
+
+def make_consumer(phases, worker: int):
+    def consumer(ctx):
+        nm = ctx.env["nm"]
+        for i, ph in enumerate(phases):
+            req = yield from nm.irecv(ctx, source=0, tag=worker, size=1 << 20)
+            yield ctx.compute(ph.compute_us)
+            yield from nm.rwait(ctx, req)
+            assert req.data == (worker, i), f"wrong payload {req.data}"
+
+    return consumer
+
+
+def main() -> None:
+    results = {}
+    for engine in (EngineKind.SEQUENTIAL, EngineKind.PIOMAN):
+        rt = ClusterRuntime.build(engine=engine)
+        for w in range(THREADS_PER_NODE):
+            phases = irregular_phases(PHASES, seed=SEED + w)
+            rt.spawn(0, make_producer(phases, w), name=f"prod{w}")
+            rt.spawn(1, make_consumer(phases, w), name=f"cons{w}")
+        results[engine] = (rt.run(), rt)
+
+    t_seq, rt_seq = results[EngineKind.SEQUENTIAL]
+    t_pio, rt_pio = results[EngineKind.PIOMAN]
+    speedup = (t_seq - t_pio) / t_seq * 100
+    print(f"irregular pipeline ({THREADS_PER_NODE} streams × {PHASES} phases, seed {SEED}):")
+    print(f"  sequential : {fmt_time(t_seq)}")
+    print(f"  pioman     : {fmt_time(t_pio)}   ({speedup:.0f}% faster)\n")
+
+    print("where node 0's cores spent their time under PIOMan:")
+    for core in rt_pio.node(0).scheduler.cores:
+        tl = core.timeline
+        if tl.total_us == 0:
+            continue
+        print(
+            f"  {core.name}: busy {tl.busy_us:7.1f}µs   comm-service {tl.service_us:7.1f}µs   "
+            f"idle {tl.idle_us:7.1f}µs"
+        )
+    print("\ncores beyond the computing threads' show service time: the offloaded copies.")
+
+
+if __name__ == "__main__":
+    main()

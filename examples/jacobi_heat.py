@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""1-D Jacobi heat diffusion over the MPI layer — real data, virtual time.
+
+Each rank owns a strip of the rod, exchanges halo cells with its
+neighbours every iteration (`sendrecv` with numpy arrays as payloads),
+and the run verifies the distributed result against a serial solve:
+the simulator moves *actual bytes*, so algorithms are testable while the
+clock stays virtual. Compute is charged per stencil update so the two
+engines' timing differs while the numerics are identical.
+
+Run:  python examples/jacobi_heat.py
+"""
+
+import numpy as np
+
+from repro.config import EngineKind
+from repro.harness import ClusterRuntime
+from repro.mpi import MpiWorld
+from repro.units import fmt_time
+
+RANKS = 4
+CELLS_PER_RANK = 64
+ITERATIONS = 30
+ALPHA = 0.25
+#: virtual µs charged per cell update (the "computation" being overlapped)
+COMPUTE_PER_CELL_US = 0.05
+
+
+def serial_solution() -> np.ndarray:
+    """Reference solve on one array."""
+    n = RANKS * CELLS_PER_RANK
+    u = np.zeros(n)
+    u[0], u[-1] = 100.0, 50.0  # fixed boundary temperatures
+    for _ in range(ITERATIONS):
+        nxt = u.copy()
+        nxt[1:-1] = u[1:-1] + ALPHA * (u[:-2] - 2 * u[1:-1] + u[2:])
+        nxt[0], nxt[-1] = 100.0, 50.0
+        u = nxt
+    return u
+
+
+def rank_body(ctx, results: dict):
+    comm = ctx.env["comm"]
+    me, p = comm.rank, comm.size
+    # local strip with one ghost cell on each side
+    u = np.zeros(CELLS_PER_RANK + 2)
+    if me == 0:
+        u[1] = 100.0
+    if me == p - 1:
+        u[-2] = 50.0
+
+    for it in range(ITERATIONS):
+        # 1. post the halo exchange asynchronously (textbook overlap)
+        reqs = []
+        recv_left = recv_right = None
+        if me > 0:
+            recv_left = yield from comm.irecv(ctx, source=me - 1, tag=2 * it + 1)
+            sreq = yield from comm.isend(ctx, u[1:2].copy(), dest=me - 1, tag=2 * it)
+            reqs.append(sreq)
+        if me < p - 1:
+            recv_right = yield from comm.irecv(ctx, source=me + 1, tag=2 * it)
+            sreq = yield from comm.isend(ctx, u[-2:-1].copy(), dest=me + 1, tag=2 * it + 1)
+            reqs.append(sreq)
+        # 2. compute the interior (needs no ghosts) while halos fly
+        yield ctx.compute((CELLS_PER_RANK - 2) * COMPUTE_PER_CELL_US)
+        nxt = u.copy()
+        nxt[2:-2] = u[2:-2] + ALPHA * (u[1:-3] - 2 * u[2:-2] + u[3:-1])
+        # 3. wait for the halos, then update the edge cells
+        if recv_left is not None:
+            u[0] = (yield from recv_left.wait(ctx))[0]
+        if recv_right is not None:
+            u[-1] = (yield from recv_right.wait(ctx))[0]
+        for req in reqs:
+            yield from req.wait(ctx)
+        yield ctx.compute(2 * COMPUTE_PER_CELL_US)
+        nxt[1] = u[1] + ALPHA * (u[0] - 2 * u[1] + u[2])
+        nxt[-2] = u[-2] + ALPHA * (u[-3] - 2 * u[-2] + u[-1])
+        u = nxt
+        if me == 0:
+            u[1] = 100.0
+        if me == p - 1:
+            u[-2] = 50.0
+
+    results[me] = u[1:-1]
+
+
+def run(engine: str) -> tuple[np.ndarray, float]:
+    rt = ClusterRuntime.build(engine=engine, nodes=RANKS)
+    world = MpiWorld(rt)
+    results: dict = {}
+    for rank in range(RANKS):
+        world.spawn_rank(rank, lambda ctx: rank_body(ctx, results))
+    elapsed = rt.run()
+    combined = np.concatenate([results[r] for r in range(RANKS)])
+    return combined, elapsed
+
+
+def main() -> None:
+    reference = serial_solution()
+    print(
+        f"1-D heat rod: {RANKS} ranks × {CELLS_PER_RANK} cells, "
+        f"{ITERATIONS} Jacobi iterations\n"
+    )
+    for engine in (EngineKind.SEQUENTIAL, EngineKind.PIOMAN):
+        distributed, elapsed = run(engine)
+        err = float(np.abs(distributed - reference).max())
+        assert err < 1e-12, f"numerics diverged: {err}"
+        print(f"  {engine:>10}: {fmt_time(elapsed)}   max|Δ| vs serial = {err:.1e}")
+    print("\nBoth engines compute bit-identical physics; only the virtual")
+    print("clock differs — the halo exchanges overlap the stencil updates")
+    print("under PIOMan.")
+
+
+if __name__ == "__main__":
+    main()

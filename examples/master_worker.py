@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Master/worker task farm: many-to-one traffic, wait_any, probing.
+
+§4.3 argues that "applications that massively communicate through
+asynchronous methods should substantially profit" from PIOMan. A task
+farm is the archetype: workers stream results at the master from every
+node, the master consumes completions in arrival order (``wait_any``)
+while post-processing each result. The baseline serializes every result's
+copy on the master thread; PIOMan drains them on the master node's idle
+cores.
+
+Run:  python examples/master_worker.py
+"""
+
+from repro.config import EngineKind
+from repro.harness import ClusterRuntime, LatencyCollector
+from repro.units import KiB, fmt_time
+
+WORKERS_PER_NODE = 3
+TASKS_PER_WORKER = 6
+TASK_COMPUTE_US = 35.0
+RESULT_SIZE = KiB(8)
+POST_PROCESS_US = 10.0
+
+
+def worker_body(ctx, worker_id: int):
+    nm = ctx.env["nm"]
+    pending = []
+    for task in range(TASKS_PER_WORKER):
+        yield ctx.compute(TASK_COMPUTE_US)  # "solve" the task
+        req = yield from nm.isend(
+            ctx, 0, worker_id, RESULT_SIZE, payload=(worker_id, task)
+        )
+        pending.append(req)
+    yield from nm.wait_all(ctx, pending)
+
+
+def master_body(ctx, n_workers: int, log: list):
+    nm = ctx.env["nm"]
+    pending = []
+    for w in range(n_workers):
+        for _ in range(TASKS_PER_WORKER):
+            req = yield from nm.irecv(ctx, source=-1, tag=w, size=RESULT_SIZE)
+            pending.append(req)
+    while pending:
+        idx, req = yield from nm.wait_any(ctx, pending)
+        pending.pop(idx)
+        log.append(req.data)
+        yield ctx.compute(POST_PROCESS_US)  # post-process the result
+
+
+def run(engine: str) -> tuple[float, int, "LatencyCollector"]:
+    rt = ClusterRuntime.build(engine=engine)
+    log: list = []
+    # latency of result delivery, observed at the master's session
+    collector = LatencyCollector(rt.node(0).session, kind="recv")
+    # workers live on node 1; the master (plus idle cores) on node 0
+    for w in range(WORKERS_PER_NODE):
+        rt.spawn(1, lambda c, w=w: worker_body(c, w), name=f"worker{w}")
+    rt.spawn(0, lambda c: master_body(c, WORKERS_PER_NODE, log), name="master", core_index=0)
+    elapsed = rt.run()
+    assert len(log) == WORKERS_PER_NODE * TASKS_PER_WORKER
+    return elapsed, len(log), collector
+
+
+def main() -> None:
+    print(
+        f"task farm: {WORKERS_PER_NODE} workers × {TASKS_PER_WORKER} tasks, "
+        f"{RESULT_SIZE}B results, master post-processes {POST_PROCESS_US:.0f}µs each\n"
+    )
+    times = {}
+    for engine in (EngineKind.SEQUENTIAL, EngineKind.PIOMAN):
+        elapsed, n, collector = run(engine)
+        times[engine] = (elapsed, n)
+        print(f"  {engine:>10}: {n} results in {fmt_time(elapsed)}   "
+              f"result latency: {collector.summary().format()}")
+    gain = (times[EngineKind.SEQUENTIAL][0] - times[EngineKind.PIOMAN][0]) / times[
+        EngineKind.SEQUENTIAL
+    ][0]
+    print(f"\nPIOMan finishes {gain * 100:.0f}% sooner: the workers' result copies")
+    print("and the master-side consumes run on idle cores instead of serializing")
+    print("behind the master's post-processing.")
+
+
+if __name__ == "__main__":
+    main()

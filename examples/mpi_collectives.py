@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Hybrid MPI+threads on the simulator: collectives and a halo exchange.
+
+The paper's motivation is "one MPI process per node comprised of several
+threads" (§1). This example runs an mpi4py-flavoured program across a
+4-node cluster: a broadcast, an allreduce, and a threaded halo exchange
+where each rank's worker threads communicate concurrently — the situation
+where the baseline's library-wide lock serializes and PIOMan does not.
+
+Run:  python examples/mpi_collectives.py
+"""
+
+import numpy as np
+
+from repro.config import EngineKind
+from repro.harness import ClusterRuntime
+from repro.mpi import MpiWorld
+from repro.units import KiB, fmt_time
+
+NODES = 4
+WORKERS_PER_RANK = 3
+HALO_ROUNDS = 4
+
+
+def spmd_body(ctx):
+    """One thread per rank: bcast + allreduce with numpy payloads."""
+    comm = ctx.env["comm"]
+    data = yield from comm.bcast(
+        ctx, np.arange(1024, dtype=np.float64) if comm.rank == 0 else None, root=0
+    )
+    local = float(data.sum()) * (comm.rank + 1)
+    yield ctx.compute(15.0)  # pretend to work on the broadcast data
+    total = yield from comm.allreduce(ctx, local)
+    ctx.env["out"][comm.rank] = total
+
+
+def worker_body(ctx, rank: int, worker: int):
+    """Halo exchange: each worker trades 8K halos with the same worker on
+    the neighbouring ranks, computing between isend and wait."""
+    comm = ctx.env["comm"]
+    right = (rank + 1) % comm.size
+    left = (rank - 1) % comm.size
+    tag = 100 + worker
+    for _round in range(HALO_ROUNDS):
+        sreq = yield from comm.isend(ctx, np.zeros(KiB(8) // 8), right, tag)
+        rreq = yield from comm.irecv(ctx, left, tag)
+        yield ctx.compute(35.0)
+        yield from sreq.wait(ctx)
+        yield from rreq.wait(ctx)
+
+
+def main() -> None:
+    expected = None
+    for engine in (EngineKind.SEQUENTIAL, EngineKind.PIOMAN):
+        rt = ClusterRuntime.build(engine=engine, nodes=NODES)
+        world = MpiWorld(rt)
+        out: dict = {}
+        for rank in range(NODES):
+            world.spawn_rank(rank, spmd_body, env={"out": out})
+        t_coll = rt.run()
+
+        rt2 = ClusterRuntime.build(engine=engine, nodes=NODES)
+        world2 = MpiWorld(rt2)
+        for rank in range(NODES):
+            for w in range(WORKERS_PER_RANK):
+                world2.spawn_rank(
+                    rank, lambda ctx, r=rank, w=w: worker_body(ctx, r, w), name=f"r{rank}w{w}"
+                )
+        t_halo = rt2.run()
+
+        values = [out[r] for r in range(NODES)]
+        assert len(set(values)) == 1, "allreduce must agree on every rank"
+        if expected is None:
+            expected = values[0]
+        assert values[0] == expected, "engines must compute identical results"
+        print(
+            f"{engine:>10}: bcast+allreduce={fmt_time(t_coll):>9}   "
+            f"{WORKERS_PER_RANK} workers/rank halo×{HALO_ROUNDS}={fmt_time(t_halo):>9}"
+        )
+    print(f"\nallreduce agreed on {expected:.1f} for every rank and both engines.")
+    print("The threaded halo exchange is where the multithreaded engine pulls ahead.")
+
+
+if __name__ == "__main__":
+    main()

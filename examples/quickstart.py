@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Quickstart: overlap a send with computation, both engines side by side.
+
+This is the paper's core claim in ~60 lines: with the original
+(non-multithreaded) NewMadeleine, a non-blocking send's submission runs on
+the application thread, so communication and computation *add up*; with
+PIOMan, an idle core performs the submission and they *overlap*.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.config import EngineKind
+from repro.harness import ClusterRuntime
+from repro.units import KiB, fmt_time
+
+
+def make_sender(report: dict):
+    def sender(ctx):
+        nm = ctx.env["nm"]
+        t0 = ctx.now
+        # Non-blocking send of 16 KiB to node 1 (below the 32 KiB
+        # rendezvous threshold → eager copy+DMA protocol).
+        req = yield from nm.isend(ctx, peer=1, tag=0, size=KiB(16), payload="halo")
+        report["isend_returned_after"] = ctx.now - t0
+        # 20 µs of application computation, as in the paper's Fig. 4.
+        yield ctx.compute(20.0)
+        yield from nm.swait(ctx, req)
+        report["total"] = ctx.now - t0
+
+    return sender
+
+
+def make_receiver():
+    def receiver(ctx):
+        nm = ctx.env["nm"]
+        req = yield from nm.irecv(ctx, source=0, tag=0, size=KiB(16))
+        yield ctx.compute(20.0)
+        yield from nm.rwait(ctx, req)
+        assert req.data == "halo"
+
+    return receiver
+
+
+def main() -> None:
+    print("isend(16K) + compute(20µs) + swait, on the paper's 2×8-core testbed\n")
+    for engine in (EngineKind.SEQUENTIAL, EngineKind.PIOMAN):
+        # Build the paper's evaluation platform: 2 nodes × 2 sockets ×
+        # 4 cores, MX-like Myri-10G interconnect.
+        rt = ClusterRuntime.build(engine=engine)
+        report: dict = {}
+        rt.spawn(0, make_sender(report), name="sender")
+        rt.spawn(1, make_receiver(), name="receiver")
+        rt.run()
+        label = "original NewMadeleine " if engine == EngineKind.SEQUENTIAL else "PIOMan-enabled        "
+        print(
+            f"  {label}: isend returned after {fmt_time(report['isend_returned_after']):>8}, "
+            f"isend+compute+swait took {fmt_time(report['total']):>8}"
+        )
+    print(
+        "\nThe sequential engine pays copy + compute in sequence "
+        "(sum); PIOMan offloads the copy to an idle core (max)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+#!/usr/bin/env python3
+"""Table 1: the convolution-like meta-application of §4.3.
+
+Two nodes × 8 cores; one "MPI process" per node with computing threads
+laid out on a 2-D grid (Fig. 8). Each thread computes its frontiers, sends
+them asynchronously to its neighbours (intra-node via shared memory,
+inter-node via the MX-like NIC), computes its interior, then waits for its
+neighbours' frontiers (Fig. 7). Messages stay below the rendezvous
+threshold, so the run isolates the *copy offloading*.
+
+Run:  python examples/stencil_convolution.py
+"""
+
+from repro.harness import experiment_table1
+from repro.harness.experiments import TABLE1_CONFIGS
+
+
+def main() -> None:
+    print("Convolution meta-application (§4.3) — calibrated workloads:")
+    for label, grid, msg, frontier, interior in TABLE1_CONFIGS:
+        print(
+            f"  {label:>10}: grid {grid[0]}×{grid[1]}, frontier msg {msg} B, "
+            f"compute {frontier:.0f}+{interior:.0f} µs/thread"
+        )
+    print()
+    result = experiment_table1()
+    print(result.format())
+    print(
+        "\nPaper reference: 441→382 µs (14 %) with 4 threads, "
+        "1183→1031 µs (13 %) with 16 threads."
+    )
+    print(
+        "With 2 threads/node, 6 cores idle per node eagerly offload every "
+        "frontier copy; with 8 threads/node, PIOMan fills the gaps left "
+        "when threads block on their neighbours' data."
+    )
+
+
+if __name__ == "__main__":
+    main()

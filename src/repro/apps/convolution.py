@@ -1,0 +1,181 @@
+"""The §4.3 meta-application: convolution-like stencil over two nodes.
+
+Paper description: *"This program launches one MPI process per node of a
+cluster. Each process creates threads that compute a part of the matrix …
+each thread first computes its frontiers and sends asynchronously the
+result to its neighbors. It then computes the remaining part of its domain
+and waits for its neighbors' results."* (Fig. 7 pseudo-code, Fig. 8 layout.)
+
+Thread layout (Fig. 8): the threads form a 2-D grid; the node boundary
+splits the grid columns, so horizontal neighbours across the boundary
+communicate **inter-node** (NIC) while all other neighbours communicate
+**intra-node** (shared-memory channel). Message sizes stay below the
+rendezvous threshold, so Table 1 evaluates the *copy offloading*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..config import EngineKind, TimingModel
+from ..errors import HarnessError
+from ..harness.runner import ClusterRuntime
+from ..topology.numa import NumaModel
+
+__all__ = ["ConvolutionConfig", "ConvolutionResult", "run_convolution"]
+
+
+@dataclass(frozen=True)
+class ConvolutionConfig:
+    """Parameters for one meta-application run.
+
+    The two Table 1 configurations are:
+
+    * 4 threads  = 2 per node (grid 2×2), matrix of unit size;
+    * 16 threads = 8 per node (grid 4×4), matrix 4× bigger (same per-thread
+      domain, more frontiers → more communication).
+    """
+
+    engine: str = EngineKind.PIOMAN
+    grid_rows: int = 2
+    grid_cols: int = 2
+    iterations: int = 1
+    #: frontier message payload (must stay below the RDV threshold);
+    #: default = the calibrated Table 1 workload (DESIGN.md §2)
+    msg_size: int = 6144
+    #: µs to compute one thread's frontier rows/cols
+    frontier_compute_us: float = 45.0
+    #: µs to compute one thread's interior
+    interior_compute_us: float = 310.0
+    timing: Optional[TimingModel] = None
+    numa: Optional[NumaModel] = None
+    sockets: int = 2
+    cores_per_socket: int = 4
+
+    def __post_init__(self) -> None:
+        EngineKind.validate(self.engine)
+        if self.grid_rows <= 0 or self.grid_cols <= 0:
+            raise HarnessError("grid dimensions must be > 0")
+        if self.grid_cols % 2 != 0:
+            raise HarnessError(
+                "grid_cols must be even (columns are split across the 2 nodes)"
+            )
+        if self.iterations <= 0:
+            raise HarnessError("iterations must be > 0")
+        timing = self.timing or TimingModel()
+        if self.msg_size > timing.nic.rdv_threshold:
+            raise HarnessError(
+                f"msg_size {self.msg_size} exceeds the rendezvous threshold "
+                f"{timing.nic.rdv_threshold}; Table 1 evaluates copy offloading"
+            )
+
+    @property
+    def total_threads(self) -> int:
+        return self.grid_rows * self.grid_cols
+
+    @property
+    def threads_per_node(self) -> int:
+        return self.total_threads // 2
+
+    def node_of(self, row: int, col: int) -> int:
+        """Left half of the columns on node 0, right half on node 1."""
+        return 0 if col < self.grid_cols // 2 else 1
+
+    def thread_id(self, row: int, col: int) -> int:
+        return row * self.grid_cols + col
+
+    def neighbors(self, row: int, col: int) -> list[tuple[int, int]]:
+        out = []
+        for dr, dc in ((-1, 0), (1, 0), (0, -1), (0, 1)):
+            r, c = row + dr, col + dc
+            if 0 <= r < self.grid_rows and 0 <= c < self.grid_cols:
+                out.append((r, c))
+        return out
+
+
+@dataclass
+class ConvolutionResult:
+    config: ConvolutionConfig
+    exec_time_us: float = 0.0
+    inter_node_messages: int = 0
+    intra_node_messages: int = 0
+    stats: dict = field(default_factory=dict)
+
+    @property
+    def per_iteration_us(self) -> float:
+        return self.exec_time_us / self.config.iterations
+
+
+def _stencil_thread(ctx, cfg: ConvolutionConfig, row: int, col: int, counters: dict):
+    """One computing thread (Fig. 7 pseudo-code, repeated per iteration)."""
+    nm = ctx.env["nm"]
+    me_node = cfg.node_of(row, col)
+    me_tid = cfg.thread_id(row, col)
+    neighbors = cfg.neighbors(row, col)
+    for it in range(cfg.iterations):
+        # compute1(): frontiers
+        yield ctx.compute(cfg.frontier_compute_us)
+        # nm_isend() to each neighbour — tag encodes (iteration, sender,
+        # receiver) so matching is unambiguous
+        sends = []
+        for (r, c) in neighbors:
+            peer_node = cfg.node_of(r, c)
+            tag = _tag(cfg, it, me_tid, cfg.thread_id(r, c))
+            req = yield from nm.isend(ctx, peer_node, tag, cfg.msg_size, payload=(me_tid, it))
+            sends.append(req)
+            if peer_node == me_node:
+                counters["intra"] += 1
+            else:
+                counters["inter"] += 1
+        # compute2(): interior
+        yield ctx.compute(cfg.interior_compute_us)
+        # nm_swait(): all frontier sends
+        yield from nm.wait_all(ctx, sends)
+        # nm_recv(): neighbours' frontiers (blocking receives)
+        for (r, c) in neighbors:
+            peer_node = cfg.node_of(r, c)
+            tag = _tag(cfg, it, cfg.thread_id(r, c), me_tid)
+            yield from nm.recv(ctx, peer_node, tag, cfg.msg_size)
+
+
+def _tag(cfg: ConvolutionConfig, iteration: int, src_tid: int, dst_tid: int) -> int:
+    n = cfg.total_threads
+    return (iteration * n + src_tid) * n + dst_tid
+
+
+def run_convolution(cfg: ConvolutionConfig) -> ConvolutionResult:
+    """Run the meta-application; execution time is the makespan."""
+    rt = ClusterRuntime.build(
+        engine=cfg.engine,
+        nodes=2,
+        sockets=cfg.sockets,
+        cores_per_socket=cfg.cores_per_socket,
+        timing=cfg.timing,
+        numa=cfg.numa,
+    )
+    cores_per_node = cfg.sockets * cfg.cores_per_socket
+    if cfg.threads_per_node > cores_per_node:
+        raise HarnessError(
+            f"{cfg.threads_per_node} threads/node exceed {cores_per_node} cores/node"
+        )
+    counters = {"intra": 0, "inter": 0}
+    per_node_spawned = [0, 0]
+    for row in range(cfg.grid_rows):
+        for col in range(cfg.grid_cols):
+            node = cfg.node_of(row, col)
+            rt.spawn(
+                node,
+                lambda ctx, r=row, c=col: _stencil_thread(ctx, cfg, r, c, counters),
+                name=f"t{cfg.thread_id(row, col)}",
+                core_index=per_node_spawned[node],
+            )
+            per_node_spawned[node] += 1
+    exec_time = rt.run()
+    return ConvolutionResult(
+        config=cfg,
+        exec_time_us=exec_time,
+        inter_node_messages=counters["inter"],
+        intra_node_messages=counters["intra"],
+        stats=rt.total_stats(),
+    )

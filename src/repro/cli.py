@@ -1,0 +1,171 @@
+"""Command-line interface: regenerate the paper's evaluation from a shell.
+
+::
+
+    python -m repro fig5            # Figure 5 table + ASCII plot
+    python -m repro fig6            # Figure 6
+    python -m repro table1          # Table 1
+    python -m repro all             # everything
+    python -m repro info            # platform/calibration summary
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from . import __version__
+from .config import TimingModel
+from .topology.builder import paper_testbed
+from .units import fmt_size
+
+__all__ = ["main"]
+
+
+def _cmd_fig5(args: argparse.Namespace) -> int:
+    from .harness.experiments import experiment_fig5
+
+    result = experiment_fig5(iterations=args.iterations)
+    print(result.format(plot=not args.no_plot))
+    cross = result.crossover_size()
+    if cross:
+        print(f"\ncrossover (comm == compute): {fmt_size(cross)}")
+    return 0
+
+
+def _cmd_fig6(args: argparse.Namespace) -> int:
+    from .harness.experiments import experiment_fig6
+
+    result = experiment_fig6(iterations=args.iterations)
+    print(result.format(plot=not args.no_plot))
+    return 0
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    from .harness.experiments import experiment_table1
+
+    print(experiment_table1().format())
+    print("\npaper: 441→382µs (14%) and 1183→1031µs (13%)")
+    return 0
+
+
+def _cmd_all(args: argparse.Namespace) -> int:
+    if getattr(args, "json", None):
+        from .harness.experiments import run_all_experiments, save_results_json
+
+        results = run_all_experiments(iterations=args.iterations)
+        save_results_json(results, args.json)
+        print(f"wrote machine-readable results to {args.json}")
+    rc = _cmd_fig5(args)
+    print()
+    rc |= _cmd_fig6(args)
+    print()
+    rc |= _cmd_table1(args)
+    return rc
+
+
+def _demo_workload(engine: str, tracer=None):
+    """One isend(32K)+compute(40µs)+swait round — the gantt/trace subject."""
+    from .harness.runner import ClusterRuntime
+    from .units import KiB
+
+    rt = ClusterRuntime.build(engine=engine, tracer=tracer)
+
+    def sender(ctx):
+        nm = ctx.env["nm"]
+        req = yield from nm.isend(ctx, 1, 0, KiB(32), buffer_id="b")
+        yield ctx.compute(40.0)
+        yield from nm.swait(ctx, req)
+
+    def receiver(ctx):
+        nm = ctx.env["nm"]
+        req = yield from nm.irecv(ctx, 0, 0, KiB(32), buffer_id="r")
+        yield ctx.compute(40.0)
+        yield from nm.rwait(ctx, req)
+
+    rt.spawn(0, sender, name="sender", core_index=0)
+    rt.spawn(1, receiver, name="receiver", core_index=0)
+    rt.run()
+    return rt
+
+
+def _cmd_gantt(args: argparse.Namespace) -> int:
+    from .harness.timeline import overlap_ratio, render_gantt
+
+    for engine in (args.engine,) if args.engine else ("sequential", "pioman"):
+        rt = _demo_workload(engine)
+        sched = rt.node(0).scheduler
+        active = [c.timeline for c in sched.cores if c.timeline.intervals]
+        print(f"--- {engine} (node 0, finished at {rt.sim.now:.1f}µs) ---")
+        print(render_gantt(active, width=72, t_end=rt.sim.now))
+        print(f"overlap ratio: {overlap_ratio(sched) * 100:.0f}%\n")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .harness.traceviz import export_chrome_trace
+    from .sim.tracing import Tracer
+
+    rt = _demo_workload(args.engine or "pioman", tracer=Tracer())
+    n = export_chrome_trace(rt, args.out)
+    print(f"wrote {n} events to {args.out} (open in chrome://tracing or ui.perfetto.dev)")
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    timing = TimingModel()
+    cluster = paper_testbed()
+    print(f"repro {__version__} — PIOMan/NewMadeleine/Marcel reproduction")
+    print(f"platform : {cluster.describe()}")
+    print(f"NIC      : MX-like, PIO ≤ {timing.nic.pio_threshold}B, "
+          f"eager ≤ {fmt_size(timing.nic.rdv_threshold)}, "
+          f"wire {timing.nic.wire_bw:.0f}B/µs, latency {timing.nic.wire_latency_us}µs")
+    print(f"host     : memcpy {timing.host.memcpy_bw:.0f}B/µs, "
+          f"ctx-switch {timing.host.context_switch_us}µs, "
+          f"tasklet dispatch (remote) {timing.host.tasklet_remote_us}µs")
+    print(f"marcel   : tick {timing.marcel.timer_tick_us}µs, "
+          f"quantum {timing.marcel.quantum_us}µs")
+    print("experiments: fig5 (small-message offloading), fig6 (rendezvous "
+          "progression), table1 (convolution meta-application)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce 'A multithreaded communication engine for "
+        "multicore architectures' (IPDPS-CAC 2008)",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+    for name, fn, doc in (
+        ("fig5", _cmd_fig5, "Figure 5: small-message submission offloading"),
+        ("fig6", _cmd_fig6, "Figure 6: rendezvous handshake progression"),
+        ("table1", _cmd_table1, "Table 1: convolution meta-application"),
+        ("all", _cmd_all, "run every experiment"),
+        ("info", _cmd_info, "show platform and calibration constants"),
+        ("gantt", _cmd_gantt, "render a per-core ASCII Gantt of a demo round"),
+        ("trace", _cmd_trace, "export a Chrome/Perfetto trace of a demo round"),
+    ):
+        p = sub.add_parser(name, help=doc)
+        p.set_defaults(fn=fn)
+        if name in ("fig5", "fig6", "all"):
+            p.add_argument("--iterations", type=int, default=20, help="benchmark iterations per point")
+            p.add_argument("--no-plot", action="store_true", help="table only, no ASCII plot")
+        if name == "all":
+            p.add_argument("--json", default=None, help="also save machine-readable results to this path")
+        if name in ("gantt", "trace"):
+            p.add_argument("--engine", choices=("sequential", "pioman"), default=None)
+        if name == "trace":
+            p.add_argument("--out", default="repro_trace.json", help="output JSON path")
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

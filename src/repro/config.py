@@ -1,0 +1,295 @@
+"""Configuration dataclasses for the simulated platform and engines.
+
+All timing constants of the reproduction live here, in one place, so that
+every benchmark/ablation can sweep them. Times are virtual microseconds,
+sizes are bytes, bandwidths are bytes per microsecond (see :mod:`repro.units`
+for converters).
+
+The defaults are calibrated so that the three experiments of the paper
+(§4.1 Fig. 5, §4.2 Fig. 6, §4.3 Table 1) reproduce the published *shapes*:
+``sum(comm, compute)`` for the sequential baseline vs. ``max(comm, compute)``
+for the PIOMan engine, a ≈2 µs offload overhead at the crossover, and a
+13–14 % speedup for the convolution meta-application.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+
+from .errors import ConfigError
+from .units import GiB_per_s, KiB
+
+__all__ = [
+    "HostModel",
+    "NicModel",
+    "ShmModel",
+    "PiomanConfig",
+    "MarcelConfig",
+    "TimingModel",
+    "EngineKind",
+]
+
+
+class EngineKind:
+    """Progress-engine selector constants (string enum).
+
+    ``SEQUENTIAL``
+        The original, non-multithreaded NewMadeleine: communication
+        progresses only on the application thread, inside library calls.
+    ``PIOMAN``
+        The paper's contribution: event-driven progression on idle cores via
+        Marcel tasklets, with polling or blocking completion detection.
+    """
+
+    SEQUENTIAL = "sequential"
+    PIOMAN = "pioman"
+
+    ALL = (SEQUENTIAL, PIOMAN)
+
+    @staticmethod
+    def validate(kind: str) -> str:
+        if kind not in EngineKind.ALL:
+            raise ConfigError(
+                f"unknown engine kind {kind!r}; expected one of {EngineKind.ALL}"
+            )
+        return kind
+
+
+def _positive(name: str, value: float) -> None:
+    if value <= 0:
+        raise ConfigError(f"{name} must be > 0, got {value}")
+
+
+def _non_negative(name: str, value: float) -> None:
+    if value < 0:
+        raise ConfigError(f"{name} must be >= 0, got {value}")
+
+
+@dataclass(frozen=True)
+class HostModel:
+    """Per-core host CPU cost model.
+
+    Attributes
+    ----------
+    memcpy_setup_us:
+        Fixed cost of starting a memory copy (function call, cache warmup).
+    memcpy_bw:
+        Host memory copy bandwidth in bytes/µs (copies into the registered
+        region on the eager send path are charged at this rate).
+    context_switch_us:
+        Cost of a Marcel context switch between user threads.
+    thread_spawn_us:
+        Cost of creating a Marcel thread.
+    spinlock_us:
+        Cost of one uncontended spinlock acquire+release pair; contended
+        acquisitions additionally spin in virtual time.
+    tasklet_local_us:
+        Cost to schedule and dispatch a tasklet on the current core.
+    tasklet_remote_us:
+        Cost to schedule a tasklet on *another* core (inter-CPU signalling +
+        cache-line transfer). §4.1 of the paper measures this as ≈2 µs.
+    syscall_us:
+        Cost of entering/leaving the kernel (used by the blocking detection
+        method).
+    wakeup_us:
+        Cost of waking a blocked thread (scheduler requeue + migration).
+    """
+
+    memcpy_setup_us: float = 0.35
+    #: 2008-era FSB Xeon copy into an uncached registered region — this is
+    #: why §2.2 calls small-message submission "CPU-hungry": copying 32 KiB
+    #: costs ≈ 40 µs ("up to several dozens of microseconds")
+    memcpy_bw: float = GiB_per_s(0.75)
+    context_switch_us: float = 0.6
+    thread_spawn_us: float = 1.5
+    spinlock_us: float = 0.04
+    tasklet_local_us: float = 0.35
+    tasklet_remote_us: float = 2.0
+    syscall_us: float = 1.2
+    wakeup_us: float = 0.8
+    #: cost of registering a communication request (bookkeeping in isend/irecv)
+    request_post_us: float = 0.2
+
+    def __post_init__(self) -> None:
+        _positive("memcpy_bw", self.memcpy_bw)
+        for name in (
+            "memcpy_setup_us",
+            "context_switch_us",
+            "thread_spawn_us",
+            "spinlock_us",
+            "tasklet_local_us",
+            "tasklet_remote_us",
+            "syscall_us",
+            "wakeup_us",
+            "request_post_us",
+        ):
+            _non_negative(name, getattr(self, name))
+
+    def memcpy_us(self, nbytes: int) -> float:
+        """Virtual time to copy ``nbytes`` on the host CPU."""
+        if nbytes < 0:
+            raise ConfigError(f"negative copy size: {nbytes}")
+        if nbytes == 0:
+            return 0.0
+        return self.memcpy_setup_us + nbytes / self.memcpy_bw
+
+
+@dataclass(frozen=True)
+class NicModel:
+    """MX/Myri-10G-like NIC and wire cost model.
+
+    The MX driver behaviour described in §2.2/§2.3 of the paper:
+
+    * messages ≤ ``pio_threshold`` go through PIO (CPU writes the payload to
+      the NIC — expensive per byte for the host CPU);
+    * messages ≤ ``rdv_threshold`` are *eager*: the host copies the payload
+      into a registered region (host memcpy) and the NIC DMAs it out;
+    * larger messages use the zero-copy *rendezvous* protocol (RTS/CTS
+      handshake, then DMA directly from the application buffer).
+    """
+
+    name: str = "mx"
+    #: PIO cutover (bytes). MX uses ≈128 B.
+    pio_threshold: int = 128
+    #: Eager/rendezvous cutover (bytes). MX uses 32 KiB.
+    rdv_threshold: int = KiB(32)
+    #: One-way wire latency (first byte) in µs.
+    wire_latency_us: float = 2.0
+    #: Wire bandwidth in bytes/µs.
+    wire_bw: float = GiB_per_s(1.0)
+    #: Per-byte *CPU* cost of a PIO write, µs/byte (PIO is slow for the CPU).
+    pio_byte_us: float = 0.008
+    #: Fixed CPU cost of preparing any TX descriptor.
+    tx_setup_us: float = 0.5
+    #: Fixed CPU cost of initiating a DMA (ring doorbell, build descriptor).
+    dma_setup_us: float = 0.4
+    #: Fixed CPU cost on the receive side to consume a completion.
+    rx_consume_us: float = 0.5
+    #: CPU cost of one NIC poll (read event queue head).
+    poll_us: float = 0.25
+    #: Extra latency when completion is detected by the *blocking* method
+    #: (interrupt + kernel thread wakeup), per §2.3 "significant overhead".
+    interrupt_us: float = 6.0
+    #: Cost to register (pin) memory for zero-copy, fixed + per-byte.
+    reg_setup_us: float = 1.0
+    reg_byte_us: float = 0.0002
+
+    def __post_init__(self) -> None:
+        _positive("wire_bw", self.wire_bw)
+        if self.pio_threshold < 0 or self.rdv_threshold < 0:
+            raise ConfigError("thresholds must be >= 0")
+        if self.pio_threshold > self.rdv_threshold:
+            raise ConfigError(
+                f"pio_threshold ({self.pio_threshold}) must not exceed "
+                f"rdv_threshold ({self.rdv_threshold})"
+            )
+        for name in (
+            "wire_latency_us",
+            "pio_byte_us",
+            "tx_setup_us",
+            "dma_setup_us",
+            "rx_consume_us",
+            "poll_us",
+            "interrupt_us",
+            "reg_setup_us",
+            "reg_byte_us",
+        ):
+            _non_negative(name, getattr(self, name))
+
+    def wire_us(self, nbytes: int) -> float:
+        """One-way wire time for a packet of ``nbytes``."""
+        if nbytes < 0:
+            raise ConfigError(f"negative packet size: {nbytes}")
+        return self.wire_latency_us + nbytes / self.wire_bw
+
+    def registration_us(self, nbytes: int) -> float:
+        """CPU time to pin ``nbytes`` of memory for zero-copy DMA."""
+        if nbytes < 0:
+            raise ConfigError(f"negative registration size: {nbytes}")
+        return self.reg_setup_us + nbytes * self.reg_byte_us
+
+
+@dataclass(frozen=True)
+class ShmModel:
+    """Intra-node shared-memory channel cost model (§4.3 meta-application)."""
+
+    name: str = "shm"
+    latency_us: float = 0.4
+    bw: float = GiB_per_s(3.0)
+    #: CPU cost to enqueue/dequeue a descriptor in the shared ring.
+    ring_op_us: float = 0.15
+
+    def __post_init__(self) -> None:
+        _positive("bw", self.bw)
+        _non_negative("latency_us", self.latency_us)
+        _non_negative("ring_op_us", self.ring_op_us)
+
+    def copy_us(self, nbytes: int) -> float:
+        """CPU time to copy ``nbytes`` through the shared segment."""
+        if nbytes < 0:
+            raise ConfigError(f"negative copy size: {nbytes}")
+        return self.latency_us + nbytes / self.bw
+
+
+@dataclass(frozen=True)
+class MarcelConfig:
+    """Marcel scheduler configuration."""
+
+    #: Preemption timer period (µs); tasklets also run at tick boundaries.
+    timer_tick_us: float = 10.0
+    #: Scheduling quantum for round-robin within a priority level.
+    quantum_us: float = 20.0
+    #: Idle loop: virtual time consumed per idle iteration when polling work.
+    idle_poll_us: float = 0.25
+
+    def __post_init__(self) -> None:
+        _positive("timer_tick_us", self.timer_tick_us)
+        _positive("quantum_us", self.quantum_us)
+        _positive("idle_poll_us", self.idle_poll_us)
+
+
+@dataclass(frozen=True)
+class PiomanConfig:
+    """PIOMan event-manager configuration."""
+
+    #: Period at which busy cores still give PIOMan a chance (via the Marcel
+    #: timer trigger).
+    timer_trigger: bool = True
+    #: Run PIOMan at context-switch points.
+    ctx_switch_trigger: bool = True
+    #: Use the blocking (kernel-thread) detection method when no core idles.
+    allow_blocking_calls: bool = True
+    #: Below this many idle cores the blocking method is preferred for
+    #: long-lived waits (rendezvous data).
+    blocking_idle_core_threshold: int = 1
+    #: Maximum number of events processed per tasklet activation (bounds the
+    #: time spent at one safe point).
+    max_events_per_activation: int = 8
+
+    def __post_init__(self) -> None:
+        if self.blocking_idle_core_threshold < 0:
+            raise ConfigError("blocking_idle_core_threshold must be >= 0")
+        if self.max_events_per_activation <= 0:
+            raise ConfigError("max_events_per_activation must be > 0")
+
+
+@dataclass(frozen=True)
+class TimingModel:
+    """Aggregate of every cost model used by a simulation run."""
+
+    host: HostModel = field(default_factory=HostModel)
+    nic: NicModel = field(default_factory=NicModel)
+    shm: ShmModel = field(default_factory=ShmModel)
+    marcel: MarcelConfig = field(default_factory=MarcelConfig)
+    pioman: PiomanConfig = field(default_factory=PiomanConfig)
+
+    def replace(self, **kwargs: object) -> "TimingModel":
+        """Return a copy with top-level sections replaced.
+
+        ``timing.replace(nic=dataclasses.replace(timing.nic, wire_latency_us=3))``
+        """
+        return dataclasses.replace(self, **kwargs)  # type: ignore[arg-type]
+
+
+DEFAULT_TIMING = TimingModel()

@@ -1,0 +1,74 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so callers
+can catch library failures with a single ``except`` clause while still being
+able to discriminate the failing subsystem.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by this library."""
+
+
+class ConfigError(ReproError):
+    """A configuration value is missing, inconsistent, or out of range."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event kernel detected an inconsistent state."""
+
+
+class DeadlockError(SimulationError):
+    """The event queue drained while processes were still blocked.
+
+    Raised by :meth:`repro.sim.kernel.Simulator.run` when simulation can make
+    no further progress but live processes remain — the virtual-time
+    equivalent of a hung program.
+    """
+
+    def __init__(self, message: str, blocked: tuple[str, ...] = ()) -> None:
+        super().__init__(message)
+        #: Names of the processes that were still blocked at detection time.
+        self.blocked = blocked
+
+
+class SchedulerError(ReproError):
+    """The Marcel thread scheduler was used incorrectly."""
+
+
+class ThreadStateError(SchedulerError):
+    """An operation was applied to a thread in an incompatible state."""
+
+
+class NetworkError(ReproError):
+    """A network-substrate invariant was violated (NIC, link, wire)."""
+
+
+class RouteError(NetworkError):
+    """No route/driver exists between two endpoints."""
+
+
+class ProtocolError(ReproError):
+    """A communication-protocol state machine received an illegal event."""
+
+
+class MatchingError(ProtocolError):
+    """Tag/source matching failed irrecoverably (e.g. duplicate posting)."""
+
+
+class RequestError(ReproError):
+    """Invalid use of a communication request handle."""
+
+
+class PiomanError(ReproError):
+    """The PIOMan event manager was driven into an invalid state."""
+
+
+class MpiError(ReproError):
+    """Invalid use of the MPI-like layer."""
+
+
+class HarnessError(ReproError):
+    """An experiment-harness precondition failed."""

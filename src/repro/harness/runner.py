@@ -1,0 +1,245 @@
+"""Cluster assembly and program execution.
+
+:class:`ClusterRuntime` is the one-stop entry point used by examples,
+tests, and benchmarks::
+
+    rt = ClusterRuntime.build(engine="pioman")      # paper testbed shape
+    rt.spawn(0, sender_body)                         # Marcel thread on n0
+    rt.spawn(1, receiver_body)
+    rt.run()                                         # to completion
+
+Thread bodies receive a :class:`repro.marcel.thread.ThreadContext` whose
+``env`` carries ``nm`` (the node's :class:`repro.nmad.interface.NmInterface`)
+and ``node`` (the node index).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, Optional
+
+from ..config import EngineKind, TimingModel
+from ..errors import HarnessError
+from ..marcel.scheduler import MarcelScheduler
+from ..marcel.thread import MarcelThread, Priority, ThreadContext
+from ..network.fabric import Fabric
+from ..network.nic import Nic
+from ..network.shm import ShmChannel
+from ..nmad.core import NmSession
+from ..nmad.drivers.ib import IbDriver, ib_nic_model
+from ..nmad.drivers.mx import MxDriver
+from ..nmad.drivers.shm import ShmDriver
+from ..nmad.drivers.tcp import TcpDriver, tcp_nic_model
+from ..nmad.interface import NmInterface
+from ..nmad.progress import SequentialEngine
+from ..nmad.strategies import make_strategy
+from ..pioman.engine import PiomanEngine
+from ..sim.kernel import Simulator
+from ..sim.rng import RngStreams
+from ..sim.tracing import Tracer
+from ..topology.builder import build_cluster
+from ..topology.machine import Cluster
+from ..topology.numa import NumaModel
+
+__all__ = ["NodeRuntime", "ClusterRuntime"]
+
+
+def _make_offload_policy(name: Optional[str], kwargs: Optional[dict[str, Any]]):
+    """Resolve an offload-policy name ("always"/"never"/"adaptive")."""
+    from ..pioman.adaptive import AdaptiveOffload, AlwaysOffload, NeverOffload
+
+    if name is None:
+        return None
+    table = {"always": AlwaysOffload, "never": NeverOffload, "adaptive": AdaptiveOffload}
+    try:
+        cls = table[name]
+    except KeyError:
+        raise HarnessError(
+            f"unknown offload policy {name!r}; expected one of {sorted(table)}"
+        ) from None
+    return cls(**(kwargs or {}))
+
+
+@dataclass
+class NodeRuntime:
+    """Everything attached to one node."""
+
+    index: int
+    scheduler: MarcelScheduler
+    session: NmSession
+    engine: Any
+    nm: NmInterface
+    nics: list[Nic] = field(default_factory=list)
+    shm: Optional[ShmChannel] = None
+
+
+class ClusterRuntime:
+    """A fully wired simulated platform."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        cluster: Cluster,
+        nodes: list[NodeRuntime],
+        timing: TimingModel,
+        tracer: Optional[Tracer],
+        rng: RngStreams,
+        engine_kind: str,
+    ) -> None:
+        self.sim = sim
+        self.cluster = cluster
+        self.nodes = nodes
+        self.timing = timing
+        self.tracer = tracer
+        self.rng = rng
+        self.engine_kind = engine_kind
+
+    # ------------------------------------------------------------------- build
+
+    @classmethod
+    def build(
+        cls,
+        engine: str = EngineKind.PIOMAN,
+        nodes: int = 2,
+        sockets: int = 2,
+        cores_per_socket: int = 4,
+        timing: Optional[TimingModel] = None,
+        strategy: str = "default",
+        strategy_kwargs: Optional[dict[str, Any]] = None,
+        rails: int = 1,
+        interconnect: str = "mx",
+        numa: Optional[NumaModel] = None,
+        tracer: Optional[Tracer] = None,
+        seed: int = 0,
+        offload_policy: Optional[str] = None,
+        offload_policy_kwargs: Optional[dict[str, Any]] = None,
+        ingress_contention: bool = False,
+    ) -> "ClusterRuntime":
+        """Assemble a cluster.
+
+        Parameters mirror the paper's setup: the defaults are the §4
+        testbed (2 nodes × 8 cores, MX-like interconnect). ``engine``
+        selects the progression engine; ``rails > 1`` attaches several
+        NICs per node (multirail); ``interconnect`` is ``"mx"`` or
+        ``"tcp"``.
+        """
+        EngineKind.validate(engine)
+        if rails < 1:
+            raise HarnessError(f"rails must be >= 1, got {rails}")
+        if interconnect not in ("mx", "ib", "tcp"):
+            raise HarnessError(f"interconnect must be mx, ib or tcp, got {interconnect!r}")
+        timing = timing or TimingModel()
+        sim = Simulator(trace=tracer)
+        rng = RngStreams(seed)
+        cluster = build_cluster(
+            nodes=nodes,
+            sockets=sockets,
+            cores_per_socket=cores_per_socket,
+            interconnect=interconnect,
+        )
+        # fabrics: one per rail
+        if interconnect == "mx":
+            nic_model = timing.nic
+        elif interconnect == "ib":
+            nic_model = ib_nic_model()
+        else:
+            nic_model = tcp_nic_model()
+        fabrics = [
+            Fabric(sim, name=f"{interconnect}{r}", ingress_contention=ingress_contention)
+            for r in range(rails)
+        ]
+        node_rts: list[NodeRuntime] = []
+        per_node_nics: list[list[Nic]] = []
+        for node in cluster.nodes:
+            nics = [Nic(sim, node.index, nic_model, fabrics[r]) for r in range(rails)]
+            for r, nic in enumerate(nics):
+                fabrics[r].attach(nic)
+            per_node_nics.append(nics)
+        for node in cluster.nodes:
+            scheduler = MarcelScheduler(sim, node, timing, tracer)
+            session = NmSession(sim, scheduler, node, timing, numa, tracer)
+            nics = per_node_nics[node.index]
+            if interconnect == "mx":
+                drivers: list[Any] = [MxDriver(nic, timing.host) for nic in nics]
+            elif interconnect == "ib":
+                drivers = [IbDriver(nic, timing.host) for nic in nics]
+            else:
+                drivers = [TcpDriver(nic, timing.host) for nic in nics]
+            shm = ShmChannel(sim, node.index, timing.shm)
+            shm_driver = ShmDriver(shm, timing.host)
+            # engine before gates or after — session supports both; build
+            # engine first so it watches every driver as gates appear
+            if engine == EngineKind.PIOMAN:
+                eng: Any = PiomanEngine(session, offload_policy=_make_offload_policy(offload_policy, offload_policy_kwargs))
+            else:
+                if offload_policy is not None:
+                    raise HarnessError("offload_policy only applies to the pioman engine")
+                eng = SequentialEngine(session)
+            skw = dict(strategy_kwargs or {})
+            for peer in range(nodes):
+                if peer == node.index:
+                    session.add_gate(peer, [shm_driver], make_strategy("default"))
+                else:
+                    session.add_gate(peer, list(drivers), make_strategy(strategy, **skw))
+            nm = NmInterface(session, eng)
+            node_rts.append(
+                NodeRuntime(
+                    index=node.index,
+                    scheduler=scheduler,
+                    session=session,
+                    engine=eng,
+                    nm=nm,
+                    nics=nics,
+                    shm=shm,
+                )
+            )
+        return cls(sim, cluster, node_rts, timing, tracer, rng, engine)
+
+    # ------------------------------------------------------------------- running
+
+    def spawn(
+        self,
+        node: int,
+        body: Callable[[ThreadContext], Generator[Any, Any, Any]],
+        name: str = "",
+        core_index: Optional[int] = None,
+        priority: int = Priority.NORMAL,
+        migratable: bool = True,
+        env: Optional[dict[str, Any]] = None,
+    ) -> MarcelThread:
+        """Spawn a Marcel thread on ``node``; its ctx.env gets ``nm``/``node``."""
+        nrt = self.node(node)
+        merged = {"nm": nrt.nm, "node": node, "runtime": self}
+        if env:
+            merged.update(env)
+        return nrt.scheduler.spawn(
+            body,
+            name=name,
+            core_index=core_index,
+            priority=priority,
+            migratable=migratable,
+            env=merged,
+        )
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Run the simulation; returns final virtual time (µs)."""
+        return self.sim.run(until=until, max_events=max_events)
+
+    # ------------------------------------------------------------------ access
+
+    def node(self, index: int) -> NodeRuntime:
+        try:
+            return self.nodes[index]
+        except IndexError:
+            raise HarnessError(f"no node {index} (cluster has {len(self.nodes)})") from None
+
+    def interface(self, node: int) -> NmInterface:
+        return self.node(node).nm
+
+    def total_stats(self) -> dict[str, Any]:
+        """Cluster-wide statistics for reports."""
+        out: dict[str, Any] = {"engine": self.engine_kind, "time_us": self.sim.now}
+        for nrt in self.nodes:
+            out[f"n{nrt.index}.sched"] = nrt.scheduler.stats()
+            out[f"n{nrt.index}.session"] = dict(nrt.session.stats)
+        return out

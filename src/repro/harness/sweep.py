@@ -1,0 +1,71 @@
+"""Generic parameter sweeps for ablation studies.
+
+A sweep runs a callable over a parameter grid and collects scalar metrics;
+the ablation benchmarks use it for threshold/strategy/core-count studies.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Sequence
+
+from ..errors import HarnessError
+from .report import format_table
+
+__all__ = ["SweepResult", "sweep"]
+
+
+@dataclass
+class SweepResult:
+    """Rows of (params, metrics) produced by :func:`sweep`."""
+
+    param_names: list[str]
+    metric_names: list[str]
+    rows: list[dict[str, Any]] = field(default_factory=list)
+
+    def column(self, name: str) -> list[Any]:
+        if name not in self.param_names and name not in self.metric_names:
+            raise HarnessError(f"unknown column {name!r}")
+        return [row[name] for row in self.rows]
+
+    def best(self, metric: str, minimize: bool = True) -> dict[str, Any]:
+        if not self.rows:
+            raise HarnessError("empty sweep")
+        key = min if minimize else max
+        return key(self.rows, key=lambda r: r[metric])
+
+    def format(self, title: str = "") -> str:
+        headers = self.param_names + self.metric_names
+        body = []
+        for row in self.rows:
+            body.append(
+                [
+                    f"{row[h]:.2f}" if isinstance(row[h], float) else str(row[h])
+                    for h in headers
+                ]
+            )
+        return format_table(headers, body, title=title)
+
+
+def sweep(
+    fn: Callable[..., Mapping[str, Any]],
+    grid: Mapping[str, Sequence[Any]],
+) -> SweepResult:
+    """Run ``fn(**params)`` for every combination in ``grid``.
+
+    ``fn`` returns a mapping of scalar metrics; the result holds one row
+    per combination with parameters and metrics merged.
+    """
+    if not grid:
+        raise HarnessError("sweep needs at least one parameter")
+    names = list(grid.keys())
+    result: SweepResult | None = None
+    for combo in itertools.product(*(grid[n] for n in names)):
+        params = dict(zip(names, combo))
+        metrics = dict(fn(**params))
+        if result is None:
+            result = SweepResult(param_names=names, metric_names=list(metrics.keys()))
+        result.rows.append({**params, **metrics})
+    assert result is not None
+    return result

@@ -1,0 +1,43 @@
+"""Marcel: a two-level thread scheduler over simulated cores.
+
+This package reproduces the Marcel library of the PM2 suite (§3.1 of the
+paper) on the discrete-event substrate:
+
+* user-level **threads** (:class:`MarcelThread`) written as Python
+  generators yielding effects (``Compute``, ``Sleep``, ``YieldNow``,
+  ``WaitTEvent``, ``WaitFlag``);
+* per-core **runqueues** with priorities, preemptive round-robin at timer
+  ticks, and soft core affinity with idle-time work stealing;
+* **tasklets** — Linux-style very-high-priority deferred work executed at
+  scheduler safe points (dispatch, timer ticks, idle), with the Linux
+  serialization guarantees (a tasklet never runs concurrently with itself,
+  re-schedule while running re-queues it);
+* **scheduling triggers** — hook points for PIOMan: core idleness, timer
+  interrupts, and context switches, exactly the trigger list of §3.1.
+"""
+
+from .effects import Compute, Sleep, WaitFlag, WaitTEvent, YieldNow
+from .scheduler import CoreRuntime, MarcelScheduler
+from .sync import ThreadBarrier, ThreadEvent, ThreadFlag, ThreadMutex, ThreadSemaphore
+from .tasklet import Tasklet, TaskletContext, TaskletScheduler
+from .thread import MarcelThread, ThreadState
+
+__all__ = [
+    "MarcelScheduler",
+    "CoreRuntime",
+    "MarcelThread",
+    "ThreadState",
+    "Compute",
+    "Sleep",
+    "YieldNow",
+    "WaitTEvent",
+    "WaitFlag",
+    "Tasklet",
+    "TaskletContext",
+    "TaskletScheduler",
+    "ThreadEvent",
+    "ThreadFlag",
+    "ThreadMutex",
+    "ThreadSemaphore",
+    "ThreadBarrier",
+]

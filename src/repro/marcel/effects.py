@@ -1,0 +1,104 @@
+"""Effects yielded by Marcel thread generators.
+
+A thread body is a generator; everything it does in virtual time is
+expressed by yielding one of these effect objects to the scheduler::
+
+    def body(ctx):
+        yield Compute(20.0)            # burn 20 µs of CPU on my core
+        yield Sleep(5.0)               # leave the core for 5 µs
+        yield YieldNow()               # cooperative reschedule
+        value = yield WaitTEvent(ev)   # block until one-shot event fires
+        yield WaitFlag(flag)           # block until level-triggered flag set
+
+Library code composes with ``yield from`` so application bodies simply do
+``result = yield from session.swait(req)``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..errors import SchedulerError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .sync import ThreadEvent, ThreadFlag
+
+__all__ = ["Compute", "Sleep", "YieldNow", "WaitTEvent", "WaitFlag"]
+
+
+class Compute:
+    """Occupy the core for ``duration`` µs of CPU work.
+
+    ``kind`` feeds the per-core timeline accounting: ``"busy"`` is
+    application computation, ``"service"`` is communication-library work
+    executed inline on the application thread (e.g. a baseline-engine
+    submission). Both occupy the core identically; only the books differ.
+    """
+
+    __slots__ = ("duration", "kind", "label")
+
+    def __init__(self, duration: float, kind: str = "busy", label: str = "") -> None:
+        if duration < 0:
+            raise SchedulerError(f"negative compute duration: {duration}")
+        if kind not in ("busy", "service"):
+            raise SchedulerError(f"unknown compute kind {kind!r}")
+        self.duration = float(duration)
+        self.kind = kind
+        self.label = label
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Compute({self.duration}, {self.kind!r})"
+
+
+class Sleep:
+    """Leave the core for ``duration`` µs (thread not runnable meanwhile)."""
+
+    __slots__ = ("duration",)
+
+    def __init__(self, duration: float) -> None:
+        if duration < 0:
+            raise SchedulerError(f"negative sleep duration: {duration}")
+        self.duration = float(duration)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Sleep({self.duration})"
+
+
+class YieldNow:
+    """Voluntarily return to the runqueue tail of the current priority."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "YieldNow()"
+
+
+class WaitTEvent:
+    """Block until a one-shot :class:`repro.marcel.sync.ThreadEvent` fires.
+
+    The ``yield`` expression evaluates to the event's value.
+    """
+
+    __slots__ = ("event",)
+
+    def __init__(self, event: "ThreadEvent") -> None:
+        self.event = event
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"WaitTEvent({self.event!r})"
+
+
+class WaitFlag:
+    """Block until a level-triggered :class:`ThreadFlag` is set.
+
+    Returns immediately (no reschedule) if the flag is already set — the
+    scheduler resumes the thread in the same dispatch.
+    """
+
+    __slots__ = ("flag",)
+
+    def __init__(self, flag: "ThreadFlag") -> None:
+        self.flag = flag
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"WaitFlag({self.flag!r})"

@@ -1,0 +1,89 @@
+"""Per-core runqueues with priority levels.
+
+Each core owns one :class:`RunQueue`; within a priority level the order is
+FIFO, which — together with the kernel's deterministic event ordering —
+makes scheduling decisions reproducible.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterator, Optional
+
+from ..errors import SchedulerError
+from .thread import MarcelThread, Priority, ThreadState
+
+__all__ = ["RunQueue"]
+
+
+class RunQueue:
+    """FIFO-per-priority ready queue for one core."""
+
+    def __init__(self, core_name: str) -> None:
+        self.core_name = core_name
+        self._levels: tuple[deque[MarcelThread], ...] = tuple(
+            deque() for _ in range(Priority.LEVELS)
+        )
+
+    def push(self, thread: MarcelThread) -> None:
+        if thread.state != ThreadState.READY:
+            raise SchedulerError(
+                f"cannot enqueue {thread.name} in state {thread.state}"
+            )
+        self._levels[thread.priority].append(thread)
+
+    def push_front(self, thread: MarcelThread) -> None:
+        """Re-queue a preempted thread at the head of its level (it keeps
+        its turn; preemption should not cost it its position)."""
+        if thread.state != ThreadState.READY:
+            raise SchedulerError(
+                f"cannot enqueue {thread.name} in state {thread.state}"
+            )
+        self._levels[thread.priority].appendleft(thread)
+
+    def pop(self) -> Optional[MarcelThread]:
+        """Take the highest-priority ready thread, or None."""
+        for level in self._levels:
+            if level:
+                return level.popleft()
+        return None
+
+    def peek_priority(self) -> Optional[int]:
+        """Priority of the best ready thread, or None if empty."""
+        for prio, level in enumerate(self._levels):
+            if level:
+                return prio
+        return None
+
+    def steal(self) -> Optional[MarcelThread]:
+        """Take the *lowest*-priority migratable thread from the tail.
+
+        Work stealing removes from the opposite end from :meth:`pop` to
+        minimise interference with the victim core's own scheduling.
+        """
+        for level in reversed(self._levels):
+            for i in range(len(level) - 1, -1, -1):
+                if level[i].migratable:
+                    thread = level[i]
+                    del level[i]
+                    return thread
+        return None
+
+    def remove(self, thread: MarcelThread) -> bool:
+        """Remove a specific thread (e.g. on cancellation). True if found."""
+        level = self._levels[thread.priority]
+        try:
+            level.remove(thread)
+            return True
+        except ValueError:
+            return False
+
+    def __len__(self) -> int:
+        return sum(len(level) for level in self._levels)
+
+    def __iter__(self) -> Iterator[MarcelThread]:
+        for level in self._levels:
+            yield from level
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<RunQueue {self.core_name} n={len(self)}>"

@@ -1,0 +1,541 @@
+"""The two-level Marcel scheduler over simulated cores.
+
+One :class:`MarcelScheduler` instance manages all cores of one node. Each
+core runs at most one thread at a time; the scheduler multiplexes threads
+over cores with per-core runqueues, priorities, preemptive round-robin at
+timer ticks, and idle-time work stealing.
+
+PIOMan integration happens through three **trigger hook families** —
+exactly the trigger list of §3.1 of the paper ("CPU idleness, context
+switches, timer interrupts"):
+
+* *idle hooks* — run when a core has no runnable thread; they may perform
+  arbitrary communication work (request submission, polling). The hook
+  returns ``(cpu_us, repoll_delay)``: CPU consumed now, and an optional
+  delay after which the core should call again even without a wake.
+* *tick hooks* — run at timer-interrupt boundaries while a thread computes;
+  intended for cheap completion detection only.
+* *switch hooks* — run at context-switch points.
+
+Tasklets are drained at every safe point (dispatch, tick, idle) before any
+thread runs, reflecting their "very high priority".
+
+Control-token discipline
+------------------------
+Exactly one control activity exists per core at any instant: either a
+kernel event is in flight that will re-enter the core's dispatch machinery,
+or the core is **parked** (truly idle, no events — it is woken explicitly).
+This keeps the simulation free of double-dispatch races and keeps the event
+count proportional to actual activity.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Iterable, Optional
+
+from ..config import MarcelConfig, TimingModel
+from ..errors import SchedulerError, ThreadStateError
+from ..sim.events import Priority as EventPriority
+from ..sim.kernel import Simulator
+from ..sim.tracing import CoreTimeline, Tracer
+from ..topology.machine import Node
+from .effects import Compute, Sleep, WaitFlag, WaitTEvent, YieldNow
+from .runqueue import RunQueue
+from .sync import ThreadEvent
+from .tasklet import TaskletScheduler
+from .thread import MarcelThread, Priority, ThreadContext, ThreadState
+
+__all__ = ["CoreRuntime", "MarcelScheduler"]
+
+_EPS = 1e-9
+
+#: guard against threads that yield an infinite stream of zero-duration
+#: effects — after this many instantaneous steps without consuming virtual
+#: time, the scheduler aborts with a diagnostic instead of hanging.
+_MAX_INSTANT_STEPS = 100_000
+
+
+class CoreRuntime:
+    """Scheduler-side state for one core."""
+
+    # control states
+    ACTIVE = "active"  # a kernel event will (or is currently) driving this core
+    PARKED = "parked"  # no runnable work, no scheduled event; woken explicitly
+    IDLE_WAIT = "idle_wait"  # idle, but a repoll event is scheduled
+
+    def __init__(self, index: int, name: str) -> None:
+        self.index = index
+        self.name = name
+        self.runqueue = RunQueue(name)
+        self.current: Optional[MarcelThread] = None
+        self.last_thread: Optional[MarcelThread] = None
+        self.control = CoreRuntime.PARKED
+        self.timeline = CoreTimeline(name)
+        self.quantum_used = 0.0
+        self.next_tick = 0.0
+        self.idle_since: Optional[float] = None
+        self.repoll_handle = None  # EventHandle for a pending idle repoll
+        # statistics
+        self.switches = 0
+        self.preemptions = 0
+        self.ticks = 0
+        self.steals = 0
+
+    def __repr__(self) -> str:  # pragma: no cover
+        cur = self.current.name if self.current else "-"
+        return f"<Core {self.name} {self.control} cur={cur} rq={len(self.runqueue)}>"
+
+
+class MarcelScheduler:
+    """Thread scheduler for one node."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node: Node,
+        timing: TimingModel | None = None,
+        tracer: Tracer | None = None,
+    ) -> None:
+        self.sim = sim
+        self.node = node
+        self.timing = timing or TimingModel()
+        self.cfg: MarcelConfig = self.timing.marcel
+        self.tracer = tracer
+        self.cores: list[CoreRuntime] = [
+            CoreRuntime(core.core_index, core.name) for core in node.cores
+        ]
+        self.tasklets = TaskletScheduler(sim, len(self.cores))
+        self.tasklets.on_enqueue = self._on_tasklet_enqueued
+        self.threads: list[MarcelThread] = []
+        self.idle_hooks: list[Callable[[CoreRuntime], tuple[float, Optional[float]]]] = []
+        self.tick_hooks: list[Callable[[CoreRuntime], float]] = []
+        self.switch_hooks: list[Callable[[CoreRuntime], float]] = []
+        #: thread whose generator is currently being advanced (for
+        #: primitives needing the caller's identity)
+        self._executing: Optional[MarcelThread] = None
+        self._spawn_rr = 0  # round-robin core assignment cursor
+        sim.add_liveness_probe(self._liveness_probe)
+
+    # ------------------------------------------------------------------ hooks
+
+    def register_idle_hook(self, hook: Callable[[CoreRuntime], tuple[float, Optional[float]]]) -> None:
+        self.idle_hooks.append(hook)
+
+    def register_tick_hook(self, hook: Callable[[CoreRuntime], float]) -> None:
+        self.tick_hooks.append(hook)
+
+    def register_switch_hook(self, hook: Callable[[CoreRuntime], float]) -> None:
+        self.switch_hooks.append(hook)
+
+    # -------------------------------------------------------------- spawning
+
+    def spawn(
+        self,
+        body: Callable[[ThreadContext], Generator[Any, Any, Any]],
+        name: str = "",
+        core_index: Optional[int] = None,
+        priority: int = Priority.NORMAL,
+        migratable: bool = True,
+        env: dict[str, Any] | None = None,
+    ) -> MarcelThread:
+        """Create a thread from ``body(ctx)`` and make it runnable.
+
+        Without an explicit ``core_index`` threads are placed round-robin
+        over the node's cores (the paper's meta-application distributes its
+        threads this way).
+        """
+        if core_index is None:
+            core_index = self._spawn_rr % len(self.cores)
+            self._spawn_rr += 1
+        if not (0 <= core_index < len(self.cores)):
+            raise SchedulerError(f"core index {core_index} out of range")
+        thread = MarcelThread(
+            gen=(_ for _ in ()),  # placeholder; replaced once the context exists
+            name=name,
+            priority=priority,
+            core_index=core_index,
+            migratable=migratable,
+        )
+        ctx = ThreadContext(self, thread)
+        if env:
+            ctx.env.update(env)
+        gen = body(ctx)
+        if not hasattr(gen, "send"):
+            raise ThreadStateError(
+                f"thread body {name or body!r} did not return a generator "
+                "(missing yield?)"
+            )
+        thread.gen = gen
+        thread.context = ctx  # type: ignore[attr-defined]
+        self.threads.append(thread)
+        thread.transition(ThreadState.READY)
+        home = self.cores[core_index]
+        if migratable and (home.current is not None or len(home.runqueue) > 0):
+            # same placement rule as wake(): don't queue a migratable
+            # thread behind running work while other cores are free
+            for cand in self.cores:
+                if cand.current is None and len(cand.runqueue) == 0:
+                    thread.core_index = cand.index
+                    core_index = cand.index
+                    break
+        self.cores[core_index].runqueue.push(thread)
+        self._trace("marcel.spawn", self.cores[core_index].name, thread.name)
+        self._wake_core(self.cores[core_index])
+        return thread
+
+    def done_event_of(self, thread: MarcelThread) -> ThreadEvent:
+        if thread.done_event is None:
+            thread.done_event = ThreadEvent(self, name=f"{thread.name}.done")
+            if thread.done:
+                thread.done_event.trigger(thread.result)
+        return thread.done_event
+
+    # -------------------------------------------------------------- waking
+
+    def wake(self, thread: MarcelThread, value: Any = None) -> None:
+        """Unblock a thread (from BLOCKED or SLEEPING) with a resume value."""
+        if thread.state == ThreadState.DONE:
+            raise ThreadStateError(f"waking finished thread {thread.name}")
+        thread.pending_value = value
+        thread.wait_us += self.sim.now - thread._blocked_since
+        thread.transition(ThreadState.READY)
+        core = self.cores[thread.core_index]
+        if thread.migratable and (core.current is not None or len(core.runqueue) > 0):
+            # home core is occupied: place the thread on a free core instead
+            # of queueing behind other work (Marcel's reactivity guarantee —
+            # "communicating threads are ensured to be scheduled as soon as
+            # the communication event is detected", §3.2)
+            for cand in self.cores:
+                if cand.current is None and len(cand.runqueue) == 0:
+                    thread.core_index = cand.index
+                    core = cand
+                    break
+        core.runqueue.push(thread)
+        self._trace("marcel.wake", core.name, thread.name)
+        self._wake_core(core)
+
+    def current_thread_required(self) -> MarcelThread:
+        if self._executing is None:
+            raise SchedulerError("no thread is currently executing")
+        return self._executing
+
+    def idle_core_indices(self) -> list[int]:
+        """Cores with no current thread and an empty runqueue (PIOMan's
+        notion of an exploitable idle core)."""
+        return [
+            c.index
+            for c in self.cores
+            if c.current is None and len(c.runqueue) == 0
+        ]
+
+    def busy_core_count(self) -> int:
+        return sum(1 for c in self.cores if c.current is not None or len(c.runqueue) > 0)
+
+    def kick_idle(self) -> bool:
+        """Wake one parked/idle-waiting core so its idle hooks run.
+
+        Used by PIOMan to steer a freshly generated event to an idle CPU.
+        Returns False when every core is actively executing.
+        """
+        for core in self.cores:
+            if core.control != CoreRuntime.ACTIVE:
+                self._wake_core(core)
+                return True
+        return False
+
+    # ---------------------------------------------------------- wake plumbing
+
+    def _wake_core(self, core: CoreRuntime) -> None:
+        if core.control == CoreRuntime.ACTIVE:
+            return  # next safe point will see the new work
+        if core.control == CoreRuntime.IDLE_WAIT and core.repoll_handle is not None:
+            core.repoll_handle.cancel()
+            core.repoll_handle = None
+        self._account_idle_end(core)
+        core.control = CoreRuntime.ACTIVE
+        self.sim.call_soon(self._dispatch, core, priority=EventPriority.TASKLET, label=f"{core.name}.dispatch")
+
+    def _on_tasklet_enqueued(self, core_index: Optional[int]) -> None:
+        if core_index is not None:
+            self._wake_core(self.cores[core_index])
+            return
+        # shared tasklet: wake the first non-active core, if any
+        for core in self.cores:
+            if core.control != CoreRuntime.ACTIVE:
+                self._wake_core(core)
+                return
+
+    def _account_idle_end(self, core: CoreRuntime) -> None:
+        if core.idle_since is not None:
+            if self.sim.now > core.idle_since + _EPS:
+                core.timeline.add(core.idle_since, self.sim.now, "idle")
+            core.idle_since = None
+
+    # -------------------------------------------------------------- dispatch
+
+    def _dispatch(self, core: CoreRuntime) -> None:
+        """Core safe point: tasklets, then thread selection, then idle."""
+        core.control = CoreRuntime.ACTIVE
+        core.repoll_handle = None
+        self._account_idle_end(core)
+        # 1. tasklets (very high priority)
+        if self.tasklets.pending_for(core.index) > 0:
+            cost = self.tasklets.run_batch(
+                core.index,
+                self.timing.pioman.max_events_per_activation,
+                self.timing.host.tasklet_local_us,
+            )
+            if cost > 0:
+                self._account(core, cost, "service")
+                self.sim.schedule(cost, self._dispatch, core, priority=EventPriority.TASKLET, label=f"{core.name}.dispatch")
+                return
+        # 2. pick a thread
+        thread = core.runqueue.pop()
+        if thread is None:
+            thread = self._steal_for(core)
+        if thread is None:
+            self._enter_idle(core)
+            return
+        # 3. context switch
+        switch_cost = 0.0
+        if thread is not core.last_thread and core.last_thread is not None:
+            switch_cost += self.timing.host.context_switch_us
+        for hook in self.switch_hooks:
+            switch_cost += hook(core)
+        thread.transition(ThreadState.RUNNING)
+        core.current = thread
+        core.last_thread = thread
+        core.quantum_used = 0.0
+        core.switches += 1
+        thread.switches += 1
+        self._trace("marcel.switch", core.name, thread.name)
+        if switch_cost > 0:
+            self._account(core, switch_cost, "service")
+            self.sim.schedule(switch_cost, self._run_current, core, priority=EventPriority.NORMAL, label=f"{core.name}.run")
+        else:
+            self._run_current(core)
+
+    def _steal_for(self, core: CoreRuntime) -> Optional[MarcelThread]:
+        n = len(self.cores)
+        for offset in range(1, n):
+            victim = self.cores[(core.index + offset) % n]
+            if victim.current is None:
+                # the victim is not running anything: it will dispatch its
+                # own queue momentarily — stealing here would race the wake
+                continue
+            thread = victim.runqueue.steal()
+            if thread is not None:
+                thread.core_index = core.index
+                core.steals += 1
+                self._trace("marcel.steal", core.name, thread.name, victim=victim.name)
+                return thread
+        return None
+
+    # ---------------------------------------------------------------- running
+
+    def _run_current(self, core: CoreRuntime) -> None:
+        thread = core.current
+        if thread is None:  # pragma: no cover - defensive
+            raise SchedulerError(f"{core.name}: _run_current without a thread")
+        if thread.compute_remaining > _EPS:
+            self._start_slice(core, thread)
+            return
+        if self._step_thread(core):
+            self._dispatch(core)
+
+    def _step_thread(self, core: CoreRuntime) -> bool:
+        """Advance the current thread through instantaneous effects.
+
+        Returns True when the core needs a fresh dispatch (thread finished,
+        blocked, slept or yielded); False when a timed continuation event
+        was scheduled.
+        """
+        thread = core.current
+        assert thread is not None
+        for _ in range(_MAX_INSTANT_STEPS):
+            value, thread.pending_value = thread.pending_value, None
+            self._executing = thread
+            try:
+                effect = thread.gen.send(value)
+            except StopIteration as stop:
+                self._finish_thread(core, thread, stop.value)
+                return True
+            except BaseException as exc:
+                thread.error = exc
+                self._finish_thread(core, thread, None)
+                raise
+            finally:
+                self._executing = None
+
+            if isinstance(effect, Compute):
+                if effect.duration <= _EPS:
+                    continue
+                thread.compute_remaining = effect.duration
+                thread.compute_kind = effect.kind
+                self._start_slice(core, thread)
+                return False
+            if isinstance(effect, Sleep):
+                thread.transition(ThreadState.SLEEPING)
+                thread._blocked_since = self.sim.now
+                core.current = None
+                self.sim.schedule(effect.duration, self._sleep_done, thread, priority=EventPriority.NORMAL, label=f"{thread.name}.sleep")
+                return True
+            if isinstance(effect, YieldNow):
+                thread.transition(ThreadState.READY)
+                core.current = None
+                core.runqueue.push(thread)
+                return True
+            if isinstance(effect, WaitTEvent):
+                if effect.event.triggered:
+                    thread.pending_value = effect.event.value
+                    continue
+                thread.transition(ThreadState.BLOCKED)
+                thread._blocked_since = self.sim.now
+                core.current = None
+                effect.event.add_blocked(thread)
+                return True
+            if isinstance(effect, WaitFlag):
+                if effect.flag.is_set:
+                    continue
+                thread.transition(ThreadState.BLOCKED)
+                thread._blocked_since = self.sim.now
+                core.current = None
+                effect.flag.add_blocked(thread)
+                return True
+            raise SchedulerError(
+                f"thread {thread.name} yielded unsupported effect {effect!r}"
+            )
+        raise SchedulerError(
+            f"thread {thread.name} performed {_MAX_INSTANT_STEPS} instantaneous "
+            "steps without consuming virtual time (runaway loop?)"
+        )
+
+    def _sleep_done(self, thread: MarcelThread) -> None:
+        if thread.state == ThreadState.SLEEPING:
+            self.wake(thread, None)
+
+    def _finish_thread(self, core: CoreRuntime, thread: MarcelThread, result: Any) -> None:
+        thread.result = result
+        thread.transition(ThreadState.DONE)
+        core.current = None
+        self._trace("marcel.exit", core.name, thread.name)
+        if thread.done_event is not None:
+            thread.done_event.trigger(result)
+
+    # ----------------------------------------------------------------- slices
+
+    def _start_slice(self, core: CoreRuntime, thread: MarcelThread) -> None:
+        now = self.sim.now
+        if core.next_tick <= now + _EPS:
+            core.next_tick = now + self.cfg.timer_tick_us
+        slice_len = min(thread.compute_remaining, core.next_tick - now)
+        if slice_len <= _EPS:  # pragma: no cover - guarded above
+            raise SchedulerError(f"{core.name}: empty compute slice")
+        self._account(core, slice_len, thread.compute_kind)
+        thread.cpu_us += slice_len
+        core.quantum_used += slice_len
+        self.sim.schedule(slice_len, self._slice_end, core, thread, slice_len, priority=EventPriority.NORMAL, label=f"{core.name}.slice")
+
+    def _slice_end(self, core: CoreRuntime, thread: MarcelThread, slice_len: float) -> None:
+        thread.compute_remaining = max(0.0, thread.compute_remaining - slice_len)
+        now = self.sim.now
+        if now + _EPS >= core.next_tick:
+            # timer interrupt
+            core.ticks += 1
+            while core.next_tick <= now + _EPS:
+                core.next_tick += self.cfg.timer_tick_us
+            cost = 0.0
+            for hook in self.tick_hooks:
+                cost += hook(core)
+            if self.tasklets.pending_for(core.index) > 0:
+                cost += self.tasklets.run_batch(
+                    core.index,
+                    self.timing.pioman.max_events_per_activation,
+                    self.timing.host.tasklet_local_us,
+                )
+            if cost > 0:
+                self._account(core, cost, "service")
+                self.sim.schedule(cost, self._after_tick, core, thread, priority=EventPriority.NORMAL, label=f"{core.name}.tickdone")
+                return
+        self._after_tick(core, thread)
+
+    def _after_tick(self, core: CoreRuntime, thread: MarcelThread) -> None:
+        # preemption check at the safe point
+        best = core.runqueue.peek_priority()
+        if best is not None:
+            higher = best < thread.priority
+            quantum_out = (
+                best <= thread.priority and core.quantum_used + _EPS >= self.cfg.quantum_us
+            )
+            if higher or quantum_out:
+                thread.transition(ThreadState.READY)
+                core.current = None
+                core.preemptions += 1
+                self._trace("marcel.preempt", core.name, thread.name)
+                if higher:
+                    core.runqueue.push_front(thread)
+                else:
+                    core.runqueue.push(thread)
+                self._dispatch(core)
+                return
+        if thread.compute_remaining > _EPS:
+            self._start_slice(core, thread)
+            return
+        if self._step_thread(core):
+            self._dispatch(core)
+
+    # ------------------------------------------------------------------- idle
+
+    def _enter_idle(self, core: CoreRuntime) -> None:
+        total = 0.0
+        repoll: Optional[float] = None
+        for hook in self.idle_hooks:
+            cpu, delay = hook(core)
+            total += cpu
+            if delay is not None:
+                repoll = delay if repoll is None else min(repoll, delay)
+        if total > 0:
+            self._account(core, total, "service")
+            self.sim.schedule(total, self._dispatch, core, priority=EventPriority.NORMAL, label=f"{core.name}.idlework")
+            return
+        core.idle_since = self.sim.now
+        if repoll is not None and repoll > 0:
+            core.control = CoreRuntime.IDLE_WAIT
+            core.repoll_handle = self.sim.schedule(
+                repoll, self._dispatch, core, priority=EventPriority.NORMAL, label=f"{core.name}.repoll"
+            )
+        else:
+            core.control = CoreRuntime.PARKED
+            self._trace("marcel.park", core.name, "")
+
+    # ------------------------------------------------------------- accounting
+
+    def _account(self, core: CoreRuntime, duration: float, kind: str) -> None:
+        core.timeline.add(self.sim.now, self.sim.now + duration, kind)
+
+    def _trace(self, category: str, where: str, label: str, **data: Any) -> None:
+        if self.tracer is not None:
+            self.tracer.record(self.sim.now, category, where, label, **data)
+
+    def _liveness_probe(self) -> Iterable[str]:
+        return [
+            f"{self.node.name}:{t.name}({t.state})"
+            for t in self.threads
+            if not t.done
+        ]
+
+    # ------------------------------------------------------------------ stats
+
+    def stats(self) -> dict[str, Any]:
+        """Aggregate scheduler statistics for reports and tests."""
+        return {
+            "threads": len(self.threads),
+            "switches": sum(c.switches for c in self.cores),
+            "preemptions": sum(c.preemptions for c in self.cores),
+            "ticks": sum(c.ticks for c in self.cores),
+            "steals": sum(c.steals for c in self.cores),
+            "tasklets_run": self.tasklets.executed_count,
+            "busy_us": sum(c.timeline.busy_us for c in self.cores),
+            "service_us": sum(c.timeline.service_us for c in self.cores),
+            "idle_us": sum(c.timeline.idle_us for c in self.cores),
+        }

@@ -1,0 +1,254 @@
+"""Communicators and point-to-point operations."""
+
+from __future__ import annotations
+
+import pickle
+from typing import Any, Generator, Optional
+
+import numpy as np
+
+from ..errors import MpiError
+from ..harness.runner import ClusterRuntime
+from ..marcel.thread import MarcelThread, ThreadContext
+from ..nmad.request import NmRequest
+from ..nmad.tags import ANY
+
+__all__ = ["ANY_SOURCE", "ANY_TAG", "MpiRequest", "Communicator", "MpiWorld"]
+
+ANY_SOURCE = ANY
+ANY_TAG = ANY
+
+#: user tags must stay below this; collectives use the space above
+MAX_USER_TAG = 1 << 20
+
+
+def payload_nbytes(obj: Any) -> int:
+    """Estimate the wire size of a Python object (numpy fast path)."""
+    if obj is None:
+        return 0
+    if isinstance(obj, np.ndarray):
+        return int(obj.nbytes)
+    if isinstance(obj, (bytes, bytearray, memoryview)):
+        return len(obj)
+    try:
+        return len(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
+    except Exception as exc:  # pragma: no cover - unpicklable payloads
+        raise MpiError(f"cannot size payload of type {type(obj).__name__}: {exc}") from exc
+
+
+class MpiRequest:
+    """Wrapper around an :class:`NmRequest` with mpi4py-like ``wait``."""
+
+    def __init__(self, comm: "Communicator", inner: NmRequest) -> None:
+        self.comm = comm
+        self.inner = inner
+
+    @property
+    def done(self) -> bool:
+        return self.inner.done
+
+    def test(self) -> bool:
+        """Non-blocking completion check (no progression driven)."""
+        return self.inner.done
+
+    def wait(self, tctx: ThreadContext) -> Generator[Any, Any, Any]:
+        """Wait; returns received object for recv requests, None for sends."""
+        yield from self.comm._nm.wait(tctx, self.inner)
+        if self.inner.kind == "recv":
+            return self.inner.data
+        return None
+
+
+class Communicator:
+    """One node's view of the world communicator."""
+
+    def __init__(self, world: "MpiWorld", rank: int) -> None:
+        self.world = world
+        self.rank = rank
+        self.size = world.size
+        self._nm = world.runtime.interface(rank)
+        #: per-collective sequence counter (all ranks call collectives in
+        #: the same order, so counters agree and give unique tags)
+        self._coll_seq = 0
+
+    # -- point-to-point -----------------------------------------------------------
+
+    def _check_peer(self, peer: int, wildcard_ok: bool = False) -> None:
+        if wildcard_ok and peer == ANY_SOURCE:
+            return
+        if not (0 <= peer < self.size):
+            raise MpiError(f"rank {peer} out of range [0, {self.size})")
+
+    def _check_tag(self, tag: int, wildcard_ok: bool = False, internal: bool = False) -> None:
+        if wildcard_ok and tag == ANY_TAG:
+            return
+        limit = MAX_USER_TAG if not internal else 1 << 40
+        if not (0 <= tag < limit):
+            raise MpiError(f"tag {tag} out of range [0, {limit})")
+
+    def isend(
+        self, tctx: ThreadContext, obj: Any, dest: int, tag: int = 0, _internal: bool = False
+    ) -> Generator[Any, Any, MpiRequest]:
+        self._check_peer(dest)
+        self._check_tag(tag, internal=_internal)
+        size = payload_nbytes(obj)
+        inner = yield from self._nm.isend(tctx, dest, tag, size, payload=obj)
+        return MpiRequest(self, inner)
+
+    def irecv(
+        self,
+        tctx: ThreadContext,
+        source: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+        maxsize: int = 1 << 30,
+        _internal: bool = False,
+    ) -> Generator[Any, Any, MpiRequest]:
+        self._check_peer(source, wildcard_ok=True)
+        self._check_tag(tag, wildcard_ok=True, internal=_internal)
+        inner = yield from self._nm.irecv(tctx, source, tag, maxsize)
+        return MpiRequest(self, inner)
+
+    def send(self, tctx: ThreadContext, obj: Any, dest: int, tag: int = 0, _internal: bool = False):
+        req = yield from self.isend(tctx, obj, dest, tag, _internal=_internal)
+        yield from req.wait(tctx)
+
+    def recv(
+        self,
+        tctx: ThreadContext,
+        source: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+        maxsize: int = 1 << 30,
+        _internal: bool = False,
+    ) -> Generator[Any, Any, Any]:
+        req = yield from self.irecv(tctx, source, tag, maxsize, _internal=_internal)
+        obj = yield from req.wait(tctx)
+        return obj
+
+    def sendrecv(
+        self,
+        tctx: ThreadContext,
+        obj: Any,
+        dest: int,
+        source: int = ANY_SOURCE,
+        sendtag: int = 0,
+        recvtag: int = ANY_TAG,
+        _internal: bool = False,
+    ) -> Generator[Any, Any, Any]:
+        """Simultaneous send+recv (deadlock-free exchange)."""
+        rreq = yield from self.irecv(tctx, source, recvtag, _internal=_internal)
+        sreq = yield from self.isend(tctx, obj, dest, sendtag, _internal=_internal)
+        yield from sreq.wait(tctx)
+        obj_in = yield from rreq.wait(tctx)
+        return obj_in
+
+    def waitany(
+        self, tctx: ThreadContext, requests: list[MpiRequest]
+    ) -> Generator[Any, Any, tuple[int, Any]]:
+        """MPI_Waitany: returns (index, received object or None)."""
+        if not requests:
+            raise MpiError("waitany needs at least one request")
+        idx, inner = yield from self._nm.wait_any(tctx, [r.inner for r in requests])
+        return idx, (inner.data if inner.kind == "recv" else None)
+
+    def iprobe(
+        self, tctx: ThreadContext, source: int = ANY_SOURCE, tag: int = ANY_TAG
+    ) -> Generator[Any, Any, "dict | None"]:
+        """MPI_Iprobe: non-blocking check for a matching pending message."""
+        status = yield from self._nm.iprobe(tctx, source, tag)
+        return status
+
+    def probe(
+        self, tctx: ThreadContext, source: int = ANY_SOURCE, tag: int = ANY_TAG
+    ) -> Generator[Any, Any, dict]:
+        """MPI_Probe: block until a matching message is pending."""
+        status = yield from self._nm.probe(tctx, source, tag)
+        return status
+
+    # -- collectives (implemented in collectives.py, re-exported here) -------------
+
+    def _next_coll_tag(self, op_id: int) -> int:
+        self._coll_seq += 1
+        return MAX_USER_TAG + self._coll_seq * 16 + op_id
+
+    def barrier(self, tctx: ThreadContext):
+        from .collectives import barrier
+
+        yield from barrier(self, tctx)
+
+    def bcast(self, tctx: ThreadContext, obj: Any, root: int = 0):
+        from .collectives import bcast
+
+        result = yield from bcast(self, tctx, obj, root)
+        return result
+
+    def reduce(self, tctx: ThreadContext, value: Any, op=None, root: int = 0):
+        from .collectives import reduce as _reduce
+
+        result = yield from _reduce(self, tctx, value, op, root)
+        return result
+
+    def allreduce(self, tctx: ThreadContext, value: Any, op=None):
+        from .collectives import allreduce
+
+        result = yield from allreduce(self, tctx, value, op)
+        return result
+
+    def gather(self, tctx: ThreadContext, value: Any, root: int = 0):
+        from .collectives import gather
+
+        result = yield from gather(self, tctx, value, root)
+        return result
+
+    def scatter(self, tctx: ThreadContext, values: Optional[list], root: int = 0):
+        from .collectives import scatter
+
+        result = yield from scatter(self, tctx, values, root)
+        return result
+
+    def allgather(self, tctx: ThreadContext, value: Any):
+        from .collectives import allgather
+
+        result = yield from allgather(self, tctx, value)
+        return result
+
+    def alltoall(self, tctx: ThreadContext, values: list):
+        from .collectives import alltoall
+
+        result = yield from alltoall(self, tctx, values)
+        return result
+
+    def scan(self, tctx: ThreadContext, value: Any, op=None):
+        from .collectives import scan
+
+        result = yield from scan(self, tctx, value, op)
+        return result
+
+    def reduce_scatter(self, tctx: ThreadContext, blocks: list, op=None):
+        from .collectives import reduce_scatter
+
+        result = yield from reduce_scatter(self, tctx, blocks, op)
+        return result
+
+
+class MpiWorld:
+    """One communicator per node over a built :class:`ClusterRuntime`."""
+
+    def __init__(self, runtime: ClusterRuntime) -> None:
+        self.runtime = runtime
+        self.size = len(runtime.nodes)
+        self.comms = [Communicator(self, rank) for rank in range(self.size)]
+
+    def comm(self, rank: int) -> Communicator:
+        if not (0 <= rank < self.size):
+            raise MpiError(f"rank {rank} out of range [0, {self.size})")
+        return self.comms[rank]
+
+    def spawn_rank(self, rank: int, body, name: str = "", **kwargs) -> MarcelThread:
+        """Spawn a thread on rank's node with ``ctx.env['comm']`` bound."""
+        env = kwargs.pop("env", {}) or {}
+        env["comm"] = self.comm(rank)
+        return self.runtime.spawn(rank, body, name=name or f"rank{rank}", env=env, **kwargs)
+
+    def spawn_all(self, body, name_prefix: str = "rank") -> list[MarcelThread]:
+        """Spawn one thread per rank running the same body (SPMD)."""
+        return [self.spawn_rank(r, body, name=f"{name_prefix}{r}") for r in range(self.size)]

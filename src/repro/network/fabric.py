@@ -1,0 +1,88 @@
+"""The interconnect fabric connecting NICs.
+
+The fabric owns delivery timing: a packet handed over by a NIC at transmit
+start ``t`` arrives at the destination NIC at
+``t + wire_latency + wire_size/wire_bw``. The sending NIC already serializes
+its own transmissions (single TX engine), so the fabric itself is
+contention-free — a reasonable model for the paper's 2-node Myri-10G
+testbed where the switch is never the bottleneck.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..errors import RouteError
+from ..sim.events import Priority as EventPriority
+from ..sim.kernel import Simulator
+from .message import Packet
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .nic import Nic
+
+__all__ = ["Fabric"]
+
+
+class Fabric:
+    """Point-to-point delivery between registered NICs.
+
+    ``ingress_contention=True`` additionally serializes arrivals *per
+    destination NIC* at wire rate — the switch egress port model. With it,
+    several senders flooding one node queue behind each other instead of
+    arriving simultaneously (used by the fairness/congestion tests; off by
+    default to keep the paper experiments' single-flow timing exact).
+    """
+
+    def __init__(self, sim: Simulator, name: str = "fabric", ingress_contention: bool = False) -> None:
+        self.sim = sim
+        self.name = name
+        self.ingress_contention = ingress_contention
+        self._nics: dict[int, "Nic"] = {}
+        self._ingress_free_at: dict[int, float] = {}
+        # statistics
+        self.packets_carried = 0
+        self.bytes_carried = 0
+        self.ingress_queued_us = 0.0
+
+    def attach(self, nic: "Nic") -> None:
+        if nic.node_index in self._nics:
+            raise RouteError(f"node n{nic.node_index} already has a NIC on {self.name}")
+        self._nics[nic.node_index] = nic
+
+    def nic_of(self, node_index: int) -> "Nic":
+        try:
+            return self._nics[node_index]
+        except KeyError:
+            raise RouteError(f"no NIC for node n{node_index} on {self.name}") from None
+
+    def transmit(self, src_nic: "Nic", packet: Packet, tx_time: float) -> None:
+        """Carry ``packet``; transmission starts ``tx_time`` µs from now.
+
+        Arrival = start + latency + wire_size/bw (store-and-forward of the
+        whole frame, matching how MX exposes message completions).
+        """
+        dst = self.nic_of(packet.dst_node)
+        if dst is src_nic:
+            raise RouteError(
+                f"fabric loopback n{packet.src_node}->n{packet.dst_node}; "
+                "intra-node traffic must use the shared-memory channel"
+            )
+        model = src_nic.model
+        drain = packet.wire_size() / model.wire_bw
+        delay = tx_time + model.wire_latency_us + drain
+        if self.ingress_contention:
+            arrival = self.sim.now + delay
+            free_at = self._ingress_free_at.get(packet.dst_node, 0.0)
+            if free_at > arrival - drain:
+                # the egress port is still transmitting an earlier frame:
+                # this one queues behind it
+                queued = free_at - (arrival - drain)
+                self.ingress_queued_us += queued
+                arrival += queued
+            self._ingress_free_at[packet.dst_node] = arrival
+            delay = arrival - self.sim.now
+        self.packets_carried += 1
+        self.bytes_carried += packet.wire_size()
+        self.sim.schedule(
+            delay, dst.deliver, packet, priority=EventPriority.INTERRUPT, label=f"{self.name}.deliver"
+        )

@@ -1,0 +1,85 @@
+"""Wire-level packet and completion-queue record types."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..errors import NetworkError
+
+__all__ = ["PacketKind", "Packet", "CompletionRecord", "HEADER_BYTES", "CONTROL_BYTES"]
+
+#: bytes of protocol header prepended to every packet on the wire
+HEADER_BYTES = 40
+#: wire size of a control-only packet (RTS/CTS/ACK)
+CONTROL_BYTES = 64
+
+
+class PacketKind:
+    """Packet kinds used by the NewMadeleine protocols."""
+
+    EAGER = "eager"  # eager payload (copied through registered region)
+    PIO = "pio"  # tiny payload pushed by CPU PIO
+    RTS = "rts"  # rendezvous request-to-send handshake
+    CTS = "cts"  # rendezvous clear-to-send answer
+    DATA = "data"  # rendezvous zero-copy payload
+    ACK = "ack"  # protocol acknowledgement (used by tests/extensions)
+
+    ALL = (EAGER, PIO, RTS, CTS, DATA, ACK)
+
+
+_packet_ids = itertools.count(1)
+
+
+@dataclass
+class Packet:
+    """One unit on the wire.
+
+    ``payload_size`` is the application bytes carried; ``wire_size()`` adds
+    the protocol header. ``headers`` carries protocol metadata (tag, seq,
+    request ids) — this is modelling, not serialization, so it is a dict.
+    """
+
+    kind: str
+    src_node: int
+    dst_node: int
+    payload_size: int
+    headers: dict[str, Any] = field(default_factory=dict)
+    packet_id: int = field(default_factory=lambda: next(_packet_ids))
+
+    def __post_init__(self) -> None:
+        if self.kind not in PacketKind.ALL:
+            raise NetworkError(f"unknown packet kind {self.kind!r}")
+        if self.payload_size < 0:
+            raise NetworkError(f"negative payload size: {self.payload_size}")
+
+    def wire_size(self) -> int:
+        """Bytes occupying the wire (payload + header, or control frame)."""
+        if self.kind in (PacketKind.RTS, PacketKind.CTS, PacketKind.ACK):
+            return CONTROL_BYTES
+        return self.payload_size + HEADER_BYTES
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"<Packet#{self.packet_id} {self.kind} n{self.src_node}->n{self.dst_node} "
+            f"{self.payload_size}B>"
+        )
+
+
+@dataclass(frozen=True)
+class CompletionRecord:
+    """One completion-queue entry, consumed by polling.
+
+    ``event`` is ``"tx_done"`` (local send completion) or ``"rx"`` (packet
+    arrived); ``time`` is when the hardware produced the record (detection
+    happens later, when software polls).
+    """
+
+    event: str
+    packet: Packet
+    time: float
+
+    def __post_init__(self) -> None:
+        if self.event not in ("tx_done", "rx"):
+            raise NetworkError(f"unknown completion event {self.event!r}")

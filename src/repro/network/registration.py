@@ -1,0 +1,71 @@
+"""Memory registration (pinning) cost model with a registration cache.
+
+The rendezvous protocol DMAs directly from/into application buffers, which
+must be *registered* (pinned) first. Registration is expensive
+(``reg_setup_us + size * reg_byte_us``); real communication libraries keep
+a registration cache so repeatedly-used buffers are pinned once. The cache
+is an LRU over buffer identifiers with a bounded pinned-byte budget.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from ..config import NicModel
+from ..errors import NetworkError
+
+__all__ = ["MemoryRegistry"]
+
+
+class MemoryRegistry:
+    """Registration cache for one node."""
+
+    def __init__(self, model: NicModel, capacity_bytes: int = 1 << 30, enable_cache: bool = True) -> None:
+        if capacity_bytes <= 0:
+            raise NetworkError(f"cache capacity must be > 0, got {capacity_bytes}")
+        self.model = model
+        self.capacity_bytes = capacity_bytes
+        self.enable_cache = enable_cache
+        self._cache: "OrderedDict[object, int]" = OrderedDict()
+        self._pinned = 0
+        # statistics
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def register(self, buffer_id: object, size: int) -> float:
+        """Return the CPU cost (µs) to make ``buffer_id`` DMA-able now."""
+        if size < 0:
+            raise NetworkError(f"negative registration size: {size}")
+        if self.enable_cache and buffer_id in self._cache:
+            if self._cache[buffer_id] >= size:
+                self._cache.move_to_end(buffer_id)
+                self.hits += 1
+                return 0.0
+            # registered smaller region: deregister and re-pin
+            self._pinned -= self._cache.pop(buffer_id)
+        self.misses += 1
+        cost = self.model.registration_us(size)
+        if not self.enable_cache:
+            return cost
+        while self._pinned + size > self.capacity_bytes and self._cache:
+            _victim, vsize = self._cache.popitem(last=False)
+            self._pinned -= vsize
+            self.evictions += 1
+        if size <= self.capacity_bytes:
+            self._cache[buffer_id] = size
+            self._pinned += size
+        return cost
+
+    def deregister(self, buffer_id: object) -> None:
+        size = self._cache.pop(buffer_id, None)
+        if size is not None:
+            self._pinned -= size
+
+    @property
+    def pinned_bytes(self) -> int:
+        return self._pinned
+
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

@@ -1,0 +1,37 @@
+"""NewMadeleine: the communication library of the PM2 suite.
+
+Three-layer architecture (Fig. 3 of the paper):
+
+1. **Interface layer** (:mod:`repro.nmad.interface`) — ``isend`` /
+   ``irecv`` / ``swait`` / ``rwait``; the application enqueues packets and
+   immediately returns to computing.
+2. **Optimizer/scheduler layer** (:mod:`repro.nmad.strategies`) — decides
+   how pending packets become wire packets: FIFO, aggregation, multirail
+   split.
+3. **Transfer layer** (:mod:`repro.nmad.drivers`) — per-technology drivers
+   (MX-like NIC, TCP-like NIC, intra-node shared memory) translating packet
+   submissions into hardware operations with CPU/wire costs.
+
+Protocols: PIO (very small), eager copy+DMA (≤ rendezvous threshold), and
+the zero-copy rendezvous (RTS/CTS/DATA) for large messages (§2.2, §2.3).
+
+Progression is pluggable: :class:`repro.nmad.progress.SequentialEngine`
+reproduces the original non-multithreaded NewMadeleine (progress only on
+the application thread), while :class:`repro.pioman.engine.PiomanEngine`
+is the paper's contribution.
+"""
+
+from .core import Gate, NmSession
+from .interface import NmInterface
+from .progress import EngineBase, SequentialEngine
+from .request import NmRequest, ReqState
+
+__all__ = [
+    "NmSession",
+    "Gate",
+    "NmRequest",
+    "ReqState",
+    "NmInterface",
+    "EngineBase",
+    "SequentialEngine",
+]

@@ -1,0 +1,674 @@
+"""NewMadeleine session: gates, protocol state machines, progression.
+
+One :class:`NmSession` lives on each node (the paper's "one MPI process per
+node"). It owns:
+
+* **gates** to peer nodes (and to itself, through the shared-memory
+  channel), each with its rails (drivers) and its optimizer strategy;
+* the **matching machinery** — posted-receive table, per-flow sequence
+  tracker with reorder buffer, unexpected store, multirail reassembly;
+* the **work list** (``ops``) — deferred operations (packet flushes,
+  rendezvous handshakes, unexpected copy-outs). *Who* executes ops and
+  *when* is the progression engine's business: the sequential baseline
+  drains them on the application thread inside library calls; PIOMan
+  drains them from idle cores/tasklets (§2.1, Fig. 1);
+* the **completion handling** — polling driver completion queues and
+  advancing the eager / rendezvous state machines.
+
+All CPU costs are charged to the execution context passed in (see
+:mod:`repro.nmad.drivers.base`), so the same protocol code is priced
+identically whether it runs inline or offloaded — only placement differs,
+which is exactly the paper's point.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Optional
+
+from ..config import TimingModel
+from ..errors import ProtocolError, RequestError
+from ..marcel.scheduler import MarcelScheduler
+from ..marcel.sync import ThreadEvent, ThreadFlag
+from ..network.message import Packet, PacketKind
+from ..network.registration import MemoryRegistry
+from ..sim.kernel import Simulator
+from ..sim.tracing import Tracer
+from ..topology.machine import Node
+from ..topology.numa import NumaModel
+from .drivers.base import Driver
+from .request import NmRequest, Protocol, ReqState
+from .strategies import DefaultStrategy, Strategy
+from .strategies.base import RailInfo
+from .tags import ANY, MatchTable, SequenceTracker
+from .unexpected import UnexpectedEager, UnexpectedRts, UnexpectedStore
+
+__all__ = ["Gate", "NmSession"]
+
+
+class Gate:
+    """Connection from this session to one peer node."""
+
+    def __init__(self, peer: int, rails: list[Driver], strategy: Strategy | None = None) -> None:
+        if not rails:
+            raise ProtocolError(f"gate to n{peer} needs at least one rail")
+        self.peer = peer
+        self.rails = rails
+        self.strategy = strategy or DefaultStrategy()
+        self._send_seq: dict[int, int] = {}
+        #: True while a flush op for this gate sits in the session work list
+        self.flush_pending = False
+        #: packet plans already formed by the strategy, awaiting submission
+        #: (one wire packet is submitted per flush-op execution — §2.1:
+        #: "the messages are submitted once at a time")
+        self.pending_plans: deque = deque()
+
+    def next_seq(self, tag: int) -> int:
+        seq = self._send_seq.get(tag, 0)
+        self._send_seq[tag] = seq + 1
+        return seq
+
+    def rail_infos(self) -> list[RailInfo]:
+        return [
+            RailInfo(
+                index=i,
+                pio_threshold=r.pio_threshold(),
+                rdv_threshold=r.rdv_threshold(),
+                bandwidth=r.wire_bandwidth(),
+            )
+            for i, r in enumerate(self.rails)
+        ]
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Gate ->n{self.peer} rails={[r.name for r in self.rails]}>"
+
+
+class NmSession:
+    """Per-node communication session."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        scheduler: MarcelScheduler,
+        node: Node,
+        timing: TimingModel | None = None,
+        numa: NumaModel | None = None,
+        tracer: Tracer | None = None,
+    ) -> None:
+        self.sim = sim
+        self.scheduler = scheduler
+        self.node = node
+        self.node_index = node.index
+        self.timing = timing or TimingModel()
+        self.numa = numa
+        self.tracer = tracer
+        self.gates: dict[int, Gate] = {}
+        self.drivers: list[Driver] = []
+        self.registry = MemoryRegistry(self.timing.nic)
+        self.match_table = MatchTable()
+        self.seq_tracker = SequenceTracker()
+        self.unexpected = UnexpectedStore()
+        self.ops: deque[tuple[str, Callable[[Any], None]]] = deque()
+        #: in-flight sends by req_id (tx completion / CTS lookup)
+        self._sends: dict[int, NmRequest] = {}
+        #: rendezvous receives waiting for DATA, by recv req_id
+        self._rdv_recvs: dict[int, NmRequest] = {}
+        #: multirail reassembly: (src, send_req_id) -> accumulated state
+        self._reassembly: dict[tuple[int, int], dict[str, Any]] = {}
+        #: level-triggered flag set on any driver activity (baseline waits)
+        self.activity_flag = ThreadFlag(scheduler, name=f"n{self.node_index}.nm.activity")
+        #: callbacks fired when ops are enqueued (PIOMan wakes idle cores)
+        self.on_ops_enqueued: list[Callable[[], None]] = []
+        #: callbacks fired when a new driver joins the session
+        self.on_driver_added: list[Callable[[Driver], None]] = []
+        #: callbacks fired on each completed request
+        self.on_request_complete: list[Callable[[NmRequest], None]] = []
+        self._core_by_index = {c.core_index: c for c in node.cores}
+        # statistics
+        self.stats: dict[str, int] = {
+            "sends": 0,
+            "recvs": 0,
+            "pio_sends": 0,
+            "eager_sends": 0,
+            "rdv_sends": 0,
+            "unexpected_eager": 0,
+            "unexpected_rts": 0,
+            "expected_eager": 0,
+            "copies_bytes": 0,
+            "ops_executed": 0,
+            "completions_handled": 0,
+        }
+
+    # ------------------------------------------------------------------ wiring
+
+    def add_gate(self, peer: int, rails: list[Driver], strategy: Strategy | None = None) -> Gate:
+        if peer in self.gates:
+            raise ProtocolError(f"gate to n{peer} already exists")
+        gate = Gate(peer, rails, strategy)
+        self.gates[peer] = gate
+        for rail in rails:
+            if rail not in self.drivers:
+                self.drivers.append(rail)
+                rail.add_activity_listener(self.activity_flag.set)
+                for cb in self.on_driver_added:
+                    cb(rail)
+        return gate
+
+    def gate_to(self, peer: int) -> Gate:
+        try:
+            return self.gates[peer]
+        except KeyError:
+            raise ProtocolError(f"n{self.node_index} has no gate to n{peer}") from None
+
+    # ---------------------------------------------------------------- requests
+
+    def make_send(
+        self,
+        peer: int,
+        tag: int,
+        size: int,
+        payload: Any = None,
+        buffer_id: object = None,
+        producer_core: Optional[int] = None,
+    ) -> NmRequest:
+        req = NmRequest("send", self.node_index, peer, tag, size, payload, buffer_id)
+        req.posted_at = self.sim.now
+        req.producer_core = producer_core
+        return req
+
+    def make_recv(
+        self,
+        source: int,
+        tag: int,
+        size: int,
+        buffer_id: object = None,
+    ) -> NmRequest:
+        req = NmRequest("recv", self.node_index, source, tag, size, None, buffer_id)
+        req.posted_at = self.sim.now
+        return req
+
+    def completion_event(self, req: NmRequest) -> ThreadEvent:
+        """Lazily created one-shot event for waiters."""
+        if req.completion_event is None:
+            req.completion_event = ThreadEvent(self.scheduler, name=f"req{req.req_id}.done")
+            if req.done:
+                req.completion_event.trigger(req)
+        return req.completion_event
+
+    # --------------------------------------------------------------- post paths
+
+    def post_send(self, req: NmRequest) -> None:
+        """Register a send: choose protocol, queue work. No CPU charged here
+        — the caller (engine) charges the registration cost and decides when
+        the queued work runs."""
+        gate = self.gate_to(req.peer)
+        rail0 = gate.rails[0]
+        req.seq = gate.next_seq(req.tag)
+        self.stats["sends"] += 1
+        if req.size <= rail0.pio_threshold():
+            req.protocol = Protocol.PIO
+            self.stats["pio_sends"] += 1
+        elif req.size <= rail0.rdv_threshold():
+            req.protocol = Protocol.EAGER
+            self.stats["eager_sends"] += 1
+        else:
+            req.protocol = Protocol.RDV
+            self.stats["rdv_sends"] += 1
+        req.transition(ReqState.QUEUED)
+        self._sends[req.req_id] = req
+        if req.protocol == Protocol.RDV:
+            self._enqueue_op(f"send_rts#{req.req_id}", lambda ctx, r=req: self._op_send_rts(ctx, r))
+        else:
+            gate.strategy.push(req)
+            if not gate.flush_pending:
+                gate.flush_pending = True
+                self._enqueue_op(f"flush->n{gate.peer}", lambda ctx, g=gate: self._op_flush_gate(ctx, g))
+        self._trace("nmad.post_send", req)
+
+    def post_recv(self, req: NmRequest) -> None:
+        """Register a receive: match against unexpected arrivals, else post."""
+        self.stats["recvs"] += 1
+        item = self.unexpected.match(req.peer, req.tag, ANY)
+        if item is None:
+            self.match_table.post(req)
+            self._trace("nmad.post_recv", req)
+            return
+        if isinstance(item, UnexpectedEager):
+            self._enqueue_op(
+                f"copy_out#{req.req_id}",
+                lambda ctx, r=req, it=item: self._op_copy_out(ctx, r, it),
+            )
+        elif isinstance(item, UnexpectedRts):
+            self._enqueue_op(
+                f"answer_rts#{req.req_id}",
+                lambda ctx, r=req, it=item: self._op_answer_rts(ctx, r, it.source, it.send_req_id, it.size),
+            )
+        else:  # pragma: no cover - store only holds the two kinds
+            raise ProtocolError(f"unknown unexpected item {item!r}")
+        self._trace("nmad.post_recv_unexpected", req)
+
+    def probe_unexpected(self, source: int, tag: int) -> Optional[dict[str, Any]]:
+        """Non-destructive probe of the unexpected store.
+
+        Returns ``{"source", "tag", "size", "rdv"}`` for the oldest
+        arrival a recv posted with ``(source, tag)`` would match, or None.
+        The item stays in the store (MPI_Probe semantics).
+        """
+        from .unexpected import UnexpectedRts
+
+        for item in self.unexpected._items:
+            src_ok = source == ANY or item.source == source
+            tag_ok = tag == ANY or item.tag == tag
+            if src_ok and tag_ok:
+                return {
+                    "source": item.source,
+                    "tag": item.tag,
+                    "size": item.size,
+                    "rdv": isinstance(item, UnexpectedRts),
+                }
+        return None
+
+    # ------------------------------------------------------------------- ops
+
+    def _enqueue_op(self, name: str, fn: Callable[[Any], None]) -> None:
+        self.ops.append((name, fn))
+        for cb in self.on_ops_enqueued:
+            cb()
+
+    def has_pending_ops(self) -> bool:
+        return bool(self.ops)
+
+    def has_completions(self) -> bool:
+        return any(d.has_completions() for d in self.drivers)
+
+    def has_work(self) -> bool:
+        return self.has_pending_ops() or self.has_completions()
+
+    def progress(self, ctx, max_ops: Optional[int] = None, poll: bool = True) -> bool:
+        """Execute deferred ops, then poll completion queues.
+
+        Charges all CPU to ``ctx``. Returns True if anything was done.
+        """
+        did = False
+        count = 0
+        while self.ops and (max_ops is None or count < max_ops):
+            name, fn = self.ops.popleft()
+            fn(ctx)
+            self.stats["ops_executed"] += 1
+            did = True
+            count += 1
+        if poll:
+            did |= self.poll_completions(ctx)
+        return did
+
+    def poll_completions(self, ctx, max_events: int = 16) -> bool:
+        """Poll every driver once; handle what surfaced."""
+        did = False
+        for driver in self.drivers:
+            ctx.charge(driver.poll_cpu_us())
+            for rec in driver.poll(max_events):
+                self._handle_completion(ctx, driver, rec)
+                self.stats["completions_handled"] += 1
+                did = True
+        return did
+
+    # ----------------------------------------------------------- op bodies (TX)
+
+    def _numa_factor(self, ctx, producer_core: Optional[int]) -> float:
+        if self.numa is None or producer_core is None:
+            return 1.0
+        executor = self._core_by_index.get(getattr(ctx, "core_index", None))
+        producer = self._core_by_index.get(producer_core)
+        if executor is None or producer is None:
+            return 1.0
+        return self.numa.copy_factor(producer, executor)
+
+    def _op_flush_gate(self, ctx, gate: Gate) -> None:
+        """Submit ONE wire packet; requeue if the gate still has more.
+
+        Draining the strategy happens up front (so aggregation sees the
+        whole burst), but submissions are one-per-event: concurrent idle
+        cores and waiting threads interleave on the remaining packets
+        instead of one executor hogging an entire burst.
+        """
+        gate.flush_pending = False
+        if not gate.pending_plans:
+            gate.pending_plans.extend(gate.strategy.take_plans(gate.rail_infos()))
+        if not gate.pending_plans:
+            return
+        plans = [gate.pending_plans.popleft()]
+        # sends pushed while earlier plans were queued are still in the
+        # strategy — the requeue must cover them too, or they are lost
+        if (gate.pending_plans or gate.strategy.pending_count() > 0) and not gate.flush_pending:
+            gate.flush_pending = True
+            self._enqueue_op(
+                f"flush->n{gate.peer}", lambda c, g=gate: self._op_flush_gate(c, g)
+            )
+        for plan in plans:
+            driver = gate.rails[plan.rail_index]
+            entries_hdr = []
+            tx_reqs = []
+            for e in plan.entries:
+                entries_hdr.append(
+                    {
+                        "req_id": e.req.req_id,
+                        "src": self.node_index,
+                        "tag": e.req.tag,
+                        "seq": e.req.seq,
+                        "size": e.req.size,
+                        "offset": e.offset,
+                        "length": e.length,
+                        "nchunks": e.nchunks,
+                        "payload": e.req.payload,
+                    }
+                )
+                tx_reqs.append(e.req.req_id)
+                if not hasattr(e.req, "_tx_chunks_left"):
+                    e.req._tx_chunks_left = e.nchunks  # type: ignore[attr-defined]
+            packet = Packet(
+                kind=PacketKind.PIO if plan.mode == "pio" else PacketKind.EAGER,
+                src_node=self.node_index,
+                dst_node=gate.peer,
+                payload_size=plan.payload_size(),
+                headers={"entries": entries_hdr, "tx_reqs": tx_reqs},
+            )
+            factor = max(
+                (self._numa_factor(ctx, e.req.producer_core) for e in plan.entries),
+                default=1.0,
+            )
+            for e in plan.entries:
+                if e.req.state == ReqState.QUEUED:
+                    e.req.transition(ReqState.SUBMITTED)
+                    e.req.submitted_at = ctx.end
+            if plan.mode == "pio":
+                driver.submit_pio(ctx, packet)
+            else:
+                self.stats["copies_bytes"] += plan.payload_size()
+                driver.submit_eager(ctx, packet, plan.payload_size(), factor)
+            # Both PIO and eager are *buffered* sends: the request completes
+            # as soon as the CPU pushed/copied the payload (MX semantics —
+            # the application buffer is reusable immediately). Only the
+            # zero-copy rendezvous DATA completes at DMA drain.
+            for e in plan.entries:
+                ctx.schedule_after(0.0, self._complete_send_chunk, e.req)
+            self._trace_raw("nmad.submit", f"gate->n{gate.peer}", f"{plan.mode} {plan.payload_size()}B")
+
+    def _op_send_rts(self, ctx, req: NmRequest) -> None:
+        gate = self.gate_to(req.peer)
+        driver = gate.rails[0]
+        if not driver.supports_zero_copy:
+            # rendezvous without zero-copy support still bounds unexpected
+            # buffering; the DATA leg will be a copy send (TCP driver).
+            pass
+        packet = Packet(
+            kind=PacketKind.RTS,
+            src_node=self.node_index,
+            dst_node=req.peer,
+            payload_size=0,
+            headers={
+                "send_req_id": req.req_id,
+                "src": self.node_index,
+                "tag": req.tag,
+                "seq": req.seq,
+                "size": req.size,
+            },
+        )
+        req.transition(ReqState.RTS_SENT)
+        req.submitted_at = ctx.end
+        driver.submit_control(ctx, packet)
+        self._trace("nmad.rts", req)
+
+    def _op_copy_out(self, ctx, req: NmRequest, item: UnexpectedEager) -> None:
+        """Second copy of the unexpected path: unexpected buffer → app."""
+        ctx.charge(self.timing.host.memcpy_us(item.size))
+        self.stats["copies_bytes"] += item.size
+        req.data = item.payload
+        req.received_size = item.size
+        req.source = item.source
+        ctx.schedule_after(0.0, self._complete_req, req)
+        self._trace("nmad.copy_out", req)
+
+    def _op_answer_rts(self, ctx, recv_req: NmRequest, source: int, send_req_id: int, size: int) -> None:
+        """Answer a rendezvous handshake: register the application buffer
+        and send the CTS (§2.3 operations (b)/(c))."""
+        gate = self.gate_to(source)
+        driver = gate.rails[0]
+        if driver.supports_zero_copy:
+            ctx.charge(self.registry.register(recv_req.buffer_id, size))
+        packet = Packet(
+            kind=PacketKind.CTS,
+            src_node=self.node_index,
+            dst_node=source,
+            payload_size=0,
+            headers={"send_req_id": send_req_id, "recv_req_id": recv_req.req_id},
+        )
+        recv_req.transition(ReqState.DATA_WAIT)
+        recv_req.received_size = size
+        recv_req.source = source
+        self._rdv_recvs[recv_req.req_id] = recv_req
+        driver.submit_control(ctx, packet)
+        self._trace("nmad.cts", recv_req)
+
+    # ------------------------------------------------------ completion handling
+
+    def _handle_completion(self, ctx, driver: Driver, rec) -> None:
+        packet: Packet = rec.packet
+        if rec.event == "tx_done":
+            self._on_tx_done(ctx, packet)
+            return
+        if packet.kind in (PacketKind.EAGER, PacketKind.PIO):
+            self._on_rx_eager(ctx, driver, packet)
+        elif packet.kind == PacketKind.RTS:
+            self._on_rx_rts(ctx, driver, packet)
+        elif packet.kind == PacketKind.CTS:
+            self._on_rx_cts(ctx, driver, packet)
+        elif packet.kind == PacketKind.DATA:
+            self._on_rx_data(ctx, driver, packet)
+        else:  # pragma: no cover - ACK unused by the core protocols
+            raise ProtocolError(f"unhandled packet kind {packet.kind}")
+
+    def _on_tx_done(self, ctx, packet: Packet) -> None:
+        # Only the rendezvous DATA leg completes on DMA drain: the
+        # application buffer is involved until the NIC has read it all.
+        # PIO/eager completed at submission; control frames complete nothing.
+        if packet.kind != PacketKind.DATA:
+            return
+        for req_id in packet.headers.get("tx_reqs", ()):
+            req = self._sends.get(req_id)
+            if req is None:
+                continue
+            ctx.schedule_after(0.0, self._complete_send_chunk, req)
+
+    def _complete_send_chunk(self, req: NmRequest) -> None:
+        left = getattr(req, "_tx_chunks_left", 1) - 1
+        req._tx_chunks_left = left  # type: ignore[attr-defined]
+        if left > 0:
+            return
+        if req.done:
+            return
+        if req.state != ReqState.COMPLETED:
+            if req.state == ReqState.DATA_SENDING:
+                pass  # rendezvous data drained
+            self._complete_req(req)
+
+    def _deliver_in_order(self, ctx, driver: Driver, item: dict[str, Any]) -> None:
+        """Route a sequence-ordered descriptor to its protocol handler.
+
+        The reorder buffer interleaves eager and RTS descriptors of one
+        flow, so each drained item must be re-dispatched by kind.
+        """
+        if item.get("rts"):
+            self._deliver_rts(ctx, driver, item)
+        else:
+            self._deliver_eager(ctx, driver, item)
+
+    def _on_rx_eager(self, ctx, driver: Driver, packet: Packet) -> None:
+        for entry in packet.headers["entries"]:
+            descriptor = entry
+            if entry["nchunks"] > 1:
+                descriptor = self._reassemble(entry)
+                if descriptor is None:
+                    continue
+            for item in self.seq_tracker.submit(
+                descriptor["src"], descriptor["tag"], descriptor["seq"], descriptor
+            ):
+                self._deliver_in_order(ctx, driver, item)
+
+    def _reassemble(self, entry: dict[str, Any]) -> Optional[dict[str, Any]]:
+        key = (entry["src"], entry["req_id"])
+        state = self._reassembly.setdefault(key, {"received": 0})
+        state["received"] += entry["length"]
+        if entry["offset"] == 0:
+            state["payload"] = entry["payload"]
+        if state["received"] < entry["size"]:
+            return None
+        if state["received"] > entry["size"]:
+            raise ProtocolError(
+                f"reassembly overflow for send#{entry['req_id']}: "
+                f"{state['received']} > {entry['size']}"
+            )
+        self._reassembly.pop(key)
+        return {
+            "src": entry["src"],
+            "tag": entry["tag"],
+            "seq": entry["seq"],
+            "size": entry["size"],
+            "length": entry["size"],
+            "payload": state.get("payload"),
+            "req_id": entry["req_id"],
+            "nchunks": 1,
+            "offset": 0,
+        }
+
+    def _deliver_eager(self, ctx, driver: Driver, d: dict[str, Any]) -> None:
+        req = self.match_table.match(d["src"], d["tag"])
+        ctx.charge(driver.rx_consume_us())
+        if req is not None:
+            # expected: the NIC placed the data straight into the app buffer
+            self.stats["expected_eager"] += 1
+            if d["size"] > req.size:
+                raise RequestError(
+                    f"message of {d['size']}B overflows posted recv of {req.size}B"
+                )
+            req.data = d["payload"]
+            req.received_size = d["size"]
+            req.source = d["src"]
+            ctx.schedule_after(0.0, self._complete_req, req)
+            self._trace("nmad.recv_expected", req)
+        else:
+            # unexpected: pay the copy into the unexpected buffer now
+            self.stats["unexpected_eager"] += 1
+            ctx.charge(self.timing.host.memcpy_us(d["size"]))
+            self.stats["copies_bytes"] += d["size"]
+            self.unexpected.add(
+                UnexpectedEager(
+                    source=d["src"],
+                    tag=d["tag"],
+                    seq=d["seq"],
+                    size=d["size"],
+                    payload=d["payload"],
+                    arrived_at=self.sim.now,
+                )
+            )
+
+    def _on_rx_rts(self, ctx, driver: Driver, packet: Packet) -> None:
+        h = packet.headers
+        descriptor = {
+            "src": h["src"],
+            "tag": h["tag"],
+            "seq": h["seq"],
+            "size": h["size"],
+            "send_req_id": h["send_req_id"],
+            "rts": True,
+        }
+        for item in self.seq_tracker.submit(h["src"], h["tag"], h["seq"], descriptor):
+            self._deliver_in_order(ctx, driver, item)
+
+    def _deliver_rts(self, ctx, driver: Driver, d: dict[str, Any]) -> None:
+        req = self.match_table.match(d["src"], d["tag"])
+        ctx.charge(driver.rx_consume_us())
+        if req is not None:
+            self._op_answer_rts(ctx, req, d["src"], d["send_req_id"], d["size"])
+        else:
+            self.stats["unexpected_rts"] += 1
+            self.unexpected.add(
+                UnexpectedRts(
+                    source=d["src"],
+                    tag=d["tag"],
+                    seq=d["seq"],
+                    size=d["size"],
+                    send_req_id=d["send_req_id"],
+                    arrived_at=self.sim.now,
+                )
+            )
+
+    def _on_rx_cts(self, ctx, driver: Driver, packet: Packet) -> None:
+        """Sender side: the receiver is ready — send the data zero-copy
+        (§2.3 operation (d))."""
+        req = self._sends.get(packet.headers["send_req_id"])
+        if req is None:
+            raise ProtocolError(f"CTS for unknown send #{packet.headers['send_req_id']}")
+        gate = self.gate_to(req.peer)
+        out_driver = gate.rails[0]
+        if out_driver.supports_zero_copy:
+            ctx.charge(self.registry.register(req.buffer_id, req.size))
+        req.transition(ReqState.DATA_SENDING)
+        data = Packet(
+            kind=PacketKind.DATA,
+            src_node=self.node_index,
+            dst_node=req.peer,
+            payload_size=req.size,
+            headers={
+                "tx_reqs": [req.req_id],
+                "recv_req_id": packet.headers["recv_req_id"],
+                "payload": req.payload,
+            },
+        )
+        req._tx_chunks_left = 1  # type: ignore[attr-defined]
+        if out_driver.supports_zero_copy:
+            out_driver.submit_zero_copy(ctx, data)
+        else:
+            self.stats["copies_bytes"] += req.size
+            out_driver.submit_eager(ctx, data, req.size, self._numa_factor(ctx, req.producer_core))
+        self._trace("nmad.data_send", req)
+
+    def _on_rx_data(self, ctx, driver: Driver, packet: Packet) -> None:
+        recv_id = packet.headers["recv_req_id"]
+        req = self._rdv_recvs.pop(recv_id, None)
+        if req is None:
+            raise ProtocolError(f"DATA for unknown rendezvous recv #{recv_id}")
+        ctx.charge(driver.rx_consume_us())
+        req.data = packet.headers.get("payload")
+        ctx.schedule_after(0.0, self._complete_req, req)
+        self._trace("nmad.data_recv", req)
+
+    # -------------------------------------------------------------- completion
+
+    def _complete_req(self, req: NmRequest) -> None:
+        if req.done:  # split chunks may race with direct completion paths
+            return
+        if req.kind == "send":
+            self._sends.pop(req.req_id, None)
+        req.complete(self.sim.now)
+        for cb in self.on_request_complete:
+            cb(req)
+        self._trace("nmad.complete", req)
+        # completing a request is activity too: waiters polling on the
+        # session flag must re-check
+        self.activity_flag.set()
+
+    # ------------------------------------------------------------------- misc
+
+    def _trace(self, category: str, req: NmRequest) -> None:
+        if self.tracer is not None:
+            self.tracer.record(
+                self.sim.now, category, f"n{self.node_index}", f"req#{req.req_id}",
+                kind=req.kind, peer=req.peer, tag=req.tag, size=req.size, state=req.state,
+            )
+
+    def _trace_raw(self, category: str, where: str, label: str) -> None:
+        if self.tracer is not None:
+            self.tracer.record(self.sim.now, category, where, label)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<NmSession n{self.node_index} gates={sorted(self.gates)} ops={len(self.ops)}>"

@@ -1,0 +1,91 @@
+"""Driver interface.
+
+Every method that consumes CPU takes an execution context ``ctx`` exposing
+``charge(us)`` / ``schedule_after(extra, fn, *args)`` / ``end``
+(:class:`repro.marcel.tasklet.TaskletContext` instances are used both for
+tasklet execution and for inline execution on application threads). The
+driver charges the CPU cost of the operation to ``ctx`` and schedules the
+hardware side effect at the point the charged work completes — so the
+virtual-time sequence matches a real submission (copy first, doorbell
+after).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ...errors import NetworkError
+from ...network.message import CompletionRecord, Packet
+
+__all__ = ["Driver"]
+
+
+class Driver:
+    """Abstract transfer driver."""
+
+    #: driver short name ("mx", "shm", "tcp")
+    name: str = "base"
+    #: whether the hardware can DMA from/to registered app buffers
+    supports_zero_copy: bool = False
+
+    # -- thresholds --------------------------------------------------------------
+
+    def pio_threshold(self) -> int:
+        """Max payload for the PIO path (0 = never PIO)."""
+        raise NotImplementedError
+
+    def rdv_threshold(self) -> int:
+        """Payloads strictly above this use the rendezvous protocol."""
+        raise NotImplementedError
+
+    # -- TX ----------------------------------------------------------------------
+
+    def submit_pio(self, ctx, packet: Packet) -> None:
+        """CPU-driven submission of a tiny packet."""
+        raise NotImplementedError
+
+    def submit_eager(self, ctx, packet: Packet, copy_bytes: int, numa_factor: float = 1.0) -> None:
+        """Copy ``copy_bytes`` into the registered region and DMA out."""
+        raise NotImplementedError
+
+    def submit_control(self, ctx, packet: Packet) -> None:
+        """Send a small control frame (RTS/CTS/ACK)."""
+        raise NotImplementedError
+
+    def submit_zero_copy(self, ctx, packet: Packet) -> None:
+        """DMA directly from a (pre-registered) application buffer."""
+        raise NotImplementedError(f"driver {self.name} does not support zero-copy")
+
+    # -- completion discovery -------------------------------------------------------
+
+    def poll_cpu_us(self) -> float:
+        """CPU cost of one poll of this driver's completion queue."""
+        raise NotImplementedError
+
+    def poll(self, max_events: int = 16) -> list[CompletionRecord]:
+        raise NotImplementedError
+
+    def has_completions(self) -> bool:
+        raise NotImplementedError
+
+    def add_activity_listener(self, cb: Callable[[], None]) -> None:
+        raise NotImplementedError
+
+    # -- receive-side costs -----------------------------------------------------------
+
+    def rx_consume_us(self) -> float:
+        """CPU cost to consume one arrived message descriptor."""
+        raise NotImplementedError
+
+    def wire_bandwidth(self) -> float:
+        """Nominal bandwidth (bytes/µs) — used by the multirail splitter."""
+        raise NotImplementedError
+
+    # -- common validation ----------------------------------------------------------
+
+    @staticmethod
+    def _check_ctx(ctx) -> None:
+        if not hasattr(ctx, "charge") or not hasattr(ctx, "schedule_after"):
+            raise NetworkError(
+                f"driver operation needs an execution context, got {type(ctx).__name__}"
+            )

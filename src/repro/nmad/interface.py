@@ -1,0 +1,150 @@
+"""User-facing send/recv interface (top layer of Fig. 3).
+
+All calls are generators to be used from Marcel thread bodies with
+``yield from``. Naming follows the paper's pseudo-code (Fig. 4/7):
+``nm_isend`` / ``nm_swait`` become :meth:`isend` / :meth:`swait`.
+
+>>> def body(ctx):
+...     req = yield from iface.isend(ctx, peer=1, tag=0, size=4096)
+...     yield ctx.compute(20.0)
+...     yield from iface.swait(ctx, req)
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Iterable, Sequence
+
+from ..errors import RequestError
+from ..marcel.thread import ThreadContext
+from .core import NmSession
+from .progress import EngineBase
+from .request import NmRequest
+from .tags import ANY
+
+__all__ = ["NmInterface"]
+
+
+class NmInterface:
+    """Facade binding a session to a progression engine."""
+
+    def __init__(self, session: NmSession, engine: EngineBase) -> None:
+        if engine.session is not session:
+            raise RequestError("engine is bound to a different session")
+        self.session = session
+        self.engine = engine
+
+    # -- non-blocking -------------------------------------------------------------
+
+    def isend(
+        self,
+        tctx: ThreadContext,
+        peer: int,
+        tag: int,
+        size: int,
+        payload: Any = None,
+        buffer_id: object = None,
+    ) -> Generator[Any, Any, NmRequest]:
+        """Non-blocking send of ``size`` bytes to ``peer`` under ``tag``."""
+        req = yield from self.engine.isend(tctx, peer, tag, size, payload, buffer_id)
+        return req
+
+    def irecv(
+        self,
+        tctx: ThreadContext,
+        source: int = ANY,
+        tag: int = ANY,
+        size: int = 0,
+        buffer_id: object = None,
+    ) -> Generator[Any, Any, NmRequest]:
+        """Non-blocking receive posting (wildcards allowed)."""
+        req = yield from self.engine.irecv(tctx, source, tag, size, buffer_id)
+        return req
+
+    # -- completion ---------------------------------------------------------------
+
+    def swait(self, tctx: ThreadContext, req: NmRequest) -> Generator[Any, Any, NmRequest]:
+        """Wait for a send request (paper: ``nm_swait``)."""
+        if req.kind != "send":
+            raise RequestError(f"swait on a {req.kind} request")
+        result = yield from self.engine.wait(tctx, req)
+        return result
+
+    def rwait(self, tctx: ThreadContext, req: NmRequest) -> Generator[Any, Any, NmRequest]:
+        """Wait for a receive request."""
+        if req.kind != "recv":
+            raise RequestError(f"rwait on a {req.kind} request")
+        result = yield from self.engine.wait(tctx, req)
+        return result
+
+    def wait(self, tctx: ThreadContext, req: NmRequest) -> Generator[Any, Any, NmRequest]:
+        """Kind-agnostic wait."""
+        result = yield from self.engine.wait(tctx, req)
+        return result
+
+    def wait_all(
+        self, tctx: ThreadContext, reqs: Sequence[NmRequest] | Iterable[NmRequest]
+    ) -> Generator[Any, Any, list[NmRequest]]:
+        """Wait for every request in the sequence."""
+        out: list[NmRequest] = []
+        for req in reqs:
+            done = yield from self.engine.wait(tctx, req)
+            out.append(done)
+        return out
+
+    def wait_any(
+        self, tctx: ThreadContext, reqs: Sequence[NmRequest]
+    ) -> Generator[Any, Any, tuple[int, NmRequest]]:
+        """Wait until *one* request completes; returns ``(index, req)``."""
+        result = yield from self.engine.wait_any(tctx, list(reqs))
+        return result
+
+    def test(self, req: NmRequest) -> bool:
+        """Non-blocking completion check (MPI_Test without progression).
+
+        Pure inspection: drives no progress and charges no CPU — combine
+        with :meth:`iprobe`/:meth:`wait_any` for polling loops.
+        """
+        return req.done
+
+    # -- probing ------------------------------------------------------------------
+
+    def iprobe(
+        self, tctx: ThreadContext, source: int = ANY, tag: int = ANY
+    ) -> Generator[Any, Any, "dict | None"]:
+        """Non-blocking probe for a pending (unmatched) message."""
+        result = yield from self.engine.iprobe(tctx, source, tag)
+        return result
+
+    def probe(
+        self, tctx: ThreadContext, source: int = ANY, tag: int = ANY
+    ) -> Generator[Any, Any, dict]:
+        """Blocking probe; returns ``{"source", "tag", "size", "rdv"}``."""
+        result = yield from self.engine.probe(tctx, source, tag)
+        return result
+
+    # -- blocking convenience --------------------------------------------------------
+
+    def send(
+        self,
+        tctx: ThreadContext,
+        peer: int,
+        tag: int,
+        size: int,
+        payload: Any = None,
+        buffer_id: object = None,
+    ) -> Generator[Any, Any, NmRequest]:
+        req = yield from self.isend(tctx, peer, tag, size, payload, buffer_id)
+        yield from self.swait(tctx, req)
+        return req
+
+    def recv(
+        self,
+        tctx: ThreadContext,
+        source: int = ANY,
+        tag: int = ANY,
+        size: int = 0,
+        buffer_id: object = None,
+    ) -> Generator[Any, Any, NmRequest]:
+        req = yield from self.irecv(tctx, source, tag, size, buffer_id)
+        yield from self.rwait(tctx, req)
+        return req

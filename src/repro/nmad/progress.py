@@ -1,0 +1,237 @@
+"""Progression engines: who makes communication advance, and when.
+
+:class:`EngineBase` defines the engine interface used by
+:class:`repro.nmad.interface.NmInterface`; all engine entry points are
+generators executed on the calling Marcel thread (so they can charge CPU
+and block).
+
+:class:`SequentialEngine` reproduces the **original non-multithreaded
+NewMadeleine** of the paper's evaluation: every communication operation is
+processed *sequentially by the communicating thread* (§2: "if the
+application performs a non-blocking send, the communication processing …
+is done sequentially by the communicating thread"), thread-safety comes
+from one **library-wide mutex** (§2.1), and nothing progresses unless an
+application thread is inside a library call. Its measured behaviour is
+``sum(communication, computation)`` — no overlap.
+
+The multithreaded engine of the paper lives in
+:class:`repro.pioman.engine.PiomanEngine`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from ..errors import RequestError
+from ..marcel.effects import Compute, WaitFlag
+from ..marcel.sync import ThreadMutex
+from ..marcel.tasklet import TaskletContext
+from ..marcel.thread import ThreadContext
+from .core import NmSession
+from .request import NmRequest
+
+__all__ = ["EngineBase", "SequentialEngine"]
+
+
+class EngineBase:
+    """Engine interface: isend/irecv/wait as thread generators."""
+
+    name = "base"
+
+    def __init__(self, session: NmSession) -> None:
+        self.session = session
+        self.sim = session.sim
+        self.timing = session.timing
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _exec_ctx(self, tctx: ThreadContext) -> TaskletContext:
+        """Execution context for inline progression on the calling thread."""
+        return TaskletContext(self.sim, tctx.thread.core_index, self.sim.now)
+
+    @staticmethod
+    def _service(ctx: TaskletContext, label: str) -> Compute:
+        return Compute(ctx.cpu_us, kind="service", label=label)
+
+    # -- engine API --------------------------------------------------------------
+
+    def isend(
+        self,
+        tctx: ThreadContext,
+        peer: int,
+        tag: int,
+        size: int,
+        payload: Any = None,
+        buffer_id: object = None,
+    ) -> Generator[Any, Any, NmRequest]:
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    def irecv(
+        self,
+        tctx: ThreadContext,
+        source: int,
+        tag: int,
+        size: int,
+        buffer_id: object = None,
+    ) -> Generator[Any, Any, NmRequest]:
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    def wait(self, tctx: ThreadContext, req: NmRequest) -> Generator[Any, Any, NmRequest]:
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    def _progress_step(self, tctx: ThreadContext) -> Generator[Any, Any, bool]:
+        """One engine-specific inline progression step; True if work ran."""
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    # -- shared multi-request / probing operations ---------------------------------
+
+    def wait_any(
+        self, tctx: ThreadContext, reqs: list[NmRequest]
+    ) -> Generator[Any, Any, tuple[int, NmRequest]]:
+        """Block until at least one request completes; returns (index, req).
+
+        Works identically for both engines: inline progression while there
+        is work, then sleep on the session activity flag (every completion
+        sets it).
+        """
+        if not reqs:
+            raise RequestError("wait_any needs at least one request")
+        flag = self.session.activity_flag
+        while True:
+            for i, req in enumerate(reqs):
+                if req.done:
+                    return i, req
+            did = yield from self._progress_step(tctx)
+            if did:
+                continue
+            flag.clear()
+            if self.session.has_work() or any(r.done for r in reqs):
+                continue
+            yield WaitFlag(flag)
+
+    def iprobe(
+        self, tctx: ThreadContext, source: int, tag: int
+    ) -> Generator[Any, Any, "dict | None"]:
+        """Non-blocking probe: one progression step, then check the
+        unexpected store. Returns the match descriptor or None."""
+        yield from self._progress_step(tctx)
+        return self.session.probe_unexpected(source, tag)
+
+    def probe(
+        self, tctx: ThreadContext, source: int, tag: int
+    ) -> Generator[Any, Any, dict]:
+        """Blocking probe: progress/sleep until a matching message is
+        pending (MPI_Probe)."""
+        flag = self.session.activity_flag
+        while True:
+            found = self.session.probe_unexpected(source, tag)
+            if found is not None:
+                return found
+            did = yield from self._progress_step(tctx)
+            if did:
+                continue
+            flag.clear()
+            if self.session.has_work():
+                continue
+            found = self.session.probe_unexpected(source, tag)
+            if found is not None:
+                return found
+            yield WaitFlag(flag)
+
+
+class SequentialEngine(EngineBase):
+    """The non-multithreaded baseline NewMadeleine."""
+
+    name = "sequential"
+
+    def __init__(self, session: NmSession) -> None:
+        super().__init__(session)
+        #: §2.1: "a library-wide scope mutex" is how classical MPI
+        #: implementations achieve thread-safety
+        self.big_lock = ThreadMutex(session.scheduler, name=f"n{session.node_index}.nm.biglock")
+
+    # -- inline progression -------------------------------------------------------
+
+    def _drain_ops_inline(self, tctx: ThreadContext) -> Generator[Any, Any, None]:
+        """Run every queued op *now*, on the calling thread, charging it.
+
+        This is the paper's baseline behaviour: "the packet is actually
+        submitted to the network by the application thread itself. Thus
+        even a non-blocking send may take several dozens of microseconds
+        to return."
+        """
+        while self.session.has_pending_ops():
+            ctx = self._exec_ctx(tctx)
+            self.session.progress(ctx, poll=False)
+            if ctx.cpu_us > 0:
+                yield self._service(ctx, "nm.inline")
+
+    def _progress_step(self, tctx: ThreadContext) -> Generator[Any, Any, bool]:
+        """One locked progression pass on the calling thread."""
+        yield from self.big_lock.acquire()
+        try:
+            ctx = self._exec_ctx(tctx)
+            did = self.session.progress(ctx)
+            if ctx.cpu_us > 0:
+                yield self._service(ctx, "nm.step")
+        finally:
+            self.big_lock.release()
+        return did
+
+    # -- API ----------------------------------------------------------------------
+
+    def isend(self, tctx, peer, tag, size, payload=None, buffer_id=None):
+        yield from self.big_lock.acquire()
+        try:
+            yield Compute(self.timing.host.request_post_us, kind="service", label="post_send")
+            req = self.session.make_send(
+                peer, tag, size, payload, buffer_id, producer_core=tctx.thread.core_index
+            )
+            self.session.post_send(req)
+            yield from self._drain_ops_inline(tctx)
+        finally:
+            self.big_lock.release()
+        return req
+
+    def irecv(self, tctx, source, tag, size, buffer_id=None):
+        yield from self.big_lock.acquire()
+        try:
+            yield Compute(self.timing.host.request_post_us, kind="service", label="post_recv")
+            req = self.session.make_recv(source, tag, size, buffer_id)
+            self.session.post_recv(req)
+            yield from self._drain_ops_inline(tctx)
+        finally:
+            self.big_lock.release()
+        return req
+
+    def wait(self, tctx, req):
+        """Poll-and-block loop on the application thread.
+
+        Progress is driven exclusively here (and in isend/irecv): if the
+        wire is quiet the thread blocks on the session activity flag —
+        functionally equivalent to the baseline's busy-poll inside the
+        wait, but without flooding the event queue.
+        """
+        flag = self.session.activity_flag
+        while not req.done:
+            yield from self.big_lock.acquire()
+            try:
+                ctx = self._exec_ctx(tctx)
+                self.session.progress(ctx)
+                if ctx.cpu_us > 0:
+                    yield self._service(ctx, "nm.wait")
+            finally:
+                self.big_lock.release()
+            if req.done:
+                break
+            if self.session.has_work():
+                continue
+            flag.clear()
+            if self.session.has_work() or req.done:
+                continue
+            yield WaitFlag(flag)
+        return req

@@ -1,0 +1,38 @@
+"""Optimizer/scheduler layer strategies (middle layer of Fig. 3).
+
+NewMadeleine applies "dynamic scheduling optimizations on multiple
+communication flows such as reordering, aggregation, multirail
+distribution" (§3.1, [2]). A strategy owns one gate's pending-send list
+and decides, at flush time, how pending requests become wire packets.
+"""
+
+from .aggreg import AggregationStrategy
+from .base import PacketPlan, SendEntry, Strategy
+from .default import DefaultStrategy
+from .split import MultirailSplitStrategy
+
+__all__ = [
+    "Strategy",
+    "PacketPlan",
+    "SendEntry",
+    "DefaultStrategy",
+    "AggregationStrategy",
+    "MultirailSplitStrategy",
+    "make_strategy",
+]
+
+
+def make_strategy(name: str, **kwargs) -> Strategy:
+    """Factory: ``default``, ``aggreg``, ``split``."""
+    table = {
+        "default": DefaultStrategy,
+        "aggreg": AggregationStrategy,
+        "split": MultirailSplitStrategy,
+    }
+    try:
+        cls = table[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown strategy {name!r}; expected one of {sorted(table)}"
+        ) from None
+    return cls(**kwargs)

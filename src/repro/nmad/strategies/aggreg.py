@@ -1,0 +1,70 @@
+"""Aggregation strategy: coalesce pending small sends into fewer packets.
+
+This is the flagship NewMadeleine optimization ([2], §1): when several
+sends to the same gate are pending (which happens precisely when
+submission has been deferred — e.g. offloaded by PIOMan while the NIC was
+busy), they are packed into one wire packet, saving per-packet setup and
+wire header costs.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ...errors import ConfigError
+from ...network.message import HEADER_BYTES
+from .base import PacketPlan, RailInfo, SendEntry, Strategy
+
+__all__ = ["AggregationStrategy"]
+
+#: per-aggregated-entry descriptor bytes inside the packet
+ENTRY_HEADER_BYTES = 16
+
+
+class AggregationStrategy(Strategy):
+    name = "aggreg"
+
+    def __init__(self, max_packet_bytes: int | None = None) -> None:
+        super().__init__()
+        if max_packet_bytes is not None and max_packet_bytes <= HEADER_BYTES:
+            raise ConfigError(
+                f"max_packet_bytes must exceed the header ({HEADER_BYTES}B)"
+            )
+        self.max_packet_bytes = max_packet_bytes
+        self.aggregated_requests = 0
+
+    def take_plans(self, rails: Sequence[RailInfo]) -> list[PacketPlan]:
+        rail = rails[0]
+        limit = self.max_packet_bytes or rail.rdv_threshold
+        plans: list[PacketPlan] = []
+        batch: list[SendEntry] = []
+        batch_bytes = 0
+
+        def close_batch() -> None:
+            nonlocal batch, batch_bytes
+            if not batch:
+                return
+            mode = (
+                "pio"
+                if len(batch) == 1 and batch[0].length <= rail.pio_threshold
+                else "eager"
+            )
+            plans.append(PacketPlan(rail_index=rail.index, entries=batch, mode=mode))
+            if len(batch) > 1:
+                self.aggregated_requests += len(batch)
+            batch = []
+            batch_bytes = 0
+
+        for req in self._drain():
+            entry_bytes = req.size + ENTRY_HEADER_BYTES
+            if batch and batch_bytes + entry_bytes > limit:
+                close_batch()
+            batch.append(SendEntry(req=req, offset=0, length=req.size))
+            batch_bytes += entry_bytes
+            if batch_bytes >= limit:
+                close_batch()
+        close_batch()
+        if plans:
+            self.flushes += 1
+            self.packets_formed += len(plans)
+        return plans

@@ -1,0 +1,30 @@
+"""Default FIFO strategy: one packet per request, rail 0."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .base import PacketPlan, RailInfo, SendEntry, Strategy
+
+__all__ = ["DefaultStrategy"]
+
+
+class DefaultStrategy(Strategy):
+    name = "default"
+
+    def take_plans(self, rails: Sequence[RailInfo]) -> list[PacketPlan]:
+        rail = rails[0]
+        plans: list[PacketPlan] = []
+        for req in self._drain():
+            mode = "pio" if req.size <= rail.pio_threshold else "eager"
+            plans.append(
+                PacketPlan(
+                    rail_index=rail.index,
+                    entries=[SendEntry(req=req, offset=0, length=req.size)],
+                    mode=mode,
+                )
+            )
+        if plans:
+            self.flushes += 1
+            self.packets_formed += len(plans)
+        return plans

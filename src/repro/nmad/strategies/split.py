@@ -1,0 +1,61 @@
+"""Multirail split strategy: stripe large eager sends over several rails.
+
+When a gate has more than one rail (e.g. two MX NICs), messages above
+``split_threshold`` are divided into per-rail chunks proportional to rail
+bandwidth ([2] calls this "multirail distribution"). The receive side
+reassembles chunks before matching (see
+:meth:`repro.nmad.core.NmSession._on_rx_eager`).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ...errors import ConfigError
+from .base import PacketPlan, RailInfo, SendEntry, Strategy
+
+__all__ = ["MultirailSplitStrategy"]
+
+
+class MultirailSplitStrategy(Strategy):
+    name = "split"
+
+    def __init__(self, split_threshold: int = 4096) -> None:
+        super().__init__()
+        if split_threshold <= 0:
+            raise ConfigError(f"split_threshold must be > 0, got {split_threshold}")
+        self.split_threshold = split_threshold
+        self.split_messages = 0
+
+    def take_plans(self, rails: Sequence[RailInfo]) -> list[PacketPlan]:
+        plans: list[PacketPlan] = []
+        total_bw = sum(r.bandwidth for r in rails)
+        for req in self._drain():
+            if len(rails) < 2 or req.size < self.split_threshold:
+                rail = rails[0]
+                mode = "pio" if req.size <= rail.pio_threshold else "eager"
+                plans.append(
+                    PacketPlan(rail.index, [SendEntry(req, 0, req.size)], mode)
+                )
+                continue
+            # proportional striping; last rail absorbs rounding remainder
+            self.split_messages += 1
+            nchunks = len(rails)
+            offset = 0
+            for i, rail in enumerate(rails):
+                if i == nchunks - 1:
+                    length = req.size - offset
+                else:
+                    length = int(req.size * rail.bandwidth / total_bw)
+                plans.append(
+                    PacketPlan(
+                        rail.index,
+                        [SendEntry(req, offset, length, nchunks=nchunks)],
+                        "eager",
+                    )
+                )
+                offset += length
+        if plans:
+            self.flushes += 1
+            self.packets_formed += len(plans)
+        return plans

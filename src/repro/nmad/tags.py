@@ -1,0 +1,115 @@
+"""Tag/source matching and per-flow sequence ordering.
+
+Matching model (MPI-like, as the paper's MPI integration target implies):
+
+* a receive is posted for ``(source, tag)`` where either may be the
+  wildcard :data:`ANY`;
+* incoming message descriptors carry concrete ``(source, tag, seq)``;
+* within one ``(source, tag)`` flow, messages are delivered in sequence
+  order (NewMadeleine may reorder packets on the wire — multirail split —
+  so the receive side owns a reorder buffer, :class:`SequenceTracker`);
+* posted receives match in posting order; arrivals match the oldest
+  compatible posted receive (MPI non-overtaking semantics per flow).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Optional
+
+from ..errors import MatchingError
+from .request import NmRequest
+
+__all__ = ["ANY", "MatchTable", "SequenceTracker"]
+
+#: wildcard for recv posting (matches any source / any tag)
+ANY = -1
+
+
+class MatchTable:
+    """Posted-receive table with wildcard support.
+
+    Receives are kept in one posting-ordered deque per exact key plus a
+    wildcard list; lookup scans exact first then wildcards, choosing the
+    entry with the smallest posting index (MPI ordering).
+    """
+
+    def __init__(self) -> None:
+        self._posted: deque[tuple[int, NmRequest]] = deque()
+        self._counter = 0
+
+    def post(self, req: NmRequest) -> None:
+        if req.kind != "recv":
+            raise MatchingError(f"only recv requests can be posted, got {req.kind}")
+        self._counter += 1
+        self._posted.append((self._counter, req))
+
+    def match(self, source: int, tag: int) -> Optional[NmRequest]:
+        """Find-and-remove the oldest posted recv compatible with
+        ``(source, tag)``; None if nothing matches."""
+        for i, (_idx, req) in enumerate(self._posted):
+            src_ok = req.peer == ANY or req.peer == source
+            tag_ok = req.tag == ANY or req.tag == tag
+            if src_ok and tag_ok:
+                del self._posted[i]
+                return req
+        return None
+
+    def cancel(self, req: NmRequest) -> bool:
+        for i, (_idx, candidate) in enumerate(self._posted):
+            if candidate is req:
+                del self._posted[i]
+                return True
+        return False
+
+    def __len__(self) -> int:
+        return len(self._posted)
+
+
+class SequenceTracker:
+    """Per-flow in-order delivery with a reorder buffer.
+
+    ``submit(source, tag, seq, item)`` returns the list of items that become
+    deliverable (in order). Out-of-order items are parked until the gap
+    fills. Duplicate sequence numbers are a protocol error.
+    """
+
+    def __init__(self) -> None:
+        self._expected: dict[tuple[int, int], int] = {}
+        self._parked: dict[tuple[int, int], dict[int, Any]] = {}
+        #: statistics: how many items arrived out of order
+        self.reordered = 0
+
+    def next_seq_view(self, source: int, tag: int) -> int:
+        """Next expected sequence number for a flow (0-based)."""
+        return self._expected.get((source, tag), 0)
+
+    def submit(self, source: int, tag: int, seq: int, item: Any) -> list[Any]:
+        key = (source, tag)
+        expected = self._expected.get(key, 0)
+        if seq < expected:
+            raise MatchingError(
+                f"duplicate/old sequence {seq} on flow src={source} tag={tag} "
+                f"(expected {expected})"
+            )
+        parked = self._parked.setdefault(key, {})
+        if seq in parked:
+            raise MatchingError(
+                f"duplicate sequence {seq} on flow src={source} tag={tag}"
+            )
+        if seq != expected:
+            self.reordered += 1
+            parked[seq] = item
+            return []
+        out = [item]
+        expected += 1
+        while expected in parked:
+            out.append(parked.pop(expected))
+            expected += 1
+        self._expected[key] = expected
+        if not parked:
+            self._parked.pop(key, None)
+        return out
+
+    def parked_count(self) -> int:
+        return sum(len(p) for p in self._parked.values())

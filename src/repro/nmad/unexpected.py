@@ -1,0 +1,89 @@
+"""Unexpected-message store.
+
+§2.2: *"if an unexpected message arrives, it is copied into a buffer
+allocated especially for unexpected messages. When the corresponding
+receive request is posted, the message is detected and copied into the
+application's buffer."*
+
+The store keeps arrived-but-unmatched **eager payloads** (which already
+cost one copy into the unexpected buffer, and will cost a second copy out
+on match) and **rendezvous RTS descriptors** (no payload yet — matching a
+posted receive later triggers the CTS answer).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from ..errors import MatchingError
+
+__all__ = ["UnexpectedEager", "UnexpectedRts", "UnexpectedStore"]
+
+
+@dataclass
+class UnexpectedEager:
+    """An eager payload sitting in the unexpected buffer."""
+
+    source: int
+    tag: int
+    seq: int
+    size: int
+    payload: Any
+    arrived_at: float
+
+
+@dataclass
+class UnexpectedRts:
+    """A rendezvous handshake waiting for its receive to be posted."""
+
+    source: int
+    tag: int
+    seq: int
+    size: int
+    send_req_id: int
+    arrived_at: float
+
+
+@dataclass
+class UnexpectedStore:
+    """FIFO store of unexpected arrivals (already sequence-ordered by the
+    :class:`repro.nmad.tags.SequenceTracker` before insertion)."""
+
+    _items: deque = field(default_factory=deque)
+    #: peak occupancy in bytes (memory-pressure statistic)
+    peak_bytes: int = 0
+    _bytes: int = 0
+
+    def add(self, item: "UnexpectedEager | UnexpectedRts") -> None:
+        self._items.append(item)
+        if isinstance(item, UnexpectedEager):
+            self._bytes += item.size
+            self.peak_bytes = max(self.peak_bytes, self._bytes)
+
+    def match(self, source: int, tag: int, any_marker: int = -1) -> Optional[Any]:
+        """Find-and-remove the oldest item compatible with a posted recv."""
+        for i, item in enumerate(self._items):
+            src_ok = source == any_marker or item.source == source
+            tag_ok = tag == any_marker or item.tag == tag
+            if src_ok and tag_ok:
+                del self._items[i]
+                if isinstance(item, UnexpectedEager):
+                    self._bytes -= item.size
+                return item
+        return None
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def buffered_bytes(self) -> int:
+        return self._bytes
+
+    def require_empty(self) -> None:
+        """Diagnostic: raise if messages were never consumed (leak check)."""
+        if self._items:
+            raise MatchingError(
+                f"{len(self._items)} unexpected messages never matched"
+            )

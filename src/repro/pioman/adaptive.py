@@ -1,0 +1,102 @@
+"""Adaptive offload policies (§5 future work).
+
+The paper closes with: *"There are still investigations to be done on an
+adaptive strategy to choose whether to offload communication or not."*
+This module implements that investigation:
+
+* :class:`AlwaysOffload` — the paper's evaluated behaviour: every
+  submission becomes a PIOMan event;
+* :class:`NeverOffload` — submissions run inline on the sending thread
+  (event-granular locking retained, so this is *not* the sequential
+  baseline: completion detection still uses the triggers);
+* :class:`AdaptiveOffload` — offload only when it can pay for itself:
+  an idle core must exist *now*, and the submission cost must exceed the
+  inter-CPU/tasklet dispatch overhead by a configurable margin. Tiny
+  messages (copy ≪ 2 µs) are cheaper to submit in place.
+
+The ablation bench ``benchmarks/bench_ablation_adaptive.py`` compares the
+three policies across message sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+
+__all__ = ["OffloadPolicy", "AlwaysOffload", "NeverOffload", "AdaptiveOffload"]
+
+
+class OffloadPolicy:
+    """Decides, per isend, whether to defer the submission to PIOMan."""
+
+    name = "base"
+
+    def decide(self, size: int, submit_cost_us: float, idle_cores: int) -> bool:
+        raise NotImplementedError
+
+
+@dataclass
+class AlwaysOffload(OffloadPolicy):
+    """The paper's §4 behaviour: register + generate an event, always."""
+
+    name = "always"
+    offloads: int = 0
+
+    def decide(self, size: int, submit_cost_us: float, idle_cores: int) -> bool:
+        self.offloads += 1
+        return True
+
+
+@dataclass
+class NeverOffload(OffloadPolicy):
+    """Submit inline on the calling thread (detection stays event-driven)."""
+
+    name = "never"
+    inlines: int = 0
+
+    def decide(self, size: int, submit_cost_us: float, idle_cores: int) -> bool:
+        self.inlines += 1
+        return False
+
+
+@dataclass
+class AdaptiveOffload(OffloadPolicy):
+    """Offload when an idle core exists and the work amortizes the IPI.
+
+    Parameters
+    ----------
+    dispatch_cost_us:
+        What steering the event to another CPU costs (default: the §4.1
+        2 µs). Submissions cheaper than ``dispatch_cost_us × margin``
+        run inline.
+    margin:
+        Required benefit factor (>1 demands clear wins).
+    require_idle_core:
+        If True (default), never defer when all cores are busy — the
+        submission would only run inside ``wait`` anyway, and deferring
+        just risks aggregation latency.
+    """
+
+    name = "adaptive"
+    dispatch_cost_us: float = 2.0
+    margin: float = 1.0
+    require_idle_core: bool = True
+    offloads: int = 0
+    inlines: int = 0
+
+    def __post_init__(self) -> None:
+        if self.dispatch_cost_us < 0:
+            raise ConfigError("dispatch_cost_us must be >= 0")
+        if self.margin <= 0:
+            raise ConfigError("margin must be > 0")
+
+    def decide(self, size: int, submit_cost_us: float, idle_cores: int) -> bool:
+        if self.require_idle_core and idle_cores == 0:
+            self.inlines += 1
+            return False
+        if submit_cost_us < self.dispatch_cost_us * self.margin:
+            self.inlines += 1
+            return False
+        self.offloads += 1
+        return True

@@ -1,0 +1,43 @@
+"""Detection-method selection policy.
+
+§3.1: *"PIOMAN is able to choose the most appropriate method (polling or
+interrupt-based blocking call) depending on the context (number of
+computing threads, available CPUs, etc.)"*; §3.2: *"if a CPU is idle …
+PIOMAN can actively poll the network … When no CPU is idle, PIOMAN is
+obviously less intrusive and uses a blocking call on a specialized kernel
+thread."*
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import PiomanConfig
+
+__all__ = ["DetectionPolicy"]
+
+
+@dataclass
+class DetectionPolicy:
+    """Chooses between active polling and the blocking kernel-thread call."""
+
+    cfg: PiomanConfig
+
+    # statistics
+    poll_choices: int = 0
+    block_choices: int = 0
+
+    POLL = "poll"
+    BLOCK = "block"
+
+    def select(self, idle_cores: int) -> str:
+        """Pick the detection method given the number of idle cores
+        available once the caller has blocked."""
+        if (
+            self.cfg.allow_blocking_calls
+            and idle_cores < self.cfg.blocking_idle_core_threshold
+        ):
+            self.block_choices += 1
+            return DetectionPolicy.BLOCK
+        self.poll_choices += 1
+        return DetectionPolicy.POLL

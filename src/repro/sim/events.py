@@ -1,0 +1,87 @@
+"""Event-queue entries for the discrete-event kernel.
+
+Events are ordered by ``(time, priority, sequence)``. The sequence number
+makes ordering total and therefore the whole simulation deterministic:
+two events scheduled for the same instant at the same priority fire in
+scheduling order (FIFO).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+__all__ = ["Priority", "EventHandle"]
+
+
+class Priority:
+    """Priority levels for same-instant event ordering (lower fires first).
+
+    ``INTERRUPT`` models hardware events (wire arrivals, timer expiry) that
+    logically precede software reactions scheduled for the same instant.
+    ``TASKLET`` mirrors Marcel's "very high priority" deferred work.
+    """
+
+    INTERRUPT = 0
+    TASKLET = 1
+    NORMAL = 2
+    LOW = 3
+    IDLE = 4
+
+
+class EventHandle:
+    """A scheduled callback; supports cancellation.
+
+    Cancellation is lazy: the entry stays in the heap but is skipped when it
+    surfaces. ``fired`` is True once the callback ran.
+    """
+
+    __slots__ = ("time", "priority", "seq", "_fn", "_args", "cancelled", "fired", "label")
+
+    def __init__(
+        self,
+        time: float,
+        priority: int,
+        seq: int,
+        fn: Callable[..., Any],
+        args: tuple[Any, ...],
+        label: str = "",
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self._fn = fn
+        self._args = args
+        self.cancelled = False
+        self.fired = False
+        self.label = label
+
+    def cancel(self) -> None:
+        """Prevent the callback from running; no-op if already fired."""
+        self.cancelled = True
+
+    @property
+    def pending(self) -> bool:
+        """True while the event is scheduled and not cancelled/fired."""
+        return not self.cancelled and not self.fired
+
+    def _fire(self) -> None:
+        self.fired = True
+        self._fn(*self._args)
+        # Release references so long simulations do not retain closures.
+        self._fn = _noop
+        self._args = ()
+
+    def sort_key(self) -> tuple[float, int, int]:
+        return (self.time, self.priority, self.seq)
+
+    def __lt__(self, other: "EventHandle") -> bool:
+        return self.sort_key() < other.sort_key()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else ("fired" if self.fired else "pending")
+        lbl = f" {self.label}" if self.label else ""
+        return f"<EventHandle t={self.time:.3f} p={self.priority}{lbl} {state}>"
+
+
+def _noop(*_args: Any) -> None:  # pragma: no cover - placeholder
+    return None

@@ -1,0 +1,189 @@
+"""The discrete-event simulation loop.
+
+:class:`Simulator` owns the virtual clock and a binary-heap event queue.
+Everything else in the library — Marcel cores, NIC DMA engines, wire
+deliveries, PIOMan timers — is expressed as callbacks scheduled here.
+
+Determinism contract
+--------------------
+Events fire in ``(time, priority, sequence)`` order. Sequence numbers are
+allocated at scheduling time, so the complete execution is a pure function
+of the initial schedule and the callbacks' behaviour. Any randomness must
+come from :class:`repro.sim.rng.RngStreams` seeded from the run config.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Iterable
+
+from ..errors import DeadlockError, SimulationError
+from .events import EventHandle, Priority
+
+__all__ = ["Simulator"]
+
+
+class Simulator:
+    """Virtual-time event loop.
+
+    Parameters
+    ----------
+    trace:
+        Optional :class:`repro.sim.tracing.Tracer`; when set, the kernel
+        emits ``kernel`` records for diagnostics (off by default because the
+        volume is high).
+    """
+
+    def __init__(self, trace: Any = None) -> None:
+        self._now: float = 0.0
+        self._heap: list[EventHandle] = []
+        self._seq: int = 0
+        self._running = False
+        self._stopped = False
+        self.trace = trace
+        #: callbacks invoked when :meth:`run` drains the queue; used by
+        #: higher layers (Marcel) to report blocked threads for deadlock
+        #: diagnostics.
+        self._liveness_probes: list[Callable[[], Iterable[str]]] = []
+        #: total events fired (statistics / regression checks)
+        self.events_fired: int = 0
+
+    # -- clock ---------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in microseconds."""
+        return self._now
+
+    # -- scheduling ----------------------------------------------------------
+
+    def schedule(
+        self,
+        delay: float,
+        fn: Callable[..., Any],
+        *args: Any,
+        priority: int = Priority.NORMAL,
+        label: str = "",
+    ) -> EventHandle:
+        """Schedule ``fn(*args)`` to run ``delay`` µs from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past: delay={delay}")
+        return self.schedule_at(self._now + delay, fn, *args, priority=priority, label=label)
+
+    def schedule_at(
+        self,
+        time: float,
+        fn: Callable[..., Any],
+        *args: Any,
+        priority: int = Priority.NORMAL,
+        label: str = "",
+    ) -> EventHandle:
+        """Schedule ``fn(*args)`` at absolute virtual time ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time} before now={self._now}"
+            )
+        self._seq += 1
+        handle = EventHandle(time, priority, self._seq, fn, tuple(args), label)
+        heapq.heappush(self._heap, handle)
+        return handle
+
+    def call_soon(
+        self, fn: Callable[..., Any], *args: Any, priority: int = Priority.NORMAL, label: str = ""
+    ) -> EventHandle:
+        """Schedule ``fn(*args)`` for the current instant (after the running
+        callback returns)."""
+        return self.schedule_at(self._now, fn, *args, priority=priority, label=label)
+
+    # -- liveness ------------------------------------------------------------
+
+    def add_liveness_probe(self, probe: Callable[[], Iterable[str]]) -> None:
+        """Register a probe reporting names of still-blocked entities.
+
+        When :meth:`run` exhausts the event queue, every probe is asked for
+        blocked entities; if any reports one, a :class:`DeadlockError` is
+        raised instead of returning silently.
+        """
+        self._liveness_probes.append(probe)
+
+    def _check_liveness(self) -> None:
+        blocked: list[str] = []
+        for probe in self._liveness_probes:
+            blocked.extend(probe())
+        if blocked:
+            raise DeadlockError(
+                f"event queue drained at t={self._now:.3f}µs with "
+                f"{len(blocked)} blocked entities: {', '.join(sorted(blocked)[:12])}",
+                blocked=tuple(blocked),
+            )
+
+    # -- execution -----------------------------------------------------------
+
+    def stop(self) -> None:
+        """Stop :meth:`run` after the current callback completes."""
+        self._stopped = True
+
+    def peek_time(self) -> float | None:
+        """Time of the next pending event, or None if the queue is drained."""
+        self._drop_dead()
+        return self._heap[0].time if self._heap else None
+
+    def _drop_dead(self) -> None:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+
+    def step(self) -> bool:
+        """Fire the next pending event. Returns False if the queue is empty."""
+        self._drop_dead()
+        if not self._heap:
+            return False
+        handle = heapq.heappop(self._heap)
+        if handle.time < self._now:  # pragma: no cover - guarded at insert
+            raise SimulationError("time went backwards")
+        self._now = handle.time
+        handle._fire()
+        self.events_fired += 1
+        return True
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> float:
+        """Run until the queue drains, ``until`` is reached, or ``stop()``.
+
+        Returns the final virtual time. Raises :class:`DeadlockError` if the
+        queue drains while liveness probes report blocked entities (only
+        when ``until`` is None — bounded runs may legitimately stop early).
+        """
+        if self._running:
+            raise SimulationError("Simulator.run is not reentrant")
+        self._running = True
+        self._stopped = False
+        fired = 0
+        try:
+            while not self._stopped:
+                self._drop_dead()
+                if not self._heap:
+                    if until is None:
+                        self._check_liveness()
+                    break
+                nxt = self._heap[0].time
+                if until is not None and nxt > until:
+                    self._now = until
+                    break
+                self.step()
+                fired += 1
+                if max_events is not None and fired >= max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events} at t={self._now:.3f}µs "
+                        "(runaway simulation?)"
+                    )
+        finally:
+            self._running = False
+        return self._now
+
+    # -- introspection ---------------------------------------------------------
+
+    def pending_count(self) -> int:
+        """Number of scheduled, non-cancelled events (O(n); for tests)."""
+        return sum(1 for h in self._heap if h.pending)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Simulator t={self._now:.3f}µs pending={len(self._heap)}>"

@@ -1,0 +1,192 @@
+"""Virtual-time synchronization primitives for :class:`SimProcess` code.
+
+These are *simulation* primitives: they block a process in virtual time, not
+a real OS thread. The Marcel layer builds thread-level mutexes and condition
+variables on top of its own scheduler; the primitives here serve the network
+machinery, PIOMan internals, and tests.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Generator
+
+from ..errors import SimulationError
+from .kernel import Simulator
+from .process import Delay, WaitEvent
+
+__all__ = ["SimEvent", "Mutex", "Semaphore", "Store"]
+
+
+class SimEvent:
+    """One-shot event carrying a value.
+
+    Waiters registered before :meth:`trigger` are resumed (in registration
+    order) at the trigger instant; waiters registered after it are resumed
+    immediately (same instant, via ``call_soon``) — so "wait on an already
+    triggered event" is well-defined and race-free.
+    """
+
+    __slots__ = ("sim", "name", "triggered", "value", "_waiters")
+
+    def __init__(self, sim: Simulator, name: str = "event") -> None:
+        self.sim = sim
+        self.name = name
+        self.triggered = False
+        self.value: Any = None
+        self._waiters: list[Callable[[Any], None]] = []
+
+    def trigger(self, value: Any = None) -> None:
+        """Fire the event. Triggering twice is an error (one-shot)."""
+        if self.triggered:
+            raise SimulationError(f"event {self.name!r} triggered twice")
+        self.triggered = True
+        self.value = value
+        waiters, self._waiters = self._waiters, []
+        for cb in waiters:
+            self.sim.call_soon(cb, value, label=f"{self.name}.wake")
+
+    def add_waiter(self, cb: Callable[[Any], None]) -> None:
+        """Register ``cb(value)`` to run when the event triggers."""
+        if self.triggered:
+            self.sim.call_soon(cb, self.value, label=f"{self.name}.wake")
+        else:
+            self._waiters.append(cb)
+
+    def wait(self) -> WaitEvent:
+        """Effect for ``yield ev.wait()`` inside a process generator."""
+        return WaitEvent(self)
+
+    @property
+    def waiter_count(self) -> int:
+        return len(self._waiters)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        state = "triggered" if self.triggered else f"{len(self._waiters)} waiters"
+        return f"<SimEvent {self.name} {state}>"
+
+
+class Mutex:
+    """FIFO mutex for processes.
+
+    Usage inside a process generator::
+
+        yield from mutex.acquire()
+        try:
+            ...
+        finally:
+            mutex.release()
+    """
+
+    def __init__(self, sim: Simulator, name: str = "mutex") -> None:
+        self.sim = sim
+        self.name = name
+        self.locked = False
+        self._queue: deque[SimEvent] = deque()
+        #: number of acquisitions that had to wait (contention statistic)
+        self.contended_acquires = 0
+
+    def acquire(self) -> Generator[Any, Any, None]:
+        if not self.locked:
+            self.locked = True
+            return
+        self.contended_acquires += 1
+        gate = SimEvent(self.sim, name=f"{self.name}.gate")
+        self._queue.append(gate)
+        yield WaitEvent(gate)
+        # Ownership was transferred by release(); nothing more to do.
+
+    def try_acquire(self) -> bool:
+        """Non-blocking acquire; True on success."""
+        if self.locked:
+            return False
+        self.locked = True
+        return True
+
+    def release(self) -> None:
+        if not self.locked:
+            raise SimulationError(f"release of unlocked mutex {self.name!r}")
+        if self._queue:
+            # Hand the lock directly to the next waiter (no barging).
+            gate = self._queue.popleft()
+            gate.trigger(None)
+        else:
+            self.locked = False
+
+
+class Semaphore:
+    """Counting semaphore for processes (FIFO wakeup order)."""
+
+    def __init__(self, sim: Simulator, value: int = 0, name: str = "sem") -> None:
+        if value < 0:
+            raise SimulationError(f"negative semaphore value: {value}")
+        self.sim = sim
+        self.name = name
+        self.value = value
+        self._queue: deque[SimEvent] = deque()
+
+    def post(self, count: int = 1) -> None:
+        if count <= 0:
+            raise SimulationError(f"semaphore post count must be > 0, got {count}")
+        for _ in range(count):
+            if self._queue:
+                self._queue.popleft().trigger(None)
+            else:
+                self.value += 1
+
+    def wait(self) -> Generator[Any, Any, None]:
+        if self.value > 0:
+            self.value -= 1
+            return
+        gate = SimEvent(self.sim, name=f"{self.name}.gate")
+        self._queue.append(gate)
+        yield WaitEvent(gate)
+
+    def try_wait(self) -> bool:
+        if self.value > 0:
+            self.value -= 1
+            return True
+        return False
+
+
+class Store:
+    """Unbounded FIFO channel between processes.
+
+    ``put`` never blocks; ``get`` blocks (in virtual time) until an item is
+    available. Items are delivered in insertion order, one per waiter, in
+    waiter-arrival order.
+    """
+
+    def __init__(self, sim: Simulator, name: str = "store") -> None:
+        self.sim = sim
+        self.name = name
+        self._items: deque[Any] = deque()
+        self._getters: deque[SimEvent] = deque()
+
+    def put(self, item: Any) -> None:
+        if self._getters:
+            self._getters.popleft().trigger(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Generator[Any, Any, Any]:
+        if self._items:
+            return self._items.popleft()
+        gate = SimEvent(self.sim, name=f"{self.name}.get")
+        self._getters.append(gate)
+        item = yield WaitEvent(gate)
+        return item
+
+    def try_get(self) -> tuple[bool, Any]:
+        """Non-blocking get; returns (ok, item)."""
+        if self._items:
+            return True, self._items.popleft()
+        return False, None
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+
+def timeout(sim: Simulator, duration: float) -> Delay:
+    """Readable alias: ``yield timeout(sim, 3.0)``."""
+    return Delay(duration)

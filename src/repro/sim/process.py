@@ -1,0 +1,166 @@
+"""Generator-based processes in virtual time.
+
+A :class:`SimProcess` wraps a Python generator. The generator *yields
+effects* and the kernel resumes it when the effect completes:
+
+``yield Delay(5.0)``
+    resume 5 µs later;
+``yield WaitEvent(ev)``
+    resume when ``ev`` (a :class:`repro.sim.primitives.SimEvent`) triggers;
+    the ``yield`` expression evaluates to the event's value;
+``yield other_process``
+    join: resume when ``other_process`` finishes; evaluates to its return
+    value.
+
+Processes are used directly for network machinery (DMA engines, wire
+deliveries) and tests; application *threads* are a higher-level notion built
+in :mod:`repro.marcel` with CPU placement and preemption, but they reuse the
+same generator protocol.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from ..errors import SimulationError
+from .events import Priority
+from .kernel import Simulator
+
+__all__ = ["Delay", "WaitEvent", "SimProcess"]
+
+
+class Delay:
+    """Effect: suspend the process for ``duration`` virtual µs."""
+
+    __slots__ = ("duration",)
+
+    def __init__(self, duration: float) -> None:
+        if duration < 0:
+            raise SimulationError(f"negative delay: {duration}")
+        self.duration = float(duration)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Delay({self.duration})"
+
+
+class WaitEvent:
+    """Effect: suspend until the given one-shot event triggers."""
+
+    __slots__ = ("event",)
+
+    def __init__(self, event: Any) -> None:
+        self.event = event
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"WaitEvent({self.event!r})"
+
+
+class SimProcess:
+    """A coroutine executing in virtual time.
+
+    Parameters
+    ----------
+    sim:
+        The owning simulator.
+    gen:
+        The generator to drive.
+    name:
+        Diagnostic name (appears in deadlock reports and traces).
+    priority:
+        Event priority used when resuming this process.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        gen: Generator[Any, Any, Any],
+        name: str = "proc",
+        priority: int = Priority.NORMAL,
+    ) -> None:
+        if not hasattr(gen, "send"):
+            raise SimulationError(
+                f"SimProcess requires a generator, got {type(gen).__name__} "
+                "(did you call a plain function?)"
+            )
+        self.sim = sim
+        self.gen = gen
+        self.name = name
+        self.priority = priority
+        self.done = False
+        self.result: Any = None
+        self.error: Optional[BaseException] = None
+        self._started = False
+        # imported lazily to avoid a cycle at module import time
+        from .primitives import SimEvent
+
+        #: triggers (with the return value) when the process finishes
+        self.completion = SimEvent(sim, name=f"{name}.done")
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def start(self, delay: float = 0.0) -> "SimProcess":
+        """Schedule the first step of the process. Returns self."""
+        if self._started:
+            raise SimulationError(f"process {self.name!r} already started")
+        self._started = True
+        self.sim.schedule(delay, self._step, None, priority=self.priority, label=self.name)
+        return self
+
+    @property
+    def started(self) -> bool:
+        return self._started
+
+    @property
+    def blocked(self) -> bool:
+        """Started, not done — used by liveness probes."""
+        return self._started and not self.done
+
+    # -- engine ----------------------------------------------------------------
+
+    def _step(self, send_value: Any) -> None:
+        if self.done:  # pragma: no cover - defensive
+            return
+        try:
+            effect = self.gen.send(send_value)
+        except StopIteration as stop:
+            self._finish(stop.value)
+            return
+        except BaseException as exc:  # noqa: BLE001 - propagate after record
+            self.done = True
+            self.error = exc
+            self.completion.trigger(None)
+            raise
+        self._dispatch(effect)
+
+    def _dispatch(self, effect: Any) -> None:
+        if isinstance(effect, Delay):
+            self.sim.schedule(effect.duration, self._step, None, priority=self.priority, label=self.name)
+        elif isinstance(effect, WaitEvent):
+            effect.event.add_waiter(self._step)
+        elif isinstance(effect, SimProcess):
+            if not effect.started:
+                effect.start()
+            if effect.done:
+                self.sim.call_soon(self._step, effect.result, priority=self.priority, label=self.name)
+            else:
+                effect.completion.add_waiter(lambda _v: self._step(effect.result))
+        else:
+            raise SimulationError(
+                f"process {self.name!r} yielded unsupported effect {effect!r}"
+            )
+
+    def _finish(self, value: Any) -> None:
+        self.done = True
+        self.result = value
+        self.completion.trigger(value)
+
+
+def spawn(
+    sim: Simulator,
+    gen: Generator[Any, Any, Any],
+    name: str = "proc",
+    priority: int = Priority.NORMAL,
+    delay: float = 0.0,
+) -> SimProcess:
+    """Create and immediately start a :class:`SimProcess`."""
+    return SimProcess(sim, gen, name=name, priority=priority).start(delay)

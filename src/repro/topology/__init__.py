@@ -1,0 +1,20 @@
+"""Machine topology model: clusters, nodes, sockets, cores.
+
+The paper's testbed is "two dual quad-core 2.33 GHz XEON boxes"; builders
+for that exact shape (and generic ones) live in :mod:`repro.topology.builder`.
+"""
+
+from .builder import paper_testbed, build_cluster, build_node
+from .machine import Cluster, Core, Node, Socket
+from .numa import NumaModel
+
+__all__ = [
+    "Cluster",
+    "Node",
+    "Socket",
+    "Core",
+    "NumaModel",
+    "build_cluster",
+    "build_node",
+    "paper_testbed",
+]

@@ -1,0 +1,55 @@
+"""Builders for common machine shapes."""
+
+from __future__ import annotations
+
+from ..errors import ConfigError
+from .machine import Cluster, Core, Node, Socket
+
+__all__ = ["build_node", "build_cluster", "paper_testbed"]
+
+
+def build_node(
+    index: int,
+    sockets: int = 2,
+    cores_per_socket: int = 4,
+    ghz: float = 2.33,
+    memory_gib: float = 4.0,
+) -> Node:
+    """Build one node with ``sockets × cores_per_socket`` cores."""
+    if sockets <= 0 or cores_per_socket <= 0:
+        raise ConfigError("sockets and cores_per_socket must be > 0")
+    built: list[Socket] = []
+    core_index = 0
+    for s in range(sockets):
+        cores = tuple(
+            Core(node_index=index, socket_index=s, core_index=core_index + i)
+            for i in range(cores_per_socket)
+        )
+        core_index += cores_per_socket
+        built.append(Socket(node_index=index, socket_index=s, cores=cores))
+    return Node(index=index, sockets=tuple(built), ghz=ghz, memory_gib=memory_gib)
+
+
+def build_cluster(
+    nodes: int = 2,
+    sockets: int = 2,
+    cores_per_socket: int = 4,
+    ghz: float = 2.33,
+    interconnect: str = "mx",
+) -> Cluster:
+    """Build a homogeneous cluster."""
+    if nodes <= 0:
+        raise ConfigError("nodes must be > 0")
+    return Cluster(
+        nodes=tuple(
+            build_node(i, sockets=sockets, cores_per_socket=cores_per_socket, ghz=ghz)
+            for i in range(nodes)
+        ),
+        interconnect=interconnect,
+    )
+
+
+def paper_testbed() -> Cluster:
+    """The exact evaluation platform of §4: two dual quad-core 2.33 GHz Xeon
+    nodes (8 cores each) interconnected by MYRI-10G NICs."""
+    return build_cluster(nodes=2, sockets=2, cores_per_socket=4, ghz=2.33, interconnect="mx")

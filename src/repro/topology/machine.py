@@ -1,0 +1,123 @@
+"""Static topology descriptors.
+
+These classes are *descriptions* only — no behaviour. The Marcel scheduler
+attaches runqueues to cores, the network layer attaches NICs to nodes; the
+descriptors just name the hardware and its shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+
+__all__ = ["Core", "Socket", "Node", "Cluster"]
+
+
+@dataclass(frozen=True)
+class Core:
+    """One hardware core."""
+
+    node_index: int
+    socket_index: int
+    core_index: int  # node-wide index
+
+    @property
+    def name(self) -> str:
+        return f"n{self.node_index}.c{self.core_index}"
+
+    def same_socket(self, other: "Core") -> bool:
+        return (
+            self.node_index == other.node_index
+            and self.socket_index == other.socket_index
+        )
+
+    def same_node(self, other: "Core") -> bool:
+        return self.node_index == other.node_index
+
+
+@dataclass(frozen=True)
+class Socket:
+    """One physical package holding several cores."""
+
+    node_index: int
+    socket_index: int
+    cores: tuple[Core, ...]
+
+    @property
+    def name(self) -> str:
+        return f"n{self.node_index}.s{self.socket_index}"
+
+
+@dataclass(frozen=True)
+class Node:
+    """One cluster node (shared memory domain)."""
+
+    index: int
+    sockets: tuple[Socket, ...]
+    ghz: float = 2.33
+    memory_gib: float = 4.0
+
+    def __post_init__(self) -> None:
+        if not self.sockets:
+            raise ConfigError("a node needs at least one socket")
+        if self.ghz <= 0:
+            raise ConfigError(f"clock must be > 0 GHz, got {self.ghz}")
+
+    @property
+    def name(self) -> str:
+        return f"n{self.index}"
+
+    @property
+    def cores(self) -> tuple[Core, ...]:
+        return tuple(core for sock in self.sockets for core in sock.cores)
+
+    @property
+    def core_count(self) -> int:
+        return sum(len(s.cores) for s in self.sockets)
+
+    def core(self, core_index: int) -> Core:
+        for c in self.cores:
+            if c.core_index == core_index:
+                return c
+        raise ConfigError(f"node {self.index} has no core {core_index}")
+
+
+@dataclass(frozen=True)
+class Cluster:
+    """A set of nodes connected by the interconnect fabric."""
+
+    nodes: tuple[Node, ...]
+    interconnect: str = "mx"
+
+    def __post_init__(self) -> None:
+        if not self.nodes:
+            raise ConfigError("a cluster needs at least one node")
+        seen: set[int] = set()
+        for node in self.nodes:
+            if node.index in seen:
+                raise ConfigError(f"duplicate node index {node.index}")
+            seen.add(node.index)
+
+    @property
+    def node_count(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def total_cores(self) -> int:
+        return sum(n.core_count for n in self.nodes)
+
+    def node(self, index: int) -> Node:
+        for n in self.nodes:
+            if n.index == index:
+                return n
+        raise ConfigError(f"no node with index {index}")
+
+    def describe(self) -> str:
+        """Human-readable one-line summary (README / harness banners)."""
+        n0 = self.nodes[0]
+        return (
+            f"{self.node_count} node(s) × {len(n0.sockets)} socket(s) × "
+            f"{len(n0.sockets[0].cores)} core(s) @ {n0.ghz} GHz, "
+            f"interconnect={self.interconnect}"
+        )

@@ -1,0 +1,53 @@
+"""NUMA / cache-locality penalty model.
+
+§2.2 of the paper notes offloading "may increase the latency (because of
+cache effects for instance)": when the submission tasklet runs on a core
+other than the one that produced the data, the payload's cache lines must
+migrate. This model charges a multiplicative memcpy penalty depending on
+the distance between producer core and submitting core:
+
+* same core      → 1.0 (cache hot)
+* same socket    → ``same_socket_factor`` (shared L2/L3)
+* cross socket   → ``cross_socket_factor`` (FSB/QPI transfer)
+* cross node     → not applicable (handled by the network layer)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+from .machine import Core
+
+__all__ = ["NumaModel"]
+
+
+@dataclass(frozen=True)
+class NumaModel:
+    same_socket_factor: float = 1.15
+    cross_socket_factor: float = 1.4
+
+    def __post_init__(self) -> None:
+        if self.same_socket_factor < 1.0 or self.cross_socket_factor < 1.0:
+            raise ConfigError("NUMA penalty factors must be >= 1.0")
+        if self.cross_socket_factor < self.same_socket_factor:
+            raise ConfigError(
+                "cross-socket penalty must be >= same-socket penalty"
+            )
+
+    def copy_factor(self, producer: Core | None, executor: Core) -> float:
+        """Memcpy slowdown when ``executor`` touches data produced on
+        ``producer``. ``producer=None`` means unknown/cold → same-socket
+        assumption is conservative."""
+        if producer is None:
+            return self.same_socket_factor
+        if not producer.same_node(executor):
+            raise ConfigError(
+                f"copy_factor across nodes ({producer.name} → {executor.name}) "
+                "is meaningless; use the network layer"
+            )
+        if producer.core_index == executor.core_index:
+            return 1.0
+        if producer.same_socket(executor):
+            return self.same_socket_factor
+        return self.cross_socket_factor

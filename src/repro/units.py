@@ -1,0 +1,171 @@
+"""Unit helpers: sizes in bytes, virtual time in microseconds.
+
+The whole simulator uses two scalar units:
+
+* **time** — virtual microseconds, stored as ``float``;
+* **size** — bytes, stored as ``int``.
+
+This module provides readable constructors (``KiB(32)``, ``MiB(1)``,
+``ms(2)``), parsers for human-friendly strings (``parse_size("32K")``,
+``parse_time("1.5ms")``), and formatters used by the report layer
+(``fmt_size(32768) == "32K"``).
+"""
+
+from __future__ import annotations
+
+import re
+
+from .errors import ConfigError
+
+__all__ = [
+    "KiB",
+    "MiB",
+    "GiB",
+    "us",
+    "ms",
+    "seconds",
+    "GiB_per_s",
+    "MiB_per_s",
+    "bytes_per_us",
+    "parse_size",
+    "parse_time",
+    "fmt_size",
+    "fmt_time",
+]
+
+# ---------------------------------------------------------------------------
+# constructors
+# ---------------------------------------------------------------------------
+
+
+def KiB(n: float) -> int:
+    """``n`` kibibytes as an integer byte count."""
+    return int(n * 1024)
+
+
+def MiB(n: float) -> int:
+    """``n`` mebibytes as an integer byte count."""
+    return int(n * 1024 * 1024)
+
+
+def GiB(n: float) -> int:
+    """``n`` gibibytes as an integer byte count."""
+    return int(n * 1024 * 1024 * 1024)
+
+
+def us(n: float) -> float:
+    """``n`` microseconds (identity; exists for call-site readability)."""
+    return float(n)
+
+
+def ms(n: float) -> float:
+    """``n`` milliseconds in microseconds."""
+    return float(n) * 1e3
+
+
+def seconds(n: float) -> float:
+    """``n`` seconds in microseconds."""
+    return float(n) * 1e6
+
+
+def GiB_per_s(bw: float) -> float:
+    """Convert a bandwidth in GiB/s to bytes per microsecond."""
+    return bw * (1024.0**3) / 1e6
+
+
+def MiB_per_s(bw: float) -> float:
+    """Convert a bandwidth in MiB/s to bytes per microsecond."""
+    return bw * (1024.0**2) / 1e6
+
+
+def bytes_per_us(bw: float) -> float:
+    """Identity helper naming the internal bandwidth unit."""
+    return float(bw)
+
+
+# ---------------------------------------------------------------------------
+# parsing
+# ---------------------------------------------------------------------------
+
+_SIZE_RE = re.compile(r"^\s*([0-9]*\.?[0-9]+)\s*([KMG]i?B?|B)?\s*$", re.IGNORECASE)
+
+_SIZE_MULT = {
+    "": 1,
+    "B": 1,
+    "K": 1024,
+    "KB": 1024,
+    "KIB": 1024,
+    "M": 1024**2,
+    "MB": 1024**2,
+    "MIB": 1024**2,
+    "G": 1024**3,
+    "GB": 1024**3,
+    "GIB": 1024**3,
+}
+
+
+def parse_size(text: str | int) -> int:
+    """Parse ``"32K"``, ``"1.5MiB"``, ``"128"`` … into a byte count.
+
+    Integers pass through unchanged. Suffixes are binary (K = 1024) as is
+    conventional for message sizes in the MPI literature the paper uses.
+    """
+    if isinstance(text, int):
+        if text < 0:
+            raise ConfigError(f"negative size: {text}")
+        return text
+    m = _SIZE_RE.match(str(text))
+    if not m:
+        raise ConfigError(f"unparsable size: {text!r}")
+    value, suffix = m.group(1), (m.group(2) or "").upper()
+    try:
+        mult = _SIZE_MULT[suffix]
+    except KeyError:  # pragma: no cover - regex restricts suffixes
+        raise ConfigError(f"unknown size suffix in {text!r}") from None
+    return int(float(value) * mult)
+
+
+_TIME_RE = re.compile(r"^\s*([0-9]*\.?[0-9]+)\s*(us|µs|ms|s)?\s*$", re.IGNORECASE)
+
+# note: lowercase keys — "µ".upper() is the Greek capital Mu, so upper-
+# casing the suffix would miss the µs entry
+_TIME_MULT = {"": 1.0, "us": 1.0, "µs": 1.0, "ms": 1e3, "s": 1e6}
+
+
+def parse_time(text: str | float | int) -> float:
+    """Parse ``"20us"``, ``"1.5ms"``, ``"2s"``, ``100`` … into microseconds."""
+    if isinstance(text, (int, float)):
+        if text < 0:
+            raise ConfigError(f"negative time: {text}")
+        return float(text)
+    m = _TIME_RE.match(str(text))
+    if not m:
+        raise ConfigError(f"unparsable time: {text!r}")
+    value, suffix = m.group(1), (m.group(2) or "").lower()
+    return float(value) * _TIME_MULT[suffix]
+
+
+# ---------------------------------------------------------------------------
+# formatting
+# ---------------------------------------------------------------------------
+
+
+def fmt_size(nbytes: int) -> str:
+    """Format a byte count the way the paper labels its x-axes (1K, 32K…)."""
+    if nbytes < 0:
+        raise ConfigError(f"negative size: {nbytes}")
+    for mult, suffix in ((1024**3, "G"), (1024**2, "M"), (1024, "K")):
+        if nbytes >= mult and nbytes % mult == 0:
+            return f"{nbytes // mult}{suffix}"
+        if nbytes >= mult:
+            return f"{nbytes / mult:.1f}{suffix}"
+    return f"{nbytes}"
+
+
+def fmt_time(usec: float) -> str:
+    """Format microseconds compactly (``"12.3µs"``, ``"1.50ms"``)."""
+    if usec < 1e3:
+        return f"{usec:.1f}µs"
+    if usec < 1e6:
+        return f"{usec / 1e3:.2f}ms"
+    return f"{usec / 1e6:.3f}s"

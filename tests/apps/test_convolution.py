@@ -1,0 +1,82 @@
+"""Tests for the convolution meta-application."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.convolution import ConvolutionConfig, run_convolution
+from repro.config import EngineKind
+from repro.errors import HarnessError
+from repro.units import KiB
+
+
+class TestConfig:
+    def test_grid_geometry(self):
+        cfg = ConvolutionConfig(grid_rows=4, grid_cols=4)
+        assert cfg.total_threads == 16
+        assert cfg.threads_per_node == 8
+
+    def test_node_split_by_columns(self):
+        cfg = ConvolutionConfig(grid_rows=2, grid_cols=4)
+        assert cfg.node_of(0, 0) == 0
+        assert cfg.node_of(0, 1) == 0
+        assert cfg.node_of(0, 2) == 1
+        assert cfg.node_of(1, 3) == 1
+
+    def test_neighbors_interior_and_corner(self):
+        cfg = ConvolutionConfig(grid_rows=4, grid_cols=4)
+        assert len(cfg.neighbors(0, 0)) == 2  # corner
+        assert len(cfg.neighbors(1, 1)) == 4  # interior
+        assert len(cfg.neighbors(0, 1)) == 3  # edge
+
+    def test_odd_columns_rejected(self):
+        with pytest.raises(HarnessError, match="even"):
+            ConvolutionConfig(grid_cols=3)
+
+    def test_msg_must_stay_below_rdv(self):
+        with pytest.raises(HarnessError, match="rendezvous"):
+            ConvolutionConfig(msg_size=KiB(64))
+
+    def test_too_many_threads_rejected(self):
+        cfg = ConvolutionConfig(grid_rows=8, grid_cols=4)  # 16/node > 8 cores
+        with pytest.raises(HarnessError, match="exceed"):
+            run_convolution(cfg)
+
+
+class TestRun:
+    def test_counts_intra_and_inter_messages(self):
+        cfg = ConvolutionConfig(engine=EngineKind.PIOMAN, grid_rows=2, grid_cols=2)
+        res = run_convolution(cfg)
+        # 2×2 grid: each thread has 2 neighbours → 8 sends; the column
+        # boundary splits vertically: 4 inter-node, 4 intra-node
+        assert res.inter_node_messages == 4
+        assert res.intra_node_messages == 4
+
+    def test_offloading_beats_baseline(self):
+        results = {}
+        for engine in (EngineKind.SEQUENTIAL, EngineKind.PIOMAN):
+            res = run_convolution(ConvolutionConfig(engine=engine))
+            results[engine] = res.exec_time_us
+        assert results[EngineKind.PIOMAN] < results[EngineKind.SEQUENTIAL]
+
+    def test_multiple_iterations_scale_time(self):
+        one = run_convolution(ConvolutionConfig(engine=EngineKind.PIOMAN, iterations=1))
+        three = run_convolution(ConvolutionConfig(engine=EngineKind.PIOMAN, iterations=3))
+        assert three.exec_time_us > 2.0 * one.exec_time_us
+        assert three.per_iteration_us == pytest.approx(
+            three.exec_time_us / 3
+        )
+
+    def test_4x4_grid_runs(self):
+        res = run_convolution(
+            ConvolutionConfig(engine=EngineKind.PIOMAN, grid_rows=4, grid_cols=4)
+        )
+        assert res.exec_time_us > 0
+        # 16 threads × 4-neighbourhood: 2*(rows-1)*cols vertical +
+        # 2*rows*(cols-1) horizontal = 24+24 = 48 messages
+        assert res.inter_node_messages + res.intra_node_messages == 48
+
+    def test_stats_captured(self):
+        res = run_convolution(ConvolutionConfig(engine=EngineKind.PIOMAN))
+        assert res.stats["engine"] == EngineKind.PIOMAN
+        assert "n0.sched" in res.stats

@@ -1,0 +1,77 @@
+"""Tests for the overlap microbenchmark application."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.overlap import OverlapConfig, OverlapResult, run_overlap
+from repro.config import EngineKind
+from repro.errors import HarnessError
+from repro.units import KiB
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        OverlapConfig()
+
+    def test_engine_validated(self):
+        with pytest.raises(Exception):
+            OverlapConfig(engine="warp")
+
+    def test_iterations_positive(self):
+        with pytest.raises(HarnessError):
+            OverlapConfig(iterations=0)
+
+    def test_warmup_bounds(self):
+        with pytest.raises(HarnessError):
+            OverlapConfig(iterations=5, warmup=5)
+        with pytest.raises(HarnessError):
+            OverlapConfig(warmup=-1)
+
+    def test_negative_params_rejected(self):
+        with pytest.raises(HarnessError):
+            OverlapConfig(size=-1)
+        with pytest.raises(HarnessError):
+            OverlapConfig(compute_us=-1)
+
+
+class TestRun:
+    def test_collects_expected_samples(self):
+        cfg = OverlapConfig(iterations=10, warmup=3)
+        res = run_overlap(cfg)
+        assert len(res.sender_times) == 7
+        assert len(res.receiver_times) == 7
+        assert res.total_us > 0
+
+    def test_no_compute_measures_comm_only(self):
+        res = run_overlap(OverlapConfig(engine=EngineKind.SEQUENTIAL, compute_us=0, size=KiB(4)))
+        # pure-communication time is single-digit µs for 4K
+        assert 1.0 < res.per_iteration_us < 15.0
+
+    def test_sum_vs_max_shapes(self):
+        """The paper's core claim at one point: baseline=sum, pioman=max."""
+        size, compute = KiB(8), 20.0
+        ref = run_overlap(OverlapConfig(engine=EngineKind.SEQUENTIAL, size=size, compute_us=0))
+        base = run_overlap(OverlapConfig(engine=EngineKind.SEQUENTIAL, size=size, compute_us=compute))
+        piom = run_overlap(OverlapConfig(engine=EngineKind.PIOMAN, size=size, compute_us=compute))
+        assert base.per_iteration_us == pytest.approx(ref.per_iteration_us + compute, rel=0.12)
+        assert piom.per_iteration_us == pytest.approx(
+            max(ref.per_iteration_us, compute), abs=3.0
+        )
+
+    def test_steady_state_stability(self):
+        """Post-warmup iterations must be near-constant (steady state)."""
+        res = run_overlap(OverlapConfig(engine=EngineKind.PIOMAN, iterations=20, warmup=5))
+        times = res.sender_times
+        assert max(times) - min(times) < 0.2 * max(times)
+
+    def test_per_iteration_is_sender_mean(self):
+        res = OverlapResult(config=OverlapConfig())
+        res.sender_times = [10.0, 20.0]
+        res.receiver_times = [100.0]
+        assert res.per_iteration_us == 15.0
+        assert res.receiver_mean_us == 100.0
+
+    def test_empty_means_are_zero(self):
+        res = OverlapResult(config=OverlapConfig())
+        assert res.per_iteration_us == 0.0

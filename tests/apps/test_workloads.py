@@ -1,0 +1,62 @@
+"""Tests for synthetic workload generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.workloads import Phase, irregular_phases, master_worker_plan, uniform_phases
+from repro.errors import HarnessError
+
+
+def test_uniform_phases():
+    phases = uniform_phases(5, compute_us=10.0, msg_size=2048)
+    assert len(phases) == 5
+    assert all(p.compute_us == 10.0 and p.msg_size == 2048 for p in phases)
+
+
+def test_uniform_validation():
+    with pytest.raises(HarnessError):
+        uniform_phases(0, 1.0, 1)
+
+
+def test_phase_validation():
+    with pytest.raises(HarnessError):
+        Phase(compute_us=-1.0, msg_size=1)
+    with pytest.raises(HarnessError):
+        Phase(compute_us=1.0, msg_size=-1)
+
+
+def test_irregular_deterministic_per_seed():
+    a = irregular_phases(20, seed=3)
+    b = irregular_phases(20, seed=3)
+    c = irregular_phases(20, seed=4)
+    assert [(p.compute_us, p.msg_size) for p in a] == [(p.compute_us, p.msg_size) for p in b]
+    assert a[0].compute_us != c[0].compute_us
+
+
+def test_irregular_bounds_respected():
+    phases = irregular_phases(100, min_msg=512, max_msg=1024, seed=1)
+    assert all(512 <= p.msg_size <= 1024 for p in phases)
+    assert all(p.compute_us > 0 for p in phases)
+
+
+def test_irregular_mean_roughly_respected():
+    import numpy as np
+
+    phases = irregular_phases(2000, mean_compute_us=50.0, seed=0)
+    mean = np.mean([p.compute_us for p in phases])
+    assert 40.0 < mean < 60.0
+
+
+def test_irregular_validation():
+    with pytest.raises(HarnessError):
+        irregular_phases(0)
+    with pytest.raises(HarnessError):
+        irregular_phases(5, min_msg=100, max_msg=50)
+
+
+def test_master_worker_plan():
+    plan = master_worker_plan(workers=3, tasks=12)
+    assert plan["workers"] == 3 and plan["tasks"] == 12
+    with pytest.raises(HarnessError):
+        master_worker_plan(0, 1)

@@ -1,0 +1,73 @@
+"""Bounded runs: run(until), resuming, and max_events guards."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import EngineKind
+from repro.errors import SimulationError
+from repro.harness.runner import ClusterRuntime
+from repro.units import KiB
+
+
+def _workload(rt, out):
+    def sender(ctx):
+        nm = ctx.env["nm"]
+        req = yield from nm.isend(ctx, 1, 0, KiB(8), payload="p")
+        yield ctx.compute(50.0)
+        yield from nm.swait(ctx, req)
+        out["send_done"] = ctx.now
+
+    def receiver(ctx):
+        nm = ctx.env["nm"]
+        req = yield from nm.recv(ctx, 0, 0, KiB(8))
+        out["recv_done"] = ctx.now
+
+    rt.spawn(0, sender, name="S")
+    rt.spawn(1, receiver, name="R")
+
+
+def test_run_until_pauses_then_resumes():
+    rt = ClusterRuntime.build(engine=EngineKind.PIOMAN)
+    out: dict = {}
+    _workload(rt, out)
+    t = rt.run(until=10.0)
+    assert t == 10.0
+    assert "send_done" not in out  # mid-flight
+    rt.run()
+    assert out["send_done"] >= 50.0
+    assert "recv_done" in out
+
+
+def test_multiple_resume_steps_agree_with_single_run():
+    def final_time(step: float | None) -> float:
+        rt = ClusterRuntime.build(engine=EngineKind.PIOMAN)
+        out: dict = {}
+        _workload(rt, out)
+        if step is None:
+            return rt.run()
+        t = 0.0
+        while rt.sim.pending_count() > 0:
+            t = rt.run(until=rt.sim.now + step)
+        return out["send_done"]
+
+    single = final_time(None)
+    # stepping the simulation must not change its outcome
+    rt = ClusterRuntime.build(engine=EngineKind.PIOMAN)
+    out: dict = {}
+    _workload(rt, out)
+    while rt.sim.pending_count() > 0:
+        rt.run(until=rt.sim.now + 7.0)
+    assert out["send_done"] == pytest.approx(single)
+
+
+def test_max_events_guard_trips_on_runaway():
+    rt = ClusterRuntime.build(engine=EngineKind.PIOMAN)
+
+    def ticker(ctx):
+        while True:
+            yield ctx.sleep(0.1)
+
+    rt.spawn(0, ticker, name="ticker")
+    with pytest.raises(SimulationError, match="max_events"):
+        rt.run(max_events=500)

@@ -1,0 +1,144 @@
+"""Tests for cluster assembly and program execution."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import EngineKind
+from repro.errors import HarnessError
+from repro.harness.runner import ClusterRuntime
+from repro.nmad.progress import SequentialEngine
+from repro.pioman.engine import PiomanEngine
+
+
+class TestBuild:
+    def test_default_is_paper_testbed(self):
+        rt = ClusterRuntime.build()
+        assert len(rt.nodes) == 2
+        assert len(rt.node(0).scheduler.cores) == 8
+        assert rt.cluster.interconnect == "mx"
+
+    def test_engine_selection(self):
+        assert isinstance(ClusterRuntime.build(engine="pioman").node(0).engine, PiomanEngine)
+        assert isinstance(
+            ClusterRuntime.build(engine="sequential").node(0).engine, SequentialEngine
+        )
+
+    def test_invalid_engine_rejected(self):
+        with pytest.raises(Exception):
+            ClusterRuntime.build(engine="magic")
+
+    def test_invalid_rails_rejected(self):
+        with pytest.raises(HarnessError):
+            ClusterRuntime.build(rails=0)
+
+    def test_invalid_interconnect_rejected(self):
+        with pytest.raises(HarnessError):
+            ClusterRuntime.build(interconnect="carrier-pigeon")
+
+    def test_gates_fully_wired(self):
+        rt = ClusterRuntime.build(nodes=3)
+        for nrt in rt.nodes:
+            assert sorted(nrt.session.gates) == [0, 1, 2]  # incl. self (shm)
+
+    def test_multirail_attaches_n_nics(self):
+        rt = ClusterRuntime.build(rails=2)
+        assert len(rt.node(0).nics) == 2
+        gate = rt.node(0).session.gate_to(1)
+        assert len(gate.rails) == 2
+
+    def test_self_gate_uses_shm(self):
+        rt = ClusterRuntime.build()
+        gate = rt.node(0).session.gate_to(0)
+        assert gate.rails[0].name == "shm"
+
+    def test_node_lookup_bounds(self):
+        rt = ClusterRuntime.build()
+        with pytest.raises(HarnessError):
+            rt.node(5)
+
+
+class TestRun:
+    def test_spawn_env_bindings(self):
+        rt = ClusterRuntime.build()
+        seen = {}
+
+        def body(ctx):
+            seen["nm"] = ctx.env["nm"]
+            seen["node"] = ctx.env["node"]
+            seen["runtime"] = ctx.env["runtime"]
+            yield ctx.compute(1.0)
+
+        rt.spawn(1, body)
+        rt.run()
+        assert seen["node"] == 1
+        assert seen["nm"] is rt.interface(1)
+        assert seen["runtime"] is rt
+
+    def test_custom_env_merged(self):
+        rt = ClusterRuntime.build()
+        seen = {}
+
+        def body(ctx):
+            seen["extra"] = ctx.env["extra"]
+            yield ctx.compute(1.0)
+
+        rt.spawn(0, body, env={"extra": 99})
+        rt.run()
+        assert seen["extra"] == 99
+
+    def test_total_stats_structure(self):
+        rt = ClusterRuntime.build()
+
+        def body(ctx):
+            yield ctx.compute(5.0)
+
+        rt.spawn(0, body)
+        rt.run()
+        stats = rt.total_stats()
+        assert stats["engine"] == EngineKind.PIOMAN
+        assert stats["time_us"] == pytest.approx(5.0)
+        assert "n0.sched" in stats and "n1.session" in stats
+
+    def test_tcp_interconnect_works_end_to_end(self):
+        rt = ClusterRuntime.build(engine="pioman", interconnect="tcp")
+        out = {}
+
+        def sender(ctx):
+            nm = ctx.env["nm"]
+            req = yield from nm.isend(ctx, 1, 0, 4096, payload="over-tcp")
+            yield from nm.swait(ctx, req)
+
+        def receiver(ctx):
+            nm = ctx.env["nm"]
+            req = yield from nm.recv(ctx, 0, 0, 4096)
+            out["data"] = req.data
+            out["t"] = ctx.now
+
+        rt.spawn(0, sender)
+        rt.spawn(1, receiver)
+        rt.run()
+        assert out["data"] == "over-tcp"
+        # gigabit-ethernet latency: much slower than MX
+        assert out["t"] > 25.0
+
+    def test_tcp_rendezvous_without_zero_copy(self):
+        rt = ClusterRuntime.build(engine="pioman", interconnect="tcp")
+        out = {}
+
+        def sender(ctx):
+            nm = ctx.env["nm"]
+            req = yield from nm.isend(ctx, 1, 0, 128 * 1024, payload="big")
+            out["req"] = req
+            yield from nm.swait(ctx, req)
+
+        def receiver(ctx):
+            nm = ctx.env["nm"]
+            req = yield from nm.recv(ctx, 0, 0, 128 * 1024)
+            out["data"] = req.data
+
+        rt.spawn(0, sender)
+        rt.spawn(1, receiver)
+        rt.run()
+        assert out["data"] == "big"
+        assert out["req"].protocol == "rdv"

@@ -1,0 +1,86 @@
+"""Tests for the latency statistics collector."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import EngineKind
+from repro.errors import HarnessError
+from repro.harness.runner import ClusterRuntime
+from repro.harness.stats import LatencyCollector
+from repro.units import KiB
+
+
+def _run_with_collector(kind="recv", tag=None, n=6):
+    rt = ClusterRuntime.build(engine=EngineKind.PIOMAN)
+    collector = LatencyCollector(rt.node(1).session, kind=kind, tag=tag)
+
+    def sender(ctx):
+        nm = ctx.env["nm"]
+        reqs = []
+        for i in range(n):
+            r = yield from nm.isend(ctx, 1, i % 2, KiB(1) * (1 + i), payload=i)
+            reqs.append(r)
+            yield ctx.compute(10.0)
+        yield from nm.wait_all(ctx, reqs)
+
+    def receiver(ctx):
+        nm = ctx.env["nm"]
+        for i in range(n):
+            req = yield from nm.recv(ctx, 0, i % 2, KiB(16))
+
+    rt.spawn(0, sender)
+    rt.spawn(1, receiver)
+    rt.run()
+    return collector
+
+
+def test_collects_recv_latencies():
+    c = _run_with_collector()
+    assert len(c) == 6
+    assert all(lat > 0 for lat in c.latencies_us)
+
+
+def test_summary_percentile_ordering():
+    s = _run_with_collector().summary()
+    assert s.count == 6
+    assert s.p50_us <= s.p95_us <= s.p99_us <= s.max_us
+    assert s.mean_us > 0
+    assert "p95" in s.format()
+
+
+def test_tag_filter():
+    c = _run_with_collector(tag=0)
+    assert len(c) == 3
+
+
+def test_kind_filter_send():
+    rt = ClusterRuntime.build(engine=EngineKind.PIOMAN)
+    c = LatencyCollector(rt.node(0).session, kind="send")
+
+    def sender(ctx):
+        nm = ctx.env["nm"]
+        req = yield from nm.isend(ctx, 1, 0, KiB(2))
+        yield from nm.swait(ctx, req)
+
+    def receiver(ctx):
+        nm = ctx.env["nm"]
+        yield from nm.recv(ctx, 0, 0, KiB(2))
+
+    rt.spawn(0, sender)
+    rt.spawn(1, receiver)
+    rt.run()
+    assert len(c) == 1
+
+
+def test_invalid_kind_rejected():
+    rt = ClusterRuntime.build()
+    with pytest.raises(HarnessError):
+        LatencyCollector(rt.node(0).session, kind="sideways")
+
+
+def test_empty_summary_rejected():
+    rt = ClusterRuntime.build()
+    c = LatencyCollector(rt.node(0).session)
+    with pytest.raises(HarnessError, match="no completed"):
+        c.summary()

@@ -1,0 +1,107 @@
+"""Tests for timeline analysis and Gantt rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import EngineKind
+from repro.errors import HarnessError
+from repro.harness.runner import ClusterRuntime
+from repro.harness.timeline import (
+    _intersection_us,
+    _merge_intervals,
+    node_utilization,
+    overlap_ratio,
+    render_gantt,
+)
+from repro.sim.tracing import CoreTimeline
+from repro.units import KiB
+
+
+class TestIntervalMath:
+    def test_merge_overlapping(self):
+        assert _merge_intervals([(0, 2), (1, 3), (5, 6)]) == [(0, 3), (5, 6)]
+
+    def test_merge_adjacent(self):
+        assert _merge_intervals([(0, 1), (1, 2)]) == [(0, 2)]
+
+    def test_merge_empty(self):
+        assert _merge_intervals([]) == []
+
+    def test_intersection(self):
+        a = [(0.0, 10.0), (20.0, 30.0)]
+        b = [(5.0, 25.0)]
+        assert _intersection_us(a, b) == pytest.approx(10.0)
+
+    def test_intersection_disjoint(self):
+        assert _intersection_us([(0, 1)], [(2, 3)]) == 0.0
+
+
+class TestUtilization:
+    def _run(self, engine):
+        rt = ClusterRuntime.build(engine=engine)
+
+        def sender(ctx):
+            nm = ctx.env["nm"]
+            req = yield from nm.isend(ctx, 1, 0, KiB(32))
+            yield ctx.compute(40.0)
+            yield from nm.swait(ctx, req)
+
+        def receiver(ctx):
+            nm = ctx.env["nm"]
+            yield from nm.recv(ctx, 0, 0, KiB(32))
+
+        rt.spawn(0, sender, core_index=0)
+        rt.spawn(1, receiver)
+        rt.run()
+        return rt
+
+    def test_report_totals_match_scheduler_stats(self):
+        rt = self._run(EngineKind.PIOMAN)
+        sched = rt.node(0).scheduler
+        util = node_utilization(sched)
+        stats = sched.stats()
+        assert util.busy_us == pytest.approx(stats["busy_us"])
+        assert util.service_us == pytest.approx(stats["service_us"])
+        assert util.format()  # renders
+
+    def test_overlap_ratio_higher_under_pioman(self):
+        """The metric captures the paper's claim: the multithreaded engine
+        overlaps its service with computation; the baseline serializes it
+        on the same (single) thread."""
+        r_piom = overlap_ratio(self._run(EngineKind.PIOMAN).node(0).scheduler)
+        r_seq = overlap_ratio(self._run(EngineKind.SEQUENTIAL).node(0).scheduler)
+        assert r_piom > r_seq
+
+    def test_overlap_ratio_bounds(self):
+        for engine in (EngineKind.SEQUENTIAL, EngineKind.PIOMAN):
+            r = overlap_ratio(self._run(engine).node(0).scheduler)
+            assert 0.0 <= r <= 1.0
+
+    def test_empty_scheduler_ratio_zero(self, scheduler):
+        assert overlap_ratio(scheduler) == 0.0
+
+
+class TestGantt:
+    def test_renders_all_kinds(self):
+        tl = CoreTimeline("n0.c0")
+        tl.add(0.0, 10.0, "busy")
+        tl.add(10.0, 12.0, "service")
+        tl.add(12.0, 20.0, "idle")
+        out = render_gantt([tl], width=40)
+        assert "█" in out and "▒" in out and "·" in out
+        assert "n0.c0" in out
+        assert "compute" in out  # legend
+
+    def test_empty_timeline(self):
+        assert "empty" in render_gantt([CoreTimeline("c0")])
+
+    def test_width_validated(self):
+        with pytest.raises(HarnessError):
+            render_gantt([CoreTimeline("c0")], width=0)
+
+    def test_window_clipping(self):
+        tl = CoreTimeline("c0")
+        tl.add(0.0, 100.0, "busy")
+        out = render_gantt([tl], width=20, t_start=0.0, t_end=50.0)
+        assert "t=50µs" in out

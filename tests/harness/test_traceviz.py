@@ -1,0 +1,83 @@
+"""Tests for the Chrome-trace exporter."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.config import EngineKind
+from repro.errors import HarnessError
+from repro.harness.runner import ClusterRuntime
+from repro.harness.traceviz import chrome_trace_events, export_chrome_trace
+from repro.sim.tracing import Tracer
+from repro.units import KiB
+
+
+@pytest.fixture
+def finished_run():
+    tracer = Tracer()
+    rt = ClusterRuntime.build(engine=EngineKind.PIOMAN, tracer=tracer)
+
+    def sender(ctx):
+        nm = ctx.env["nm"]
+        req = yield from nm.isend(ctx, 1, 0, KiB(16))
+        yield ctx.compute(30.0)
+        yield from nm.swait(ctx, req)
+
+    def receiver(ctx):
+        nm = ctx.env["nm"]
+        yield from nm.recv(ctx, 0, 0, KiB(16))
+
+    rt.spawn(0, sender, name="S")
+    rt.spawn(1, receiver, name="R")
+    rt.run()
+    return rt
+
+
+def test_events_have_chrome_schema(finished_run):
+    events = chrome_trace_events(finished_run)
+    assert events
+    phases = {e["ph"] for e in events}
+    assert "X" in phases  # duration spans
+    assert "M" in phases  # metadata (names)
+    for e in events:
+        assert "pid" in e
+        if e["ph"] == "X":
+            assert e["dur"] >= 0
+            assert e["name"] in ("compute", "comm-service")
+
+
+def test_spans_cover_compute_and_service(finished_run):
+    events = chrome_trace_events(finished_run)
+    names = {e["name"] for e in events if e["ph"] == "X"}
+    assert names == {"compute", "comm-service"}
+    compute_total = sum(e["dur"] for e in events if e.get("name") == "compute")
+    assert compute_total == pytest.approx(30.0, abs=1.0)
+
+
+def test_protocol_instants_included_with_tracer(finished_run):
+    events = chrome_trace_events(finished_run)
+    instants = [e for e in events if e["ph"] == "i"]
+    assert any(e["name"].startswith("nmad.") for e in instants)
+
+
+def test_export_writes_valid_json(finished_run):
+    buf = io.StringIO()
+    n = export_chrome_trace(finished_run, buf)
+    doc = json.loads(buf.getvalue())
+    assert len(doc["traceEvents"]) == n
+
+
+def test_export_to_path(finished_run, tmp_path):
+    path = tmp_path / "trace.json"
+    n = export_chrome_trace(finished_run, str(path))
+    doc = json.loads(path.read_text())
+    assert len(doc["traceEvents"]) == n
+
+
+def test_export_empty_run_rejected():
+    rt = ClusterRuntime.build()  # never ran: no spans, only metadata
+    with pytest.raises(HarnessError, match="nothing to export"):
+        export_chrome_trace(rt, io.StringIO())

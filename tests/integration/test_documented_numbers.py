@@ -1,0 +1,72 @@
+"""Regression pins: the numbers published in EXPERIMENTS.md stay true.
+
+The simulation is deterministic, so the documented tables can be pinned
+tightly. If a calibration or engine change moves them, this test fails —
+update EXPERIMENTS.md (and README) together with the change.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.experiments import (
+    experiment_fig5,
+    experiment_fig6,
+    experiment_table1,
+)
+from repro.units import KiB
+
+# EXPERIMENTS.md — Figure 5 (size → (reference, no offloading, offloading))
+FIG5_DOC = {
+    KiB(1): (2.7, 22.7, 20.2),
+    KiB(2): (4.0, 24.0, 20.2),
+    KiB(4): (6.5, 26.5, 20.2),
+    KiB(8): (11.6, 31.6, 20.2),
+    KiB(16): (21.8, 41.8, 23.9),
+    KiB(32): (42.1, 62.1, 44.2),
+}
+
+# EXPERIMENTS.md — Figure 6 (size → (no RDV, RDV, reference))
+FIG6_DOC = {
+    KiB(8): (111.6, 100.2, 11.6),
+    KiB(32): (142.1, 100.2, 42.1),
+    KiB(128): (230.3, 133.1, 130.9),
+    KiB(512): (596.5, 499.3, 497.1),
+}
+
+# EXPERIMENTS.md — Table 1
+TABLE1_DOC = {
+    "4 threads": (431.0, 373.0),
+    "16 threads": (1164.0, 1010.0),
+}
+
+
+def test_fig5_documented_values():
+    fig = experiment_fig5()
+    for size, (ref, base, piom) in FIG5_DOC.items():
+        i = fig.x_values.index(size)
+        assert fig.series["No computation (reference)"][i] == pytest.approx(ref, abs=0.15)
+        assert fig.series["No copy offloading"][i] == pytest.approx(base, abs=0.15)
+        assert fig.series["copy offloading"][i] == pytest.approx(piom, abs=0.15)
+
+
+def test_fig6_documented_values():
+    fig = experiment_fig6()
+    for size, (base, piom, ref) in FIG6_DOC.items():
+        i = fig.x_values.index(size)
+        assert fig.series["No RDV progression"][i] == pytest.approx(base, abs=0.2)
+        assert fig.series["RDV progression"][i] == pytest.approx(piom, abs=0.2)
+        assert fig.series["No computation (reference)"][i] == pytest.approx(ref, abs=0.2)
+
+
+def test_table1_documented_values():
+    table = experiment_table1()
+    for row in table.rows:
+        doc_base, doc_piom = TABLE1_DOC[row["label"]]
+        assert row["no_offloading_us"] == pytest.approx(doc_base, abs=1.5)
+        assert row["offloading_us"] == pytest.approx(doc_piom, abs=1.5)
+
+
+def test_documented_crossovers():
+    assert experiment_fig5().crossover_size() == KiB(16)
+    assert experiment_fig6().crossover_size() == KiB(128)

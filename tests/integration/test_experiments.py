@@ -1,0 +1,99 @@
+"""Integration tests: the paper's experiments reproduce the right shapes.
+
+These are the repository's headline regression tests; the benchmark suite
+re-runs them with full iteration counts and prints the tables.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.experiments import (
+    experiment_fig5,
+    experiment_fig6,
+    experiment_table1,
+)
+from repro.units import KiB
+
+
+@pytest.fixture(scope="module")
+def fig5():
+    return experiment_fig5(sizes=(KiB(1), KiB(4), KiB(16), KiB(32)), iterations=10)
+
+
+@pytest.fixture(scope="module")
+def fig6():
+    return experiment_fig6(sizes=(KiB(8), KiB(64), KiB(256)), iterations=10)
+
+
+@pytest.fixture(scope="module")
+def table1():
+    return experiment_table1()
+
+
+class TestFig5:
+    def test_three_series(self, fig5):
+        assert set(fig5.series) == {
+            "No computation (reference)",
+            "No copy offloading",
+            "copy offloading",
+        }
+
+    def test_reference_monotone_in_size(self, fig5):
+        ref = fig5.series["No computation (reference)"]
+        assert ref == sorted(ref)
+
+    def test_baseline_is_sum(self, fig5):
+        ref = fig5.series["No computation (reference)"]
+        base = fig5.series["No copy offloading"]
+        for r, b in zip(ref, base):
+            assert b == pytest.approx(r + 20.0, rel=0.15)
+
+    def test_offloading_is_max(self, fig5):
+        ref = fig5.series["No computation (reference)"]
+        piom = fig5.series["copy offloading"]
+        for r, p in zip(ref, piom):
+            assert p == pytest.approx(max(r, 20.0), abs=4.0)
+
+    def test_format_contains_paper_title(self, fig5):
+        assert "Figure 5" in fig5.format(plot=False)
+
+
+class TestFig6:
+    def test_crossover_in_rdv_domain(self, fig6):
+        cross = fig6.crossover_size()
+        assert cross is not None and cross > KiB(32)
+
+    def test_rdv_progression_overlaps(self, fig6):
+        base = fig6.series["No RDV progression"]
+        piom = fig6.series["RDV progression"]
+        ref = fig6.series["No computation (reference)"]
+        for r, b, p in zip(ref, base, piom):
+            assert b == pytest.approx(r + 100.0, rel=0.15)
+            assert p == pytest.approx(max(r, 100.0), abs=5.0)
+
+
+class TestTable1:
+    def test_two_rows(self, table1):
+        assert [r["label"] for r in table1.rows] == ["4 threads", "16 threads"]
+
+    def test_speedups_in_paper_band(self, table1):
+        for row in table1.rows:
+            assert 8.0 <= row["speedup_pct"] <= 22.0
+
+    def test_magnitudes_near_paper(self, table1):
+        t4 = table1.rows[0]
+        assert t4["no_offloading_us"] == pytest.approx(441, rel=0.25)
+        assert t4["offloading_us"] == pytest.approx(382, rel=0.25)
+        t16 = table1.rows[1]
+        assert t16["no_offloading_us"] == pytest.approx(1183, rel=0.25)
+        assert t16["offloading_us"] == pytest.approx(1031, rel=0.25)
+
+    def test_speedup_accessor(self, table1):
+        assert table1.speedup("4 threads") == table1.rows[0]["speedup_pct"]
+        with pytest.raises(KeyError):
+            table1.speedup("nope")
+
+    def test_format_is_paper_table(self, table1):
+        out = table1.format()
+        assert "No offloading" in out and "Speedup" in out and "%" in out

@@ -1,0 +1,179 @@
+"""Integration: multirail striping and NUMA cache effects end-to-end."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import EngineKind
+from repro.harness.runner import ClusterRuntime
+from repro.topology.numa import NumaModel
+from repro.units import KiB
+
+
+class TestMultirail:
+    def _exchange(self, rails, strategy, size, **kwargs):
+        rt = ClusterRuntime.build(
+            engine=EngineKind.PIOMAN, rails=rails, strategy=strategy, **kwargs
+        )
+        out = {}
+
+        def sender(ctx):
+            nm = ctx.env["nm"]
+            req = yield from nm.isend(ctx, 1, 0, size, payload="data")
+            yield from nm.swait(ctx, req)
+
+        def receiver(ctx):
+            nm = ctx.env["nm"]
+            req = yield from nm.recv(ctx, 0, 0, size)
+            out["data"] = req.data
+            out["t"] = ctx.now
+
+        rt.spawn(0, sender)
+        rt.spawn(1, receiver)
+        rt.run()
+        out["tx_per_rail"] = [nic.tx_packets for nic in rt.node(0).nics]
+        return out
+
+    def test_striped_payload_reassembles(self):
+        out = self._exchange(2, "split", KiB(16), strategy_kwargs={"split_threshold": KiB(2)})
+        assert out["data"] == "data"
+        assert all(t >= 1 for t in out["tx_per_rail"])
+
+    def test_striping_improves_effective_bandwidth(self):
+        one = self._exchange(1, "default", KiB(30))
+        two = self._exchange(2, "split", KiB(30), strategy_kwargs={"split_threshold": KiB(2)})
+        # two rails halve the wire serialization of a large eager message
+        assert two["t"] < one["t"]
+
+    def test_small_messages_not_striped(self):
+        out = self._exchange(2, "split", KiB(1), strategy_kwargs={"split_threshold": KiB(8)})
+        assert out["data"] == "data"
+        assert sorted(out["tx_per_rail"]) == [0, 1]
+
+    def test_many_striped_messages_in_order(self):
+        rt = ClusterRuntime.build(
+            engine=EngineKind.PIOMAN, rails=2, strategy="split",
+            strategy_kwargs={"split_threshold": KiB(1)},
+        )
+        got = []
+
+        def sender(ctx):
+            nm = ctx.env["nm"]
+            reqs = []
+            for i in range(6):
+                r = yield from nm.isend(ctx, 1, 0, KiB(4) + i, payload=i)
+                reqs.append(r)
+            yield from nm.wait_all(ctx, reqs)
+
+        def receiver(ctx):
+            nm = ctx.env["nm"]
+            for _ in range(6):
+                req = yield from nm.recv(ctx, 0, 0, KiB(8))
+                got.append(req.data)
+
+        rt.spawn(0, sender)
+        rt.spawn(1, receiver)
+        rt.run()
+        assert got == list(range(6))
+
+
+class TestNuma:
+    def _offload_time(self, numa):
+        rt = ClusterRuntime.build(engine=EngineKind.PIOMAN, numa=numa)
+        out = {}
+
+        def sender(ctx):
+            nm = ctx.env["nm"]
+            req = yield from nm.isend(ctx, 1, 0, KiB(16), buffer_id="b")
+            yield ctx.compute(60.0)
+            yield from nm.swait(ctx, req)
+
+        def receiver(ctx):
+            nm = ctx.env["nm"]
+            req = yield from nm.irecv(ctx, 0, 0, KiB(16), buffer_id="r")
+            yield from nm.rwait(ctx, req)
+            out["recv_t"] = ctx.now
+
+        rt.spawn(0, sender, core_index=0)
+        rt.spawn(1, receiver)
+        rt.run()
+        service = sum(c.timeline.service_us for c in rt.node(0).scheduler.cores)
+        return out["recv_t"], service
+
+    def test_cache_effects_slow_offloaded_copy(self):
+        """§2.2: 'this method may increase the latency (because of cache
+        effects for instance)' — with a NUMA model, the offloaded copy on
+        another core burns more CPU and delays delivery."""
+        t_flat, service_flat = self._offload_time(None)
+        t_numa, service_numa = self._offload_time(NumaModel(cross_socket_factor=2.0, same_socket_factor=1.5))
+        assert service_numa > service_flat
+        assert t_numa > t_flat
+
+    def test_numa_never_breaks_correctness(self):
+        rt = ClusterRuntime.build(engine=EngineKind.PIOMAN, numa=NumaModel())
+        got = []
+
+        def a(ctx):
+            nm = ctx.env["nm"]
+            req = yield from nm.isend(ctx, 1, 0, KiB(8), payload="numa-ok")
+            yield from nm.swait(ctx, req)
+
+        def b(ctx):
+            nm = ctx.env["nm"]
+            req = yield from nm.recv(ctx, 0, 0, KiB(8))
+            got.append(req.data)
+
+        rt.spawn(0, a)
+        rt.spawn(1, b)
+        rt.run()
+        assert got == ["numa-ok"]
+
+
+class TestAggregationUnderLoad:
+    def test_burst_aggregated_payloads_survive(self):
+        rt = ClusterRuntime.build(engine=EngineKind.PIOMAN, strategy="aggreg")
+        got = []
+
+        def sender(ctx):
+            nm = ctx.env["nm"]
+            reqs = []
+            for i in range(12):
+                r = yield from nm.isend(ctx, 1, i, 512, payload={"n": i})
+                reqs.append(r)
+            yield from nm.wait_all(ctx, reqs)
+
+        def receiver(ctx):
+            nm = ctx.env["nm"]
+            for i in range(12):
+                req = yield from nm.recv(ctx, 0, i, 512)
+                got.append(req.data["n"])
+
+        rt.spawn(0, sender)
+        rt.spawn(1, receiver)
+        rt.run()
+        assert sorted(got) == list(range(12))
+        # the burst must have been coalesced below one packet per message
+        assert rt.node(0).nics[0].tx_packets < 12
+
+    def test_aggregation_mixed_with_rdv(self):
+        rt = ClusterRuntime.build(engine=EngineKind.PIOMAN, strategy="aggreg")
+        got = []
+
+        def sender(ctx):
+            nm = ctx.env["nm"]
+            reqs = []
+            for i, size in enumerate((512, KiB(64), 512, KiB(64), 512)):
+                r = yield from nm.isend(ctx, 1, 0, size, payload=i)
+                reqs.append(r)
+            yield from nm.wait_all(ctx, reqs)
+
+        def receiver(ctx):
+            nm = ctx.env["nm"]
+            for _ in range(5):
+                req = yield from nm.recv(ctx, 0, 0, KiB(64))
+                got.append(req.data)
+
+        rt.spawn(0, sender)
+        rt.spawn(1, receiver)
+        rt.run()
+        assert got == [0, 1, 2, 3, 4]  # order across protocols preserved

@@ -1,0 +1,110 @@
+"""Multiple waiters on one completion: requests and thread joins."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.units import KiB
+
+
+def test_two_threads_wait_same_request(runtime):
+    """Both waiters of one recv request wake on its single completion."""
+    woken = []
+
+    def sender(ctx):
+        nm = ctx.env["nm"]
+        yield ctx.compute(30.0)
+        req = yield from nm.isend(ctx, 1, 0, KiB(2), payload="shared")
+        yield from nm.swait(ctx, req)
+
+    shared: dict = {}
+
+    def poster(ctx):
+        nm = ctx.env["nm"]
+        req = yield from nm.irecv(ctx, 0, 0, KiB(2))
+        shared["req"] = req
+        yield from nm.rwait(ctx, req)
+        woken.append(("poster", ctx.now))
+
+    def sibling(ctx):
+        nm = ctx.env["nm"]
+        while "req" not in shared:
+            yield ctx.sleep(1.0)
+        yield from nm.wait(ctx, shared["req"])
+        woken.append(("sibling", ctx.now))
+
+    runtime.spawn(0, sender)
+    runtime.spawn(1, poster)
+    runtime.spawn(1, sibling)
+    runtime.run()
+    assert len(woken) == 2
+    times = [t for _n, t in woken]
+    assert max(times) - min(times) < 3.0  # both woke at the completion
+    assert shared["req"].data == "shared"
+
+
+def test_many_threads_join_one_thread(runtime):
+    joined = []
+
+    def worker(ctx):
+        yield ctx.compute(25.0)
+        return "worker-result"
+
+    t = runtime.node(0).scheduler.spawn(worker, name="worker")
+
+    def joiner(ctx, name):
+        value = yield ctx.join(t)
+        joined.append((name, value, ctx.now))
+
+    for i in range(4):
+        runtime.spawn(0, lambda c, n=f"j{i}": joiner(c, n), name=f"j{i}")
+    runtime.run()
+    assert len(joined) == 4
+    assert all(v == "worker-result" for _n, v, _t in joined)
+    assert all(t >= 25.0 for _n, _v, t in joined)
+
+
+def test_wait_any_two_threads_same_pool(pioman_runtime):
+    """Two consumers pulling from one request pool via wait_any never
+    deliver the same completion twice."""
+    consumed = []
+    pool: list = []
+    posted = {"done": False}
+
+    def sender(ctx):
+        nm = ctx.env["nm"]
+        reqs = []
+        for i in range(6):
+            r = yield from nm.isend(ctx, 1, i, KiB(1), payload=i)
+            reqs.append(r)
+            yield ctx.compute(10.0)
+        yield from nm.wait_all(ctx, reqs)
+
+    def post_all(ctx):
+        nm = ctx.env["nm"]
+        for i in range(6):
+            r = yield from nm.irecv(ctx, 0, i, KiB(1))
+            pool.append(r)
+        posted["done"] = True
+
+    def consumer(ctx, name):
+        nm = ctx.env["nm"]
+        while not posted["done"]:
+            yield ctx.sleep(0.5)
+        while True:
+            remaining = [r for r in pool if not getattr(r, "_claimed", False)]
+            if not remaining:
+                break
+            idx, req = yield from nm.wait_any(ctx, remaining)
+            if getattr(req, "_claimed", False):
+                continue  # another consumer claimed it between wake and here
+            req._claimed = True
+            consumed.append((name, req.data))
+
+    pioman_runtime.spawn(0, sender)
+    pioman_runtime.spawn(1, post_all)
+    pioman_runtime.spawn(1, lambda c: consumer(c, "c1"))
+    pioman_runtime.spawn(1, lambda c: consumer(c, "c2"))
+    pioman_runtime.run()
+    payloads = sorted(d for _n, d in consumed)
+    assert payloads == list(range(6)), f"duplicate or lost completions: {consumed}"

@@ -1,0 +1,168 @@
+"""Stress and failure-injection integration tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import EngineKind
+from repro.errors import DeadlockError
+from repro.harness.runner import ClusterRuntime
+from repro.units import KiB
+
+
+class TestManyFlows:
+    @pytest.mark.parametrize("engine", [EngineKind.SEQUENTIAL, EngineKind.PIOMAN])
+    def test_many_concurrent_pairs(self, engine):
+        """24 concurrent flows across 2 nodes, mixed sizes/protocols."""
+        rt = ClusterRuntime.build(engine=engine)
+        done = []
+        n_flows = 24
+        sizes = [64, KiB(1), KiB(8), KiB(64)]  # pio, eager, eager, rdv
+
+        def mk(i):
+            size = sizes[i % len(sizes)]
+
+            def s(ctx):
+                nm = ctx.env["nm"]
+                req = yield from nm.isend(ctx, 1, i, size, payload=i)
+                yield ctx.compute(float(i % 7))
+                yield from nm.swait(ctx, req)
+
+            def r(ctx):
+                nm = ctx.env["nm"]
+                req = yield from nm.recv(ctx, 0, i, KiB(64))
+                done.append((i, req.data))
+
+            return s, r
+
+        for i in range(n_flows):
+            s, r = mk(i)
+            rt.spawn(0, s, name=f"s{i}")
+            rt.spawn(1, r, name=f"r{i}")
+        rt.run()
+        assert sorted(done) == [(i, i) for i in range(n_flows)]
+
+    def test_bidirectional_flood(self, runtime):
+        done = []
+
+        def peer(ctx, me):
+            nm = ctx.env["nm"]
+            other = 1 - me
+            sends = []
+            for i in range(10):
+                r = yield from nm.isend(ctx, other, me * 100 + i, KiB(2), payload=i)
+                sends.append(r)
+            for i in range(10):
+                req = yield from nm.recv(ctx, other, other * 100 + i, KiB(2))
+                assert req.data == i
+            yield from nm.wait_all(ctx, sends)
+            done.append(me)
+
+        runtime.spawn(0, lambda c: peer(c, 0))
+        runtime.spawn(1, lambda c: peer(c, 1))
+        runtime.run()
+        assert sorted(done) == [0, 1]
+
+    def test_all_to_all_nodes(self, engine_kind):
+        rt = ClusterRuntime.build(engine=engine_kind, nodes=4)
+        received = []
+
+        def body(ctx, me):
+            nm = ctx.env["nm"]
+            sends = []
+            for peer in range(4):
+                if peer != me:
+                    r = yield from nm.isend(ctx, peer, me, KiB(4), payload=(me, peer))
+                    sends.append(r)
+            for peer in range(4):
+                if peer != me:
+                    req = yield from nm.recv(ctx, peer, peer, KiB(4))
+                    received.append(req.data)
+            yield from nm.wait_all(ctx, sends)
+
+        for me in range(4):
+            rt.spawn(me, lambda c, m=me: body(c, m), name=f"n{me}")
+        rt.run()
+        assert len(received) == 12
+        assert sorted(received) == sorted(
+            (src, dst) for src in range(4) for dst in range(4) if src != dst
+        )
+
+
+class TestFailureInjection:
+    def test_recv_never_posted_deadlocks_cleanly(self, runtime):
+        """A missing receive must surface as DeadlockError naming the
+        stuck thread — not hang or pass silently."""
+
+        def sender(ctx):
+            nm = ctx.env["nm"]
+            req = yield from nm.isend(ctx, 1, 0, KiB(64))  # rdv: needs the peer
+            yield from nm.swait(ctx, req)
+
+        runtime.spawn(0, sender, name="lonely-sender")
+        with pytest.raises(DeadlockError, match="lonely-sender"):
+            runtime.run()
+
+    def test_recv_without_send_deadlocks_cleanly(self, runtime):
+        def receiver(ctx):
+            nm = ctx.env["nm"]
+            yield from nm.recv(ctx, 0, 0, KiB(4))
+
+        runtime.spawn(1, receiver, name="lonely-receiver")
+        with pytest.raises(DeadlockError, match="lonely-receiver"):
+            runtime.run()
+
+    def test_tag_mismatch_deadlocks_cleanly(self, runtime):
+        def sender(ctx):
+            nm = ctx.env["nm"]
+            req = yield from nm.isend(ctx, 1, 1, KiB(64))
+            yield from nm.swait(ctx, req)
+
+        def receiver(ctx):
+            nm = ctx.env["nm"]
+            yield from nm.recv(ctx, 0, 2, KiB(64))  # wrong tag
+
+        runtime.spawn(0, sender)
+        runtime.spawn(1, receiver)
+        with pytest.raises(DeadlockError):
+            runtime.run()
+
+    def test_exception_in_app_thread_propagates(self, runtime):
+        def crasher(ctx):
+            yield ctx.compute(5.0)
+            raise ValueError("application bug")
+
+        runtime.spawn(0, crasher)
+        with pytest.raises(ValueError, match="application bug"):
+            runtime.run()
+
+
+class TestLongRun:
+    def test_sustained_pipeline(self, pioman_runtime):
+        """A long producer/consumer pipeline stays stable (no leaks in
+        matching structures)."""
+        iters = 80
+
+        def producer(ctx):
+            nm = ctx.env["nm"]
+            for i in range(iters):
+                req = yield from nm.isend(ctx, 1, 0, KiB(1), payload=i)
+                yield ctx.compute(3.0)
+                yield from nm.swait(ctx, req)
+
+        got = []
+
+        def consumer(ctx):
+            nm = ctx.env["nm"]
+            for i in range(iters):
+                req = yield from nm.recv(ctx, 0, 0, KiB(1))
+                got.append(req.data)
+
+        pioman_runtime.spawn(0, producer)
+        pioman_runtime.spawn(1, consumer)
+        pioman_runtime.run()
+        assert got == list(range(iters))
+        session = pioman_runtime.node(1).session
+        assert len(session.unexpected) == 0
+        assert len(session.match_table) == 0
+        assert session.seq_tracker.parked_count() == 0

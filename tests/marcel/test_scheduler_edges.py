@@ -1,0 +1,167 @@
+"""Edge-case tests for scheduler stealing, ticks, and hooks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import MarcelConfig, TimingModel
+from repro.marcel.scheduler import CoreRuntime, MarcelScheduler
+from repro.marcel.tasklet import Tasklet
+from repro.marcel.thread import Priority
+
+
+class TestWorkStealing:
+    def test_queued_thread_stolen_from_busy_core(self, sim, scheduler):
+        """Two threads pinned-queued on core 0 while core 1 is idle-kicked:
+        the idle core steals the waiting one."""
+        ends = {}
+
+        def body(ctx, name):
+            yield ctx.compute(30.0)
+            ends[name] = sim.now
+
+        scheduler.spawn(lambda c: body(c, "a"), name="a", core_index=0)
+        # b lands on core 0's queue *behind* a but is migratable; spawn
+        # placement already moves it to a free core
+        t = scheduler.spawn(lambda c: body(c, "b"), name="b", core_index=0)
+        sim.run()
+        assert t.core_index != 0
+        assert abs(ends["a"] - ends["b"]) < 2.0  # ran in parallel
+
+    def test_pinned_threads_never_stolen(self, sim, scheduler):
+        order = []
+
+        def body(ctx, name):
+            yield ctx.compute(25.0)
+            order.append((name, sim.now))
+
+        scheduler.spawn(lambda c: body(c, "a"), name="a", core_index=0, migratable=False)
+        scheduler.spawn(lambda c: body(c, "b"), name="b", core_index=0, migratable=False)
+        sim.run()
+        # serialized on core 0 (round-robin) — neither finished at 25
+        assert all(t > 25.0 for _n, t in order)
+
+    def test_no_steal_from_dispatching_core(self, sim, scheduler):
+        """The steal guard: a core whose current is None is about to run
+        its own queue — its threads must not be stolen out from under it
+        (this was the serialization pathology found during bring-up)."""
+        ends = {}
+
+        def body(ctx, name):
+            yield ctx.compute(10.0)
+            ends[name] = sim.now
+
+        for i in range(8):
+            scheduler.spawn(lambda c, n=f"t{i}": body(c, n), name=f"t{i}", core_index=i)
+        sim.run()
+        # all eight ran in parallel on their own cores
+        assert all(t == pytest.approx(10.0) for t in ends.values())
+        assert scheduler.stats()["steals"] == 0
+
+
+class TestTickConfiguration:
+    def test_custom_tick_period(self, sim, node8):
+        import dataclasses
+
+        timing = TimingModel().replace(marcel=MarcelConfig(timer_tick_us=5.0))
+        sched = MarcelScheduler(sim, node8, timing)
+
+        def body(ctx):
+            yield ctx.compute(47.0)
+
+        sched.spawn(body, core_index=0)
+        sim.run()
+        assert 8 <= sched.cores[0].ticks <= 11
+
+    def test_quantum_longer_than_compute_no_preempt(self, sim, node8):
+        timing = TimingModel().replace(
+            marcel=MarcelConfig(timer_tick_us=10.0, quantum_us=1000.0)
+        )
+        sched = MarcelScheduler(sim, node8, timing)
+
+        def body(ctx):
+            yield ctx.compute(100.0)
+
+        sched.spawn(body, core_index=0, migratable=False)
+        sched.spawn(body, core_index=0, migratable=False)
+        sim.run()
+        assert sched.cores[0].preemptions == 0  # first ran to completion
+
+
+class TestTaskletIntegration:
+    def test_tasklet_runs_at_tick_on_busy_core(self, sim, scheduler):
+        ran = []
+
+        def body(ctx):
+            yield ctx.compute(50.0)
+
+        scheduler.spawn(body, core_index=0, migratable=False)
+
+        def enqueue():
+            scheduler.tasklets.schedule(
+                Tasklet(lambda tctx: ran.append(sim.now), name="t"), core_index=0
+            )
+
+        sim.schedule(12.0, enqueue)
+        sim.run()
+        assert len(ran) == 1
+        # executed at the next safe point: the 20µs tick boundary
+        assert 12.0 <= ran[0] <= 31.0
+
+    def test_tasklet_wakes_parked_core(self, sim, scheduler):
+        ran = []
+
+        def enqueue():
+            scheduler.tasklets.schedule(Tasklet(lambda tctx: ran.append(sim.now)), core_index=3)
+
+        sim.schedule(5.0, enqueue)
+        sim.run()
+        assert ran == [pytest.approx(5.0)]
+
+    def test_shared_tasklet_any_core(self, sim, scheduler):
+        ran = []
+
+        def enqueue():
+            scheduler.tasklets.schedule(Tasklet(lambda tctx: ran.append(tctx.core_index)))
+
+        sim.schedule(1.0, enqueue)
+        sim.run()
+        assert len(ran) == 1
+
+
+class TestHookInteractions:
+    def test_multiple_idle_hooks_all_consulted(self, sim, scheduler):
+        seen = []
+        scheduler.register_idle_hook(lambda core: (seen.append("h1"), (0.0, None))[1])
+        scheduler.register_idle_hook(lambda core: (seen.append("h2"), (0.0, None))[1])
+        scheduler.kick_idle()
+        sim.run()
+        assert "h1" in seen and "h2" in seen
+
+    def test_repoll_delay_respected(self, sim, scheduler):
+        calls = []
+        state = {"count": 0}
+
+        def hook(core: CoreRuntime):
+            state["count"] += 1
+            calls.append(sim.now)
+            if state["count"] < 3:
+                return (0.0, 7.0)  # ask to be re-polled in 7µs
+            return (0.0, None)
+
+        scheduler.register_idle_hook(hook)
+        scheduler.kick_idle()
+        sim.run()
+        assert calls == [pytest.approx(0.0), pytest.approx(7.0), pytest.approx(14.0)]
+
+    def test_switch_hook_fires_on_thread_change(self, sim, scheduler):
+        switches = []
+        scheduler.register_switch_hook(lambda core: (switches.append(sim.now), 0.0)[1])
+
+        def body(ctx):
+            yield ctx.compute(5.0)
+
+        scheduler.spawn(body, name="a", core_index=0, migratable=False)
+        scheduler.spawn(body, name="b", core_index=0, migratable=False)
+        sim.run()
+        assert len(switches) >= 2

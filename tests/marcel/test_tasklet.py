@@ -1,0 +1,133 @@
+"""Unit tests for the tasklet subsystem (Linux semantics, §3.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SchedulerError
+from repro.marcel.tasklet import Tasklet, TaskletContext, TaskletScheduler
+
+
+@pytest.fixture
+def tasklets(sim):
+    return TaskletScheduler(sim, n_cores=4)
+
+
+class TestQueueing:
+    def test_schedule_and_run(self, sim, tasklets):
+        runs = []
+        t = Tasklet(lambda ctx: runs.append(ctx.core_index), name="t")
+        assert tasklets.schedule(t, core_index=2)
+        cost = tasklets.run_batch(2, max_count=4, dispatch_cost_us=0.5)
+        assert runs == [2]
+        assert cost == pytest.approx(0.5)
+        assert t.runs == 1
+
+    def test_double_schedule_is_noop(self, sim, tasklets):
+        t = Tasklet(lambda ctx: None)
+        assert tasklets.schedule(t, 0)
+        assert not tasklets.schedule(t, 0)
+        assert tasklets.pending_for(0) == 1
+
+    def test_schedule_while_running_reruns_once(self, sim, tasklets):
+        count = []
+
+        def body(ctx):
+            count.append(1)
+            if len(count) == 1:
+                tasklets.schedule(t, 0)  # re-schedule self while running
+
+        t = Tasklet(body)
+        tasklets.schedule(t, 0)
+        tasklets.run_batch(0, max_count=10, dispatch_cost_us=0.1)
+        assert len(count) == 2
+
+    def test_shared_queue_any_core(self, sim, tasklets):
+        runs = []
+        t = Tasklet(lambda ctx: runs.append(ctx.core_index))
+        tasklets.schedule(t)  # shared
+        assert tasklets.pending_for(0) == 1
+        assert tasklets.pending_for(3) == 1
+        tasklets.run_batch(3, max_count=1, dispatch_cost_us=0.0)
+        assert runs == [3]
+        assert tasklets.pending_for(0) == 0
+
+    def test_per_core_before_shared(self, sim, tasklets):
+        order = []
+        tasklets.schedule(Tasklet(lambda ctx: order.append("shared")))
+        tasklets.schedule(Tasklet(lambda ctx: order.append("own")), core_index=1)
+        tasklets.run_batch(1, max_count=2, dispatch_cost_us=0.0)
+        assert order == ["own", "shared"]
+
+    def test_on_enqueue_callback(self, sim, tasklets):
+        woken = []
+        tasklets.on_enqueue = woken.append
+        tasklets.schedule(Tasklet(lambda ctx: None), core_index=1)
+        tasklets.schedule(Tasklet(lambda ctx: None))
+        assert woken == [1, None]
+
+    def test_bad_core_index_rejected(self, sim, tasklets):
+        with pytest.raises(SchedulerError):
+            tasklets.schedule(Tasklet(lambda ctx: None), core_index=9)
+
+    def test_batch_limit_respected(self, sim, tasklets):
+        runs = []
+        for i in range(5):
+            tasklets.schedule(Tasklet(lambda ctx, i=i: runs.append(i)), core_index=0)
+        tasklets.run_batch(0, max_count=3, dispatch_cost_us=0.0)
+        assert runs == [0, 1, 2]
+        assert tasklets.pending_for(0) == 2
+
+
+class TestContext:
+    def test_charge_accumulates(self, sim):
+        ctx = TaskletContext(sim, 0, start=10.0)
+        ctx.charge(2.0)
+        ctx.charge(3.0)
+        assert ctx.cpu_us == 5.0
+        assert ctx.end == 15.0
+
+    def test_negative_charge_rejected(self, sim):
+        ctx = TaskletContext(sim, 0, start=0.0)
+        with pytest.raises(SchedulerError):
+            ctx.charge(-1.0)
+
+    def test_schedule_after_lands_at_charged_end(self, sim):
+        fired = []
+        ctx = TaskletContext(sim, 0, start=0.0)
+        ctx.charge(4.0)
+        ctx.schedule_after(1.0, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [5.0]
+
+    def test_run_batch_costs_include_charges(self, sim, tasklets):
+        def body(ctx):
+            ctx.charge(2.5)
+
+        tasklets.schedule(Tasklet(body), core_index=0)
+        tasklets.schedule(Tasklet(body), core_index=0)
+        cost = tasklets.run_batch(0, max_count=4, dispatch_cost_us=0.5)
+        assert cost == pytest.approx(2 * (0.5 + 2.5))
+
+    def test_sequential_charging_within_batch(self, sim, tasklets):
+        """The second tasklet of a batch starts after the first's work."""
+        starts = []
+        tasklets.schedule(Tasklet(lambda ctx: (starts.append(ctx.start), ctx.charge(3.0))), core_index=0)
+        tasklets.schedule(Tasklet(lambda ctx: starts.append(ctx.start)), core_index=0)
+        tasklets.run_batch(0, max_count=2, dispatch_cost_us=1.0)
+        assert starts[0] == pytest.approx(1.0)
+        assert starts[1] == pytest.approx(5.0)  # 1 + 3 + 1
+
+
+class TestStats:
+    def test_counters(self, sim, tasklets):
+        t = Tasklet(lambda ctx: None)
+        tasklets.schedule(t, 0)
+        tasklets.run_batch(0, 1, 0.0)
+        assert tasklets.scheduled_count == 1
+        assert tasklets.executed_count == 1
+
+    def test_has_pending(self, sim, tasklets):
+        assert not tasklets.has_pending()
+        tasklets.schedule(Tasklet(lambda ctx: None))
+        assert tasklets.has_pending()

@@ -1,0 +1,81 @@
+"""Unit tests for thread objects and state transitions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ThreadStateError
+from repro.marcel.thread import MarcelThread, Priority, ThreadState
+
+
+def _gen():
+    yield
+
+
+def test_valid_lifecycle():
+    t = MarcelThread(_gen(), name="t")
+    assert t.state == ThreadState.CREATED
+    t.transition(ThreadState.READY)
+    t.transition(ThreadState.RUNNING)
+    t.transition(ThreadState.BLOCKED)
+    t.transition(ThreadState.READY)
+    t.transition(ThreadState.RUNNING)
+    t.transition(ThreadState.DONE)
+    assert t.done
+
+
+def test_illegal_transitions_rejected():
+    t = MarcelThread(_gen(), name="t")
+    with pytest.raises(ThreadStateError):
+        t.transition(ThreadState.RUNNING)  # CREATED → RUNNING skips READY
+    t.transition(ThreadState.READY)
+    with pytest.raises(ThreadStateError):
+        t.transition(ThreadState.BLOCKED)  # READY → BLOCKED illegal
+
+
+def test_done_is_terminal():
+    t = MarcelThread(_gen(), name="t")
+    t.transition(ThreadState.READY)
+    t.transition(ThreadState.RUNNING)
+    t.transition(ThreadState.DONE)
+    with pytest.raises(ThreadStateError):
+        t.transition(ThreadState.READY)
+
+
+def test_sleeping_wakes_to_ready():
+    t = MarcelThread(_gen(), name="t")
+    t.transition(ThreadState.READY)
+    t.transition(ThreadState.RUNNING)
+    t.transition(ThreadState.SLEEPING)
+    t.transition(ThreadState.READY)
+    assert t.runnable
+
+
+def test_priority_validation():
+    with pytest.raises(ThreadStateError):
+        MarcelThread(_gen(), priority=99)
+    with pytest.raises(ThreadStateError):
+        MarcelThread(_gen(), priority=-1)
+
+
+def test_body_must_be_generator():
+    with pytest.raises(ThreadStateError, match="generator"):
+        MarcelThread(lambda: None)  # type: ignore[arg-type]
+
+
+def test_unique_tids():
+    a = MarcelThread(_gen())
+    b = MarcelThread(_gen())
+    assert a.tid != b.tid
+
+
+def test_default_name_from_tid():
+    t = MarcelThread(_gen())
+    assert t.name == f"thread-{t.tid}"
+
+
+def test_runnable_property():
+    t = MarcelThread(_gen())
+    assert not t.runnable
+    t.transition(ThreadState.READY)
+    assert t.runnable

@@ -1,0 +1,201 @@
+"""Collective-operation correctness across node counts and engines."""
+
+from __future__ import annotations
+
+import operator
+
+import pytest
+
+from repro.config import EngineKind
+from repro.harness.runner import ClusterRuntime
+from repro.mpi import MpiWorld
+from repro.mpi.collectives import _binomial_children
+
+
+def _run_spmd(nodes: int, body, engine=EngineKind.PIOMAN):
+    rt = ClusterRuntime.build(engine=engine, nodes=nodes)
+    world = MpiWorld(rt)
+    out: dict = {}
+    for rank in range(nodes):
+        world.spawn_rank(rank, lambda ctx: body(ctx, out))
+    rt.run()
+    return out
+
+
+class TestBinomialTree:
+    @pytest.mark.parametrize("p", [1, 2, 3, 4, 5, 7, 8, 16])
+    @pytest.mark.parametrize("root", [0, 1])
+    def test_tree_is_consistent(self, p, root):
+        if root >= p:
+            pytest.skip("root outside communicator")
+        parents = {}
+        children_of = {}
+        for me in range(p):
+            parent, children = _binomial_children(me, root, p)
+            parents[me] = parent
+            children_of[me] = children
+        assert parents[root] is None
+        # every non-root has exactly one parent, and is its parent's child
+        for me in range(p):
+            if me == root:
+                continue
+            assert parents[me] is not None
+            assert me in children_of[parents[me]]
+        # the tree spans all ranks
+        seen = set()
+        stack = [root]
+        while stack:
+            node = stack.pop()
+            assert node not in seen, "cycle in binomial tree"
+            seen.add(node)
+            stack.extend(children_of[node])
+        assert seen == set(range(p))
+
+
+@pytest.mark.parametrize("nodes", [2, 3, 5, 8])
+class TestCollectives:
+    def test_barrier_synchronizes(self, nodes):
+        def body(ctx, out):
+            comm = ctx.env["comm"]
+            yield ctx.compute(float(comm.rank) * 10.0)  # skewed arrival
+            yield from comm.barrier(ctx)
+            out[comm.rank] = ctx.now
+
+        out = _run_spmd(nodes, body)
+        times = [out[r] for r in range(nodes)]
+        # nobody leaves before the slowest arrives
+        assert min(times) >= (nodes - 1) * 10.0
+
+    def test_bcast_from_each_root(self, nodes):
+        for root in range(nodes):
+            def body(ctx, out, root=root):
+                comm = ctx.env["comm"]
+                obj = yield from comm.bcast(
+                    ctx, f"root{root}" if comm.rank == root else None, root=root
+                )
+                out[comm.rank] = obj
+
+            out = _run_spmd(nodes, body)
+            assert all(out[r] == f"root{root}" for r in range(nodes))
+
+    def test_reduce_sum(self, nodes):
+        def body(ctx, out):
+            comm = ctx.env["comm"]
+            acc = yield from comm.reduce(ctx, comm.rank + 1, root=0)
+            out[comm.rank] = acc
+
+        out = _run_spmd(nodes, body)
+        assert out[0] == nodes * (nodes + 1) // 2
+        assert all(out[r] is None for r in range(1, nodes))
+
+    def test_reduce_custom_op(self, nodes):
+        def body(ctx, out):
+            comm = ctx.env["comm"]
+            acc = yield from comm.reduce(ctx, comm.rank + 1, op=operator.mul, root=0)
+            out[comm.rank] = acc
+
+        out = _run_spmd(nodes, body)
+        import math
+
+        assert out[0] == math.factorial(nodes)
+
+    def test_allreduce_agrees(self, nodes):
+        def body(ctx, out):
+            comm = ctx.env["comm"]
+            total = yield from comm.allreduce(ctx, comm.rank)
+            out[comm.rank] = total
+
+        out = _run_spmd(nodes, body)
+        expected = sum(range(nodes))
+        assert all(out[r] == expected for r in range(nodes))
+
+    def test_gather(self, nodes):
+        def body(ctx, out):
+            comm = ctx.env["comm"]
+            got = yield from comm.gather(ctx, comm.rank * 2, root=0)
+            out[comm.rank] = got
+
+        out = _run_spmd(nodes, body)
+        assert out[0] == [r * 2 for r in range(nodes)]
+
+    def test_scatter(self, nodes):
+        def body(ctx, out):
+            comm = ctx.env["comm"]
+            values = [f"v{i}" for i in range(comm.size)] if comm.rank == 0 else None
+            item = yield from comm.scatter(ctx, values, root=0)
+            out[comm.rank] = item
+
+        out = _run_spmd(nodes, body)
+        assert all(out[r] == f"v{r}" for r in range(nodes))
+
+    def test_allgather(self, nodes):
+        def body(ctx, out):
+            comm = ctx.env["comm"]
+            got = yield from comm.allgather(ctx, comm.rank**2)
+            out[comm.rank] = got
+
+        out = _run_spmd(nodes, body)
+        expected = [r**2 for r in range(nodes)]
+        assert all(out[r] == expected for r in range(nodes))
+
+    def test_alltoall(self, nodes):
+        def body(ctx, out):
+            comm = ctx.env["comm"]
+            got = yield from comm.alltoall(
+                ctx, [f"{comm.rank}->{i}" for i in range(comm.size)]
+            )
+            out[comm.rank] = got
+
+        out = _run_spmd(nodes, body)
+        for r in range(nodes):
+            assert out[r] == [f"{i}->{r}" for i in range(nodes)]
+
+    def test_sequence_of_collectives(self, nodes):
+        """Back-to-back collectives must not cross tags."""
+
+        def body(ctx, out):
+            comm = ctx.env["comm"]
+            a = yield from comm.allreduce(ctx, 1)
+            b = yield from comm.allreduce(ctx, 2)
+            yield from comm.barrier(ctx)
+            c = yield from comm.bcast(ctx, "z" if comm.rank == 0 else None)
+            out[comm.rank] = (a, b, c)
+
+        out = _run_spmd(nodes, body)
+        assert all(out[r] == (nodes, 2 * nodes, "z") for r in range(nodes))
+
+
+class TestEngineAgnostic:
+    def test_results_identical_across_engines(self):
+        def body(ctx, out):
+            comm = ctx.env["comm"]
+            total = yield from comm.allreduce(ctx, (comm.rank + 1) ** 2)
+            out[comm.rank] = total
+
+        a = _run_spmd(4, body, engine=EngineKind.SEQUENTIAL)
+        b = _run_spmd(4, body, engine=EngineKind.PIOMAN)
+        assert a == b
+
+
+class TestValidationErrors:
+    def test_scatter_root_needs_values(self, pioman_runtime):
+        from repro.errors import MpiError
+
+        world = MpiWorld(pioman_runtime)
+        failures = []
+
+        def body(ctx):
+            comm = ctx.env["comm"]
+            if comm.rank == 0:
+                try:
+                    yield from comm.scatter(ctx, [1], root=0)  # wrong length
+                except MpiError:
+                    failures.append(True)
+                    # unblock peer with a correct scatter
+                    yield from comm.scatter(ctx, [1, 2], root=0)
+            else:
+                yield from comm.scatter(ctx, None, root=0)
+
+        world.spawn_all(body)
+        pioman_runtime.run()
+        assert failures == [True]

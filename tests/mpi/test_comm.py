@@ -1,0 +1,147 @@
+"""Unit tests for MPI point-to-point operations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import MpiError
+from repro.harness.runner import ClusterRuntime
+from repro.mpi import ANY_SOURCE, ANY_TAG, MpiWorld
+from repro.mpi.comm import payload_nbytes
+
+
+@pytest.fixture
+def world(runtime):
+    return MpiWorld(runtime)
+
+
+class TestPayloadSizing:
+    def test_numpy_nbytes(self):
+        assert payload_nbytes(np.zeros(100, dtype=np.float64)) == 800
+
+    def test_bytes_len(self):
+        assert payload_nbytes(b"abcd") == 4
+
+    def test_none_is_zero(self):
+        assert payload_nbytes(None) == 0
+
+    def test_python_object_pickle_estimate(self):
+        assert payload_nbytes({"a": 1}) > 0
+
+
+class TestPointToPoint:
+    def test_send_recv_object(self, runtime, world):
+        out = {}
+
+        def rank0(ctx):
+            comm = ctx.env["comm"]
+            yield from comm.send(ctx, {"x": 1}, dest=1, tag=5)
+
+        def rank1(ctx):
+            comm = ctx.env["comm"]
+            obj = yield from comm.recv(ctx, source=0, tag=5)
+            out["obj"] = obj
+
+        world.spawn_rank(0, rank0)
+        world.spawn_rank(1, rank1)
+        runtime.run()
+        assert out["obj"] == {"x": 1}
+
+    def test_isend_irecv_wait(self, runtime, world):
+        out = {}
+
+        def rank0(ctx):
+            comm = ctx.env["comm"]
+            req = yield from comm.isend(ctx, np.arange(10), dest=1)
+            yield ctx.compute(5.0)
+            yield from req.wait(ctx)
+
+        def rank1(ctx):
+            comm = ctx.env["comm"]
+            req = yield from comm.irecv(ctx, source=0)
+            yield ctx.compute(5.0)
+            data = yield from req.wait(ctx)
+            out["data"] = data
+
+        world.spawn_rank(0, rank0)
+        world.spawn_rank(1, rank1)
+        runtime.run()
+        assert np.array_equal(out["data"], np.arange(10))
+
+    def test_wildcards(self, runtime, world):
+        out = {}
+
+        def rank0(ctx):
+            comm = ctx.env["comm"]
+            yield from comm.send(ctx, "anything", dest=1, tag=77)
+
+        def rank1(ctx):
+            comm = ctx.env["comm"]
+            obj = yield from comm.recv(ctx, source=ANY_SOURCE, tag=ANY_TAG)
+            out["obj"] = obj
+
+        world.spawn_rank(0, rank0)
+        world.spawn_rank(1, rank1)
+        runtime.run()
+        assert out["obj"] == "anything"
+
+    def test_sendrecv_exchange(self, runtime, world):
+        out = {}
+
+        def body(ctx):
+            comm = ctx.env["comm"]
+            other = 1 - comm.rank
+            got = yield from comm.sendrecv(
+                ctx, f"from{comm.rank}", dest=other, source=other, sendtag=1, recvtag=1
+            )
+            out[comm.rank] = got
+
+        world.spawn_all(body)
+        runtime.run()
+        assert out == {0: "from1", 1: "from0"}
+
+    def test_request_test_method(self, runtime, world):
+        out = {}
+
+        def rank0(ctx):
+            comm = ctx.env["comm"]
+            req = yield from comm.isend(ctx, "x", dest=1)
+            out["test_early"] = req.test()
+            yield from req.wait(ctx)
+            out["test_late"] = req.test()
+
+        def rank1(ctx):
+            comm = ctx.env["comm"]
+            yield from comm.recv(ctx, source=0)
+
+        world.spawn_rank(0, rank0)
+        world.spawn_rank(1, rank1)
+        runtime.run()
+        assert out["test_late"] is True
+
+
+class TestValidation:
+    def test_bad_dest_rejected(self, runtime, world):
+        def body(ctx):
+            comm = ctx.env["comm"]
+            with pytest.raises(MpiError, match="out of range"):
+                yield from comm.isend(ctx, "x", dest=9)
+            yield ctx.compute(0.1)
+
+        world.spawn_rank(0, body)
+        runtime.run()
+
+    def test_user_tag_cap(self, runtime, world):
+        def body(ctx):
+            comm = ctx.env["comm"]
+            with pytest.raises(MpiError, match="tag"):
+                yield from comm.isend(ctx, "x", dest=1, tag=1 << 21)
+            yield ctx.compute(0.1)
+
+        world.spawn_rank(0, body)
+        runtime.run()
+
+    def test_bad_rank_lookup(self, world):
+        with pytest.raises(MpiError):
+            world.comm(99)

@@ -1,0 +1,104 @@
+"""Hybrid MPI+threads: the paper's motivating usage pattern (§1).
+
+"A lot of researchers have proposed hybrid solutions based on mixing
+multithreading and message passing … only one MPI process is created per
+node and comprised of several threads." These tests exercise several
+threads per rank calling the communicator concurrently.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import EngineKind
+from repro.harness.runner import ClusterRuntime
+from repro.mpi import MpiWorld
+from repro.units import KiB
+
+
+def _build(engine):
+    rt = ClusterRuntime.build(engine=engine)
+    return rt, MpiWorld(rt)
+
+
+@pytest.mark.parametrize("engine", [EngineKind.SEQUENTIAL, EngineKind.PIOMAN])
+def test_concurrent_threads_per_rank(engine):
+    rt, world = _build(engine)
+    received = []
+    workers = 4
+
+    def worker(ctx, rank, w):
+        comm = ctx.env["comm"]
+        other = 1 - rank
+        tag = 10 + w
+        if rank == 0:
+            req = yield from comm.isend(ctx, f"w{w}", other, tag)
+            yield ctx.compute(12.0)
+            yield from req.wait(ctx)
+        else:
+            req = yield from comm.irecv(ctx, other, tag)
+            yield ctx.compute(12.0)
+            data = yield from req.wait(ctx)
+            received.append((w, data))
+
+    for rank in (0, 1):
+        for w in range(workers):
+            world.spawn_rank(rank, lambda c, r=rank, w=w: worker(c, r, w), name=f"r{rank}w{w}")
+    rt.run()
+    assert sorted(received) == [(w, f"w{w}") for w in range(workers)]
+
+
+def test_pioman_beats_baseline_with_threaded_ranks():
+    """The multithreaded engine's raison d'être: several communicating
+    threads per rank, each overlapping compute with its halo."""
+
+    def run(engine) -> float:
+        rt, world = _build(engine)
+        workers = 3
+        rounds = 4
+
+        def worker(ctx, rank, w):
+            comm = ctx.env["comm"]
+            other = 1 - rank
+            tag = 100 + w
+            for _ in range(rounds):
+                sreq = yield from comm.isend(ctx, b"x" * KiB(8), other, tag)
+                rreq = yield from comm.irecv(ctx, other, tag)
+                yield ctx.compute(30.0)
+                yield from sreq.wait(ctx)
+                yield from rreq.wait(ctx)
+
+        for rank in (0, 1):
+            for w in range(workers):
+                world.spawn_rank(rank, lambda c, r=rank, w=w: worker(c, r, w), name=f"r{rank}w{w}")
+        return rt.run()
+
+    t_seq = run(EngineKind.SEQUENTIAL)
+    t_piom = run(EngineKind.PIOMAN)
+    assert t_piom < t_seq, f"pioman {t_piom:.1f} vs sequential {t_seq:.1f}"
+
+
+@pytest.mark.parametrize("engine", [EngineKind.SEQUENTIAL, EngineKind.PIOMAN])
+def test_collective_thread_plus_p2p_threads(engine):
+    """One thread per rank runs collectives while others do point-to-point
+    — tags must not cross."""
+    rt, world = _build(engine)
+    out = {}
+
+    def coll_thread(ctx):
+        comm = ctx.env["comm"]
+        total = yield from comm.allreduce(ctx, comm.rank + 1)
+        out[f"coll{comm.rank}"] = total
+
+    def p2p_thread(ctx, rank):
+        comm = ctx.env["comm"]
+        other = 1 - rank
+        got = yield from comm.sendrecv(ctx, f"p2p{rank}", other, source=other, sendtag=5, recvtag=5)
+        out[f"p2p{rank}"] = got
+
+    for rank in (0, 1):
+        world.spawn_rank(rank, coll_thread, name=f"coll{rank}")
+        world.spawn_rank(rank, lambda c, r=rank: p2p_thread(c, r), name=f"p2p{rank}")
+    rt.run()
+    assert out["coll0"] == out["coll1"] == 3
+    assert out["p2p0"] == "p2p1" and out["p2p1"] == "p2p0"

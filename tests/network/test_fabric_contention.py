@@ -1,0 +1,111 @@
+"""Tests for the opt-in ingress-contention fabric model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import EngineKind, NicModel
+from repro.harness.runner import ClusterRuntime
+from repro.network.fabric import Fabric
+from repro.network.message import Packet, PacketKind
+from repro.network.nic import Nic
+from repro.units import KiB
+
+
+def _three_node_net(sim, contention: bool):
+    fabric = Fabric(sim, ingress_contention=contention)
+    nics = []
+    for i in range(3):
+        nic = Nic(sim, i, NicModel(), fabric)
+        fabric.attach(nic)
+        nics.append(nic)
+    return fabric, nics
+
+
+def _arrivals(sim, nics, sizes):
+    """Nodes 0 and 1 each DMA one packet to node 2 at t=0."""
+    times = []
+    nics[2].add_activity_listener(lambda: times.append(sim.now))
+    for src, size in zip((0, 1), sizes):
+        nics[src].submit_dma(Packet(PacketKind.EAGER, src, 2, size))
+    sim.run()
+    return times
+
+
+def test_without_contention_arrivals_coincide(sim):
+    _f, nics = _three_node_net(sim, contention=False)
+    times = _arrivals(sim, nics, [KiB(16), KiB(16)])
+    assert times[0] == pytest.approx(times[1])
+
+
+def test_with_contention_second_frame_queues(sim):
+    fabric, nics = _three_node_net(sim, contention=True)
+    times = _arrivals(sim, nics, [KiB(16), KiB(16)])
+    drain = (KiB(16) + 40) / NicModel().wire_bw
+    assert times[1] - times[0] == pytest.approx(drain, rel=0.01)
+    assert fabric.ingress_queued_us > 0
+
+
+def test_contention_only_per_destination(sim):
+    """Flows to different destinations never queue on each other."""
+    fabric = Fabric(sim, ingress_contention=True)
+    nics = []
+    for i in range(4):
+        nic = Nic(sim, i, NicModel(), fabric)
+        fabric.attach(nic)
+        nics.append(nic)
+    times = {}
+    nics[2].add_activity_listener(lambda: times.setdefault(2, sim.now))
+    nics[3].add_activity_listener(lambda: times.setdefault(3, sim.now))
+    nics[0].submit_dma(Packet(PacketKind.EAGER, 0, 2, KiB(16)))
+    nics[1].submit_dma(Packet(PacketKind.EAGER, 1, 3, KiB(16)))
+    sim.run()
+    assert times[2] == pytest.approx(times[3])
+    assert fabric.ingress_queued_us == 0
+
+
+def test_single_flow_unaffected(sim):
+    """The paper experiments (one flow) must time identically with the
+    model on — contention only matters with concurrent frames."""
+    results = []
+    for contention in (False, True):
+        s = type(sim)()  # fresh simulator
+        fabric, nics = _three_node_net(s, contention)
+        times = []
+        nics[2].add_activity_listener(lambda t=times, ss=s: t.append(ss.now))
+        nics[0].submit_dma(Packet(PacketKind.EAGER, 0, 2, KiB(8)))
+        s.run()
+        results.append(times[0])
+    assert results[0] == pytest.approx(results[1])
+
+
+def test_end_to_end_flood_slower_with_contention():
+    def run(contention: bool) -> float:
+        rt = ClusterRuntime.build(
+            engine=EngineKind.PIOMAN, nodes=3, ingress_contention=contention
+        )
+        done = []
+
+        def sender(ctx, me):
+            nm = ctx.env["nm"]
+            reqs = []
+            for i in range(4):
+                r = yield from nm.isend(ctx, 2, me * 10 + i, KiB(24), payload=i)
+                reqs.append(r)
+            yield from nm.wait_all(ctx, reqs)
+
+        def sink(ctx):
+            nm = ctx.env["nm"]
+            for me in (0, 1):
+                for i in range(4):
+                    req = yield from nm.recv(ctx, me, me * 10 + i, KiB(24))
+                    done.append(req.data)
+
+        rt.spawn(0, lambda c: sender(c, 0))
+        rt.spawn(1, lambda c: sender(c, 1))
+        rt.spawn(2, sink)
+        end = rt.run()
+        assert len(done) == 8
+        return end
+
+    assert run(True) > run(False)

@@ -1,0 +1,92 @@
+"""Unit tests for the memory-registration cache."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import NicModel
+from repro.errors import NetworkError
+from repro.network.registration import MemoryRegistry
+from repro.units import KiB, MiB
+
+
+@pytest.fixture
+def registry():
+    return MemoryRegistry(NicModel(), capacity_bytes=MiB(1))
+
+
+def test_first_registration_costs(registry):
+    cost = registry.register("buf", KiB(64))
+    assert cost > 0
+    assert registry.misses == 1
+
+
+def test_cache_hit_is_free(registry):
+    registry.register("buf", KiB(64))
+    assert registry.register("buf", KiB(64)) == 0.0
+    assert registry.hits == 1
+    assert registry.hit_rate() == 0.5
+
+
+def test_smaller_rerequest_hits(registry):
+    registry.register("buf", KiB(64))
+    assert registry.register("buf", KiB(16)) == 0.0
+
+
+def test_larger_rerequest_repins(registry):
+    registry.register("buf", KiB(16))
+    cost = registry.register("buf", KiB(64))
+    assert cost > 0
+    assert registry.pinned_bytes == KiB(64)
+
+
+def test_lru_eviction_under_pressure(registry):
+    registry.register("a", KiB(512))
+    registry.register("b", KiB(512))
+    registry.register("c", KiB(512))  # evicts a
+    assert registry.evictions >= 1
+    assert registry.register("a", KiB(512)) > 0  # a was evicted
+    assert registry.pinned_bytes <= registry.capacity_bytes
+
+
+def test_lru_order_refreshed_by_hits(registry):
+    registry.register("a", KiB(400))
+    registry.register("b", KiB(400))
+    registry.register("a", KiB(400))  # refresh a
+    registry.register("c", KiB(400))  # should evict b, not a
+    assert registry.register("a", KiB(400)) == 0.0
+    assert registry.register("b", KiB(400)) > 0.0
+
+
+def test_deregister(registry):
+    registry.register("buf", KiB(64))
+    registry.deregister("buf")
+    assert registry.pinned_bytes == 0
+    assert registry.register("buf", KiB(64)) > 0
+
+
+def test_cache_disabled_always_pays():
+    reg = MemoryRegistry(NicModel(), enable_cache=False)
+    c1 = reg.register("buf", KiB(64))
+    c2 = reg.register("buf", KiB(64))
+    assert c1 == c2 > 0
+
+
+def test_oversized_buffer_not_cached(registry):
+    cost = registry.register("huge", MiB(2))  # exceeds 1MiB capacity
+    assert cost > 0
+    assert registry.pinned_bytes == 0
+
+
+def test_validation():
+    with pytest.raises(NetworkError):
+        MemoryRegistry(NicModel(), capacity_bytes=0)
+    reg = MemoryRegistry(NicModel())
+    with pytest.raises(NetworkError):
+        reg.register("b", -1)
+
+
+def test_cost_scales_with_size(registry):
+    small = registry.register("s", KiB(4))
+    big = registry.register("b", KiB(512))
+    assert big > small

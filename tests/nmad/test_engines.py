@@ -1,0 +1,276 @@
+"""Engine behaviour tests: sequential baseline vs PIOMan semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import EngineKind
+from repro.errors import RequestError
+from repro.harness.runner import ClusterRuntime
+from repro.units import KiB
+
+
+class TestSequentialBaseline:
+    def test_isend_blocks_for_submission(self, sequential_runtime):
+        """§2: 'even a non-blocking send may take several dozens of
+        microseconds to return' — inline submission of a 32K message."""
+        out = {}
+
+        def sender(ctx):
+            nm = ctx.env["nm"]
+            t0 = ctx.now
+            req = yield from nm.isend(ctx, 1, 0, KiB(32))
+            out["isend_us"] = ctx.now - t0
+            yield from nm.swait(ctx, req)
+
+        def receiver(ctx):
+            nm = ctx.env["nm"]
+            req = yield from nm.recv(ctx, 0, 0, KiB(32))
+
+        sequential_runtime.spawn(0, sender)
+        sequential_runtime.spawn(1, receiver)
+        sequential_runtime.run()
+        copy_us = sequential_runtime.timing.host.memcpy_us(KiB(32))
+        assert out["isend_us"] >= copy_us  # dozens of µs, inline
+
+    def test_big_lock_serializes_library_calls(self, sequential_runtime):
+        """§2.1: the baseline's thread-safety is one library-wide mutex."""
+        out = {}
+
+        def worker(ctx, tag):
+            nm = ctx.env["nm"]
+            t0 = ctx.now
+            req = yield from nm.isend(ctx, 1, tag, KiB(32))
+            out[tag] = (t0, ctx.now)
+            yield from nm.swait(ctx, req)
+
+        def receiver(ctx):
+            nm = ctx.env["nm"]
+            for tag in (0, 1):
+                yield from nm.recv(ctx, 0, tag, KiB(32))
+
+        sequential_runtime.spawn(0, lambda c: worker(c, 0), core_index=0)
+        sequential_runtime.spawn(0, lambda c: worker(c, 1), core_index=1)
+        sequential_runtime.spawn(1, receiver)
+        sequential_runtime.run()
+        # both isends start at ~0 on distinct cores, but the second's
+        # submission serializes behind the first's
+        d0 = out[0][1] - out[0][0]
+        d1 = out[1][1] - out[1][0]
+        assert max(d0, d1) >= 1.7 * min(d0, d1)
+        engine = sequential_runtime.node(0).engine
+        assert engine.big_lock.contended_acquires >= 1
+
+    def test_no_progress_without_library_calls(self, sequential_runtime):
+        """Nothing moves while the application computes outside the lib."""
+        out = {}
+
+        def sender(ctx):
+            nm = ctx.env["nm"]
+            req = yield from nm.isend(ctx, 1, 0, KiB(64))  # rendezvous
+            out["rts_state_after_isend"] = req.state
+            yield ctx.compute(300.0)
+            out["state_after_compute"] = req.state
+            yield from nm.swait(ctx, req)
+
+        def receiver(ctx):
+            nm = ctx.env["nm"]
+            yield ctx.compute(300.0)
+            req = yield from nm.recv(ctx, 0, 0, KiB(64))
+
+        sequential_runtime.spawn(0, sender)
+        sequential_runtime.spawn(1, receiver)
+        sequential_runtime.run()
+        # RTS went out inline with isend, but the handshake cannot advance
+        # during compute: the CTS answer needs the receiver in the library
+        assert out["rts_state_after_isend"] == "rts_sent"
+        assert out["state_after_compute"] == "rts_sent"
+
+
+class TestPiomanEngine:
+    def test_isend_returns_immediately(self, pioman_runtime):
+        out = {}
+
+        def sender(ctx):
+            nm = ctx.env["nm"]
+            t0 = ctx.now
+            req = yield from nm.isend(ctx, 1, 0, KiB(32))
+            out["isend_us"] = ctx.now - t0
+            yield from nm.swait(ctx, req)
+
+        def receiver(ctx):
+            nm = ctx.env["nm"]
+            yield from nm.recv(ctx, 0, 0, KiB(32))
+
+        pioman_runtime.spawn(0, sender)
+        pioman_runtime.spawn(1, receiver)
+        pioman_runtime.run()
+        assert out["isend_us"] < 1.0  # registration only
+
+    def test_submission_happens_on_idle_core(self, pioman_runtime):
+        def sender(ctx):
+            nm = ctx.env["nm"]
+            req = yield from nm.isend(ctx, 1, 0, KiB(16))
+            yield ctx.compute(60.0)
+            yield from nm.swait(ctx, req)
+
+        def receiver(ctx):
+            nm = ctx.env["nm"]
+            yield from nm.recv(ctx, 0, 0, KiB(16))
+
+        pioman_runtime.spawn(0, sender, core_index=0)
+        pioman_runtime.spawn(1, receiver)
+        pioman_runtime.run()
+        sched = pioman_runtime.node(0).scheduler
+        # a core other than the sender's shows service time (the copy)
+        other_service = sum(
+            c.timeline.service_us for c in sched.cores if c.index != 0
+        )
+        assert other_service > pioman_runtime.timing.host.memcpy_us(KiB(16)) * 0.8
+        assert pioman_runtime.node(0).engine.offloaded_ops >= 1
+
+    def test_submission_in_wait_when_cores_busy(self):
+        """§2.2: 'If the application reaches the wait function before the
+        message has been submitted (every CPU was busy), then the message
+        is sent inside the wait function.'"""
+        rt = ClusterRuntime.build(engine=EngineKind.PIOMAN)
+
+        def busy(ctx):
+            yield ctx.compute(500.0)
+
+        out = {}
+
+        def sender(ctx):
+            nm = ctx.env["nm"]
+            req = yield from nm.isend(ctx, 1, 0, KiB(16))
+            t0 = ctx.now
+            yield from nm.swait(ctx, req)
+            out["wait_us"] = ctx.now - t0
+
+        def receiver(ctx):
+            nm = ctx.env["nm"]
+            yield from nm.recv(ctx, 0, 0, KiB(16))
+
+        # fill ALL 8 cores of node 0 with pinned busy threads
+        for i in range(8):
+            rt.spawn(0, busy, name=f"busy{i}", core_index=i, migratable=False)
+        rt.spawn(0, sender, name="S", core_index=0, migratable=False)
+        rt.spawn(1, receiver, name="R")
+        rt.run()
+        # the submission copy (≈22µs) happened inside the wait
+        copy_us = rt.timing.host.memcpy_us(KiB(16))
+        assert out["wait_us"] >= copy_us * 0.8
+
+    def test_rendezvous_progresses_during_compute(self, pioman_runtime):
+        out = {}
+
+        def sender(ctx):
+            nm = ctx.env["nm"]
+            req = yield from nm.isend(ctx, 1, 0, KiB(64))
+            yield ctx.compute(300.0)
+            out["state_after_compute"] = req.state
+            yield from nm.swait(ctx, req)
+
+        def receiver(ctx):
+            nm = ctx.env["nm"]
+            req = yield from nm.irecv(ctx, 0, 0, KiB(64))
+            yield ctx.compute(300.0)
+            yield from nm.rwait(ctx, req)
+
+        pioman_runtime.spawn(0, sender)
+        pioman_runtime.spawn(1, receiver)
+        pioman_runtime.run()
+        # unlike the baseline, the handshake completed during the compute
+        assert out["state_after_compute"] == "completed"
+
+    def test_event_counters(self, pioman_runtime):
+        def sender(ctx):
+            nm = ctx.env["nm"]
+            req = yield from nm.isend(ctx, 1, 0, KiB(4))
+            yield from nm.swait(ctx, req)
+
+        def receiver(ctx):
+            nm = ctx.env["nm"]
+            yield from nm.recv(ctx, 0, 0, KiB(4))
+
+        pioman_runtime.spawn(0, sender)
+        pioman_runtime.spawn(1, receiver)
+        pioman_runtime.run()
+        engine = pioman_runtime.node(0).engine
+        assert engine.kicks >= 1
+        assert engine.idle_activations >= 1
+
+
+class TestInterfaceValidation:
+    def test_swait_on_recv_rejected(self, runtime):
+        def body(ctx):
+            nm = ctx.env["nm"]
+            req = yield from nm.irecv(ctx, 1, 0, 100)
+            with pytest.raises(RequestError, match="swait on a recv"):
+                yield from nm.swait(ctx, req)
+            # clean up: actually receive it
+            return
+
+        def sender(ctx):
+            nm = ctx.env["nm"]
+            req = yield from nm.isend(ctx, 0, 0, 100)
+            yield from nm.swait(ctx, req)
+
+        runtime.spawn(0, body)
+        runtime.spawn(1, sender)
+        runtime.run(until=1000.0)
+
+    def test_rwait_on_send_rejected(self, runtime):
+        def body(ctx):
+            nm = ctx.env["nm"]
+            req = yield from nm.isend(ctx, 1, 0, 100)
+            with pytest.raises(RequestError, match="rwait on a send"):
+                yield from nm.rwait(ctx, req)
+            yield from nm.swait(ctx, req)
+
+        def receiver(ctx):
+            nm = ctx.env["nm"]
+            yield from nm.recv(ctx, 0, 0, 100)
+
+        runtime.spawn(0, body)
+        runtime.spawn(1, receiver)
+        runtime.run()
+
+    def test_wait_all_returns_all(self, runtime):
+        out = {}
+
+        def sender(ctx):
+            nm = ctx.env["nm"]
+            reqs = []
+            for i in range(4):
+                r = yield from nm.isend(ctx, 1, i, KiB(1), payload=i)
+                reqs.append(r)
+            done = yield from nm.wait_all(ctx, reqs)
+            out["all_done"] = all(r.done for r in done)
+
+        def receiver(ctx):
+            nm = ctx.env["nm"]
+            for i in range(4):
+                yield from nm.recv(ctx, 0, i, KiB(1))
+
+        runtime.spawn(0, sender)
+        runtime.spawn(1, receiver)
+        runtime.run()
+        assert out["all_done"]
+
+    def test_blocking_send_recv_convenience(self, runtime):
+        out = {}
+
+        def a(ctx):
+            nm = ctx.env["nm"]
+            yield from nm.send(ctx, 1, 3, KiB(2), payload="sync")
+
+        def b(ctx):
+            nm = ctx.env["nm"]
+            req = yield from nm.recv(ctx, 0, 3, KiB(2))
+            out["data"] = req.data
+
+        runtime.spawn(0, a)
+        runtime.spawn(1, b)
+        runtime.run()
+        assert out["data"] == "sync"

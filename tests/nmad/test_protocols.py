@@ -1,0 +1,350 @@
+"""Protocol integration tests: eager, PIO, rendezvous, unexpected paths.
+
+These run the full stack (runner + session + engine) and assert protocol
+behaviour through session statistics and delivered payloads. All tests are
+parametrized over both engines via the ``runtime`` fixture.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.runner import ClusterRuntime
+from repro.nmad.request import Protocol, ReqState
+from repro.units import KiB
+
+
+def _pair(rt: ClusterRuntime, size: int, out: dict, tag=0, pre_post=True, recv_delay=0.0, payload="x"):
+    """Spawn a standard sender/receiver pair on nodes 0/1."""
+
+    def sender(ctx):
+        nm = ctx.env["nm"]
+        req = yield from nm.isend(ctx, 1, tag, size, payload=payload)
+        yield from nm.swait(ctx, req)
+        out["send_done"] = ctx.now
+        out["send_req"] = req
+
+    def receiver(ctx):
+        nm = ctx.env["nm"]
+        if recv_delay:
+            yield ctx.compute(recv_delay)
+        req = yield from nm.irecv(ctx, 0, tag, max(size, 1))
+        yield from nm.rwait(ctx, req)
+        out["recv_done"] = ctx.now
+        out["recv_req"] = req
+
+    rt.spawn(0, sender, name="S")
+    rt.spawn(1, receiver, name="R")
+
+
+class TestEager:
+    def test_payload_delivered(self, runtime):
+        out = {}
+        _pair(runtime, KiB(4), out, payload={"k": [1, 2]})
+        runtime.run()
+        assert out["recv_req"].data == {"k": [1, 2]}
+        assert out["recv_req"].received_size == KiB(4)
+        assert out["recv_req"].source == 0
+
+    def test_protocol_chosen_by_size(self, runtime):
+        out = {}
+        _pair(runtime, KiB(4), out)
+        runtime.run()
+        assert out["send_req"].protocol == Protocol.EAGER
+        assert runtime.node(0).session.stats["eager_sends"] == 1
+
+    def test_send_completes_at_copy_not_delivery(self, pioman_runtime):
+        """Eager sends are buffered: local completion precedes remote
+        arrival (MX semantics — the buffer is reusable after the copy)."""
+        out = {}
+        _pair(pioman_runtime, KiB(16), out)
+        pioman_runtime.run()
+        assert out["send_done"] < out["recv_done"]
+
+    def test_zero_byte_message(self, runtime):
+        out = {}
+        _pair(runtime, 0, out, payload="empty")
+        runtime.run()
+        assert out["recv_req"].data == "empty"
+
+
+class TestPio:
+    def test_tiny_message_uses_pio(self, runtime):
+        out = {}
+        _pair(runtime, 64, out)
+        runtime.run()
+        assert out["send_req"].protocol == Protocol.PIO
+        assert runtime.node(0).session.stats["pio_sends"] == 1
+
+    def test_threshold_boundary(self, runtime):
+        out = {}
+        _pair(runtime, 128, out)  # exactly the PIO threshold
+        runtime.run()
+        assert out["send_req"].protocol == Protocol.PIO
+
+    def test_above_threshold_is_eager(self, runtime):
+        out = {}
+        _pair(runtime, 129, out)
+        runtime.run()
+        assert out["send_req"].protocol == Protocol.EAGER
+
+
+class TestRendezvous:
+    def test_large_message_uses_rdv(self, runtime):
+        out = {}
+        _pair(runtime, KiB(64), out)
+        runtime.run()
+        assert out["send_req"].protocol == Protocol.RDV
+        assert runtime.node(0).session.stats["rdv_sends"] == 1
+
+    def test_threshold_boundary_stays_eager(self, runtime):
+        out = {}
+        _pair(runtime, KiB(32), out)  # exactly the RDV threshold
+        runtime.run()
+        assert out["send_req"].protocol == Protocol.EAGER
+
+    def test_payload_delivered_zero_copy(self, runtime):
+        out = {}
+        _pair(runtime, KiB(256), out, payload="huge")
+        runtime.run()
+        assert out["recv_req"].data == "huge"
+
+    def test_rdv_send_completes_after_data_drain(self, runtime):
+        """The zero-copy DATA leg holds the app buffer until DMA drain:
+        completion must come after the wire time of 256K."""
+        out = {}
+        _pair(runtime, KiB(256), out)
+        runtime.run()
+        wire_us = KiB(256) / runtime.timing.nic.wire_bw
+        assert out["send_done"] >= wire_us * 0.9
+
+    def test_no_unexpected_data_bytes(self, runtime):
+        """Rendezvous exists to avoid buffering large payloads: the
+        unexpected store must never hold RDV data bytes."""
+        out = {}
+        _pair(runtime, KiB(512), out, recv_delay=50.0)  # recv posted late
+        runtime.run()
+        assert runtime.node(1).session.unexpected.peak_bytes == 0
+
+    def test_late_recv_rts_parked_and_answered(self, runtime):
+        out = {}
+        _pair(runtime, KiB(64), out, recv_delay=100.0)
+        runtime.run()
+        assert out["recv_req"].data == "x"
+
+    def test_rts_lands_in_unexpected_store_under_pioman(self, pioman_runtime):
+        """PIOMan processes the RTS immediately (idle core); with the recv
+        not yet posted it must park in the unexpected store. (The baseline
+        never sees it as unexpected — nothing polls until rwait.)"""
+        out = {}
+        _pair(pioman_runtime, KiB(64), out, recv_delay=100.0)
+        pioman_runtime.run()
+        assert pioman_runtime.node(1).session.stats["unexpected_rts"] == 1
+
+
+class TestUnexpected:
+    def test_late_recv_pays_double_copy_under_pioman(self, pioman_runtime):
+        """§2.2: unexpected eager arrivals are copied to the unexpected
+        buffer, then again into the application buffer on match. Only the
+        multithreaded engine processes arrivals before the recv is posted;
+        the baseline leaves the packet in the NIC ring until rwait."""
+        out = {}
+        _pair(pioman_runtime, KiB(8), out, recv_delay=200.0)
+        pioman_runtime.run()
+        session = pioman_runtime.node(1).session
+        assert session.stats["unexpected_eager"] == 1
+        assert session.stats["expected_eager"] == 0
+        # the store saw the bytes and drained them
+        assert session.unexpected.peak_bytes == KiB(8)
+        assert len(session.unexpected) == 0
+        assert out["recv_req"].data == "x"
+
+    def test_late_recv_stays_in_ring_under_baseline(self, sequential_runtime):
+        """The app-driven baseline never classifies the arrival as
+        unexpected — nothing polls until the receiver enters the library."""
+        out = {}
+        _pair(sequential_runtime, KiB(8), out, recv_delay=200.0)
+        sequential_runtime.run()
+        session = sequential_runtime.node(1).session
+        assert session.stats["unexpected_eager"] == 0
+        assert session.stats["expected_eager"] == 1
+        assert out["recv_req"].data == "x"
+
+    def test_pre_posted_recv_no_extra_copy(self, runtime):
+        out = {}
+        _pair(runtime, KiB(8), out)
+        runtime.run()
+        session = runtime.node(1).session
+        assert session.stats["expected_eager"] == 1
+        assert session.stats["unexpected_eager"] == 0
+
+    def test_unexpected_copy_in_recv_critical_path(self):
+        """Under PIOMan, the copy-out of an unexpected message sits in the
+        posting thread's critical path (it happens at post time)."""
+        from repro.config import EngineKind
+
+        rt = ClusterRuntime.build(engine=EngineKind.PIOMAN)
+        out = {}
+        _pair(rt, KiB(16), out, recv_delay=100.0)
+        rt.run()
+        # recv posted at ~100, message long arrived: latency ≈ copy-out cost
+        latency = out["recv_req"].latency()
+        copy_us = rt.timing.host.memcpy_us(KiB(16))
+        assert latency >= copy_us * 0.8
+        assert latency < 100.0  # but nowhere near a full transfer
+
+
+class TestOrderingAndMatching:
+    def test_same_tag_fifo_order(self, runtime):
+        got = []
+
+        def sender(ctx):
+            nm = ctx.env["nm"]
+            reqs = []
+            for i in range(5):
+                r = yield from nm.isend(ctx, 1, 7, KiB(1), payload=i)
+                reqs.append(r)
+            yield from nm.wait_all(ctx, reqs)
+
+        def receiver(ctx):
+            nm = ctx.env["nm"]
+            for _ in range(5):
+                req = yield from nm.recv(ctx, 0, 7, KiB(1))
+                got.append(req.data)
+
+        runtime.spawn(0, sender)
+        runtime.spawn(1, receiver)
+        runtime.run()
+        assert got == [0, 1, 2, 3, 4]
+
+    def test_interleaved_tags_matched_correctly(self, runtime):
+        got = {}
+
+        def sender(ctx):
+            nm = ctx.env["nm"]
+            reqs = []
+            for tag in (3, 1, 2):
+                r = yield from nm.isend(ctx, 1, tag, KiB(1), payload=f"tag{tag}")
+                reqs.append(r)
+            yield from nm.wait_all(ctx, reqs)
+
+        def receiver(ctx):
+            nm = ctx.env["nm"]
+            for tag in (1, 2, 3):
+                req = yield from nm.recv(ctx, 0, tag, KiB(1))
+                got[tag] = req.data
+
+        runtime.spawn(0, sender)
+        runtime.spawn(1, receiver)
+        runtime.run()
+        assert got == {1: "tag1", 2: "tag2", 3: "tag3"}
+
+    def test_wildcard_receive(self, runtime):
+        got = []
+
+        def sender(ctx):
+            nm = ctx.env["nm"]
+            req = yield from nm.isend(ctx, 1, 42, KiB(2), payload="wild")
+            yield from nm.swait(ctx, req)
+
+        def receiver(ctx):
+            nm = ctx.env["nm"]
+            from repro.nmad.tags import ANY
+
+            req = yield from nm.recv(ctx, ANY, ANY, KiB(64))
+            got.append((req.data, req.source, req.tag))
+
+        runtime.spawn(0, sender)
+        runtime.spawn(1, receiver)
+        runtime.run()
+        assert got[0][0] == "wild"
+        assert got[0][1] == 0
+
+    def test_mixed_eager_rdv_same_tag_ordered(self, runtime):
+        """Eager and rendezvous messages on the same flow must deliver in
+        send order (shared sequence numbers)."""
+        got = []
+
+        def sender(ctx):
+            nm = ctx.env["nm"]
+            reqs = []
+            for i, size in enumerate((KiB(4), KiB(64), KiB(4))):
+                r = yield from nm.isend(ctx, 1, 9, size, payload=i)
+                reqs.append(r)
+            yield from nm.wait_all(ctx, reqs)
+
+        def receiver(ctx):
+            nm = ctx.env["nm"]
+            for _ in range(3):
+                req = yield from nm.recv(ctx, 0, 9, KiB(64))
+                got.append(req.data)
+
+        runtime.spawn(0, sender)
+        runtime.spawn(1, receiver)
+        runtime.run()
+        assert got == [0, 1, 2]
+
+
+class TestIntraNode:
+    def test_shm_gate_roundtrip(self, runtime):
+        out = {}
+
+        def a(ctx):
+            nm = ctx.env["nm"]
+            req = yield from nm.isend(ctx, 0, 1, KiB(8), payload="local")
+            yield from nm.swait(ctx, req)
+
+        def b(ctx):
+            nm = ctx.env["nm"]
+            req = yield from nm.recv(ctx, 0, 1, KiB(8))
+            out["data"] = req.data
+
+        runtime.spawn(0, a)
+        runtime.spawn(0, b)
+        runtime.run()
+        assert out["data"] == "local"
+
+    def test_shm_never_rendezvous(self, runtime):
+        """The shared-memory channel has no rendezvous: even huge messages
+        go eager (one copy in, one out)."""
+        out = {}
+
+        def a(ctx):
+            nm = ctx.env["nm"]
+            req = yield from nm.isend(ctx, 0, 1, KiB(512), payload="big-local")
+            out["req"] = req
+            yield from nm.swait(ctx, req)
+
+        def b(ctx):
+            nm = ctx.env["nm"]
+            req = yield from nm.recv(ctx, 0, 1, KiB(512))
+            out["data"] = req.data
+
+        runtime.spawn(0, a)
+        runtime.spawn(0, b)
+        runtime.run()
+        assert out["req"].protocol == Protocol.EAGER
+        assert out["data"] == "big-local"
+
+    def test_shm_faster_than_nic_for_small(self, engine_kind):
+        def run(intra: bool) -> float:
+            rt = ClusterRuntime.build(engine=engine_kind)
+            out = {}
+            dst = 0 if intra else 1
+
+            def a(ctx):
+                nm = ctx.env["nm"]
+                req = yield from nm.isend(ctx, dst, 1, KiB(4), payload="m")
+                yield from nm.swait(ctx, req)
+
+            def b(ctx):
+                nm = ctx.env["nm"]
+                req = yield from nm.recv(ctx, 0, 1, KiB(4))
+                out["t"] = ctx.now
+
+            rt.spawn(0, a)
+            rt.spawn(dst, b)
+            rt.run()
+            return out["t"]
+
+        assert run(intra=True) < run(intra=False)

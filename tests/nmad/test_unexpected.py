@@ -1,0 +1,83 @@
+"""Unit tests for the unexpected-message store."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import MatchingError
+from repro.nmad.tags import ANY
+from repro.nmad.unexpected import UnexpectedEager, UnexpectedRts, UnexpectedStore
+
+
+def _eager(source=0, tag=0, seq=0, size=1024):
+    return UnexpectedEager(source=source, tag=tag, seq=seq, size=size, payload="p", arrived_at=1.0)
+
+
+def _rts(source=0, tag=0, seq=0, size=1 << 20):
+    return UnexpectedRts(source=source, tag=tag, seq=seq, size=size, send_req_id=9, arrived_at=1.0)
+
+
+def test_match_fifo():
+    store = UnexpectedStore()
+    a, b = _eager(seq=0), _eager(seq=1)
+    store.add(a)
+    store.add(b)
+    assert store.match(0, 0) is a
+    assert store.match(0, 0) is b
+    assert store.match(0, 0) is None
+
+
+def test_match_by_tag_and_source():
+    store = UnexpectedStore()
+    store.add(_eager(source=2, tag=5))
+    assert store.match(2, 6) is None
+    assert store.match(3, 5) is None
+    assert store.match(2, 5) is not None
+
+
+def test_wildcard_match():
+    store = UnexpectedStore()
+    item = _eager(source=4, tag=9)
+    store.add(item)
+    assert store.match(ANY, ANY) is item
+
+
+def test_mixed_kinds():
+    store = UnexpectedStore()
+    e, r = _eager(tag=1), _rts(tag=2)
+    store.add(e)
+    store.add(r)
+    assert store.match(0, 2) is r
+    assert store.match(0, 1) is e
+
+
+def test_byte_accounting():
+    store = UnexpectedStore()
+    store.add(_eager(size=1000))
+    store.add(_eager(tag=1, size=500))
+    assert store.buffered_bytes == 1500
+    assert store.peak_bytes == 1500
+    store.match(0, 0)
+    assert store.buffered_bytes == 500
+    assert store.peak_bytes == 1500  # peak remembered
+
+
+def test_rts_does_not_count_bytes():
+    store = UnexpectedStore()
+    store.add(_rts())
+    assert store.buffered_bytes == 0
+
+
+def test_require_empty():
+    store = UnexpectedStore()
+    store.require_empty()
+    store.add(_eager())
+    with pytest.raises(MatchingError, match="never matched"):
+        store.require_empty()
+
+
+def test_len():
+    store = UnexpectedStore()
+    assert len(store) == 0
+    store.add(_eager())
+    assert len(store) == 1

@@ -1,0 +1,135 @@
+"""Unit tests for the adaptive offload policies (§5 future work)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.pioman.adaptive import AdaptiveOffload, AlwaysOffload, NeverOffload
+
+
+class TestAlways:
+    def test_always_true(self):
+        pol = AlwaysOffload()
+        assert pol.decide(1, 0.1, 0)
+        assert pol.decide(1 << 20, 1000.0, 8)
+        assert pol.offloads == 2
+
+
+class TestNever:
+    def test_always_false(self):
+        pol = NeverOffload()
+        assert not pol.decide(1 << 20, 1000.0, 8)
+        assert pol.inlines == 1
+
+
+class TestAdaptive:
+    def test_requires_idle_core(self):
+        pol = AdaptiveOffload()
+        assert not pol.decide(1 << 20, 1000.0, idle_cores=0)
+        assert pol.decide(1 << 20, 1000.0, idle_cores=1)
+
+    def test_tiny_copies_inline(self):
+        pol = AdaptiveOffload(dispatch_cost_us=2.0)
+        assert not pol.decide(256, 0.6, idle_cores=4)
+        assert pol.decide(32768, 42.0, idle_cores=4)
+
+    def test_margin_raises_the_bar(self):
+        strict = AdaptiveOffload(dispatch_cost_us=2.0, margin=3.0)
+        assert not strict.decide(4096, 5.0, idle_cores=4)  # 5 < 2*3
+        assert strict.decide(32768, 42.0, idle_cores=4)
+
+    def test_idle_requirement_can_be_disabled(self):
+        pol = AdaptiveOffload(require_idle_core=False)
+        assert pol.decide(32768, 42.0, idle_cores=0)
+
+    def test_statistics(self):
+        pol = AdaptiveOffload()
+        pol.decide(256, 0.5, 4)
+        pol.decide(32768, 42.0, 4)
+        assert pol.inlines == 1 and pol.offloads == 1
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            AdaptiveOffload(dispatch_cost_us=-1)
+        with pytest.raises(ConfigError):
+            AdaptiveOffload(margin=0)
+
+
+class TestEngineIntegration:
+    def test_never_policy_submits_inline(self):
+        from repro.config import EngineKind
+        from repro.harness.runner import ClusterRuntime
+        from repro.units import KiB
+
+        rt = ClusterRuntime.build(engine=EngineKind.PIOMAN, offload_policy="never")
+        out = {}
+
+        def sender(ctx):
+            nm = ctx.env["nm"]
+            t0 = ctx.now
+            req = yield from nm.isend(ctx, 1, 0, KiB(16))
+            out["isend_us"] = ctx.now - t0
+            yield from nm.swait(ctx, req)
+
+        def receiver(ctx):
+            nm = ctx.env["nm"]
+            yield from nm.recv(ctx, 0, 0, KiB(16))
+
+        rt.spawn(0, sender)
+        rt.spawn(1, receiver)
+        rt.run()
+        # inline submission: isend takes the copy time, like the baseline —
+        # but *without* the big lock (event-granular)
+        assert out["isend_us"] >= rt.timing.host.memcpy_us(KiB(16)) * 0.9
+
+    def test_always_policy_defers(self):
+        from repro.config import EngineKind
+        from repro.harness.runner import ClusterRuntime
+        from repro.units import KiB
+
+        rt = ClusterRuntime.build(engine=EngineKind.PIOMAN, offload_policy="always")
+        out = {}
+
+        def sender(ctx):
+            nm = ctx.env["nm"]
+            t0 = ctx.now
+            req = yield from nm.isend(ctx, 1, 0, KiB(16))
+            out["isend_us"] = ctx.now - t0
+            yield from nm.swait(ctx, req)
+
+        def receiver(ctx):
+            nm = ctx.env["nm"]
+            yield from nm.recv(ctx, 0, 0, KiB(16))
+
+        rt.spawn(0, sender)
+        rt.spawn(1, receiver)
+        rt.run()
+        assert out["isend_us"] < 1.0
+
+    def test_payloads_identical_across_policies(self):
+        from repro.config import EngineKind
+        from repro.harness.runner import ClusterRuntime
+
+        for policy in ("always", "never", "adaptive"):
+            rt = ClusterRuntime.build(engine=EngineKind.PIOMAN, offload_policy=policy)
+            got = []
+
+            def sender(ctx):
+                nm = ctx.env["nm"]
+                reqs = []
+                for i in range(5):
+                    r = yield from nm.isend(ctx, 1, i, 1024 * (1 + i), payload=i)
+                    reqs.append(r)
+                yield from nm.wait_all(ctx, reqs)
+
+            def receiver(ctx):
+                nm = ctx.env["nm"]
+                for i in range(5):
+                    req = yield from nm.recv(ctx, 0, i, 1 << 20)
+                    got.append(req.data)
+
+            rt.spawn(0, sender)
+            rt.spawn(1, receiver)
+            rt.run()
+            assert got == [0, 1, 2, 3, 4], policy

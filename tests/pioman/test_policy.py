@@ -1,0 +1,38 @@
+"""Unit tests for the detection-method policy."""
+
+from __future__ import annotations
+
+from repro.config import PiomanConfig
+from repro.pioman.policy import DetectionPolicy
+
+
+def test_idle_cores_poll():
+    policy = DetectionPolicy(PiomanConfig())
+    assert policy.select(idle_cores=3) == DetectionPolicy.POLL
+    assert policy.poll_choices == 1
+
+
+def test_no_idle_cores_block():
+    policy = DetectionPolicy(PiomanConfig())
+    assert policy.select(idle_cores=0) == DetectionPolicy.BLOCK
+    assert policy.block_choices == 1
+
+
+def test_threshold_respected():
+    policy = DetectionPolicy(PiomanConfig(blocking_idle_core_threshold=3))
+    assert policy.select(idle_cores=2) == DetectionPolicy.BLOCK
+    assert policy.select(idle_cores=3) == DetectionPolicy.POLL
+
+
+def test_blocking_disabled_always_polls():
+    policy = DetectionPolicy(PiomanConfig(allow_blocking_calls=False))
+    assert policy.select(idle_cores=0) == DetectionPolicy.POLL
+    assert policy.block_choices == 0
+
+
+def test_statistics_accumulate():
+    policy = DetectionPolicy(PiomanConfig())
+    for idle in (0, 0, 5, 1):
+        policy.select(idle)
+    assert policy.block_choices == 2
+    assert policy.poll_choices == 2

@@ -1,0 +1,83 @@
+"""Unit tests for the PIOMan event server (blocking-watch machinery)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import TimingModel
+from repro.marcel.scheduler import MarcelScheduler
+from repro.nmad.core import NmSession
+from repro.pioman.server import EventServer
+
+
+@pytest.fixture
+def setup(sim, node8):
+    scheduler = MarcelScheduler(sim, node8)
+    session = NmSession(sim, scheduler, node8)
+    calls = []
+    server = EventServer(session, scheduler, TimingModel(), lambda ctx: calls.append(sim.now))
+    return sim, scheduler, session, server, calls
+
+
+def test_arm_and_disarm_on_completion(setup):
+    sim, _sched, session, server, _calls = setup
+    req = session.make_recv(0, 0, 10)
+    server.arm(req)
+    assert server.armed_count() == 1
+    assert req.blocking_watch
+    session._complete_req(req)
+    assert server.armed_count() == 0
+    assert not req.blocking_watch
+
+
+def test_arm_idempotent(setup):
+    _sim, _sched, session, server, _calls = setup
+    req = session.make_recv(0, 0, 10)
+    server.arm(req)
+    server.arm(req)
+    assert server.armed_count() == 1
+    assert server.blocking_waits == 1
+
+
+def test_activity_without_watch_is_ignored(setup):
+    sim, _sched, _session, server, calls = setup
+    server.on_hw_activity()
+    sim.run()
+    assert calls == []
+    assert server.interrupts_taken == 0
+
+
+def test_activity_with_watch_schedules_delayed_detection(setup):
+    sim, _sched, session, server, calls = setup
+    req = session.make_recv(0, 0, 10)
+    server.arm(req)
+    server.on_hw_activity()
+    sim.run()
+    # detection fires interrupt_us later, as a tasklet at a safe point
+    assert len(calls) == 1
+    assert calls[0] >= TimingModel().nic.interrupt_us
+    assert server.interrupts_taken == 1
+
+
+def test_interrupt_coalescing(setup):
+    """Back-to-back hardware activity while an interrupt is in flight must
+    not stack detections."""
+    sim, _sched, session, server, calls = setup
+    req = session.make_recv(0, 0, 10)
+    server.arm(req)
+    server.on_hw_activity()
+    server.on_hw_activity()
+    server.on_hw_activity()
+    sim.run()
+    assert server.interrupts_taken == 1
+    assert len(calls) == 1
+
+
+def test_detection_charges_syscall(setup):
+    sim, sched, session, server, _calls = setup
+    req = session.make_recv(0, 0, 10)
+    server.arm(req)
+    server.on_hw_activity()
+    sim.run()
+    service = sum(c.timeline.service_us for c in sched.cores)
+    assert service >= TimingModel().host.syscall_us

@@ -1,0 +1,96 @@
+"""Property tests over the full stack: random message mixes always deliver
+every payload, in per-flow order, under both engines, and the PIOMan engine
+never loses to the baseline by more than the bounded offload overhead.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.config import EngineKind
+from repro.harness.runner import ClusterRuntime
+from repro.units import KiB
+
+# keep runs modest: each example builds and runs a full cluster
+message_mixes = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=KiB(96)),  # size: pio/eager/rdv
+        st.integers(min_value=0, max_value=2),  # tag (flow)
+        st.floats(min_value=0.0, max_value=30.0),  # compute between sends
+    ),
+    min_size=1,
+    max_size=8,
+)
+
+
+def _run_mix(engine: str, mix) -> tuple[float, dict[int, list[int]]]:
+    rt = ClusterRuntime.build(engine=engine)
+    per_tag_counts: dict[int, int] = {}
+    for _size, tag, _c in mix:
+        per_tag_counts[tag] = per_tag_counts.get(tag, 0) + 1
+    received: dict[int, list[int]] = {t: [] for t in per_tag_counts}
+
+    def sender(ctx):
+        nm = ctx.env["nm"]
+        reqs = []
+        for i, (size, tag, compute) in enumerate(mix):
+            req = yield from nm.isend(ctx, 1, tag, size, payload=i)
+            reqs.append(req)
+            if compute > 0:
+                yield ctx.compute(compute)
+        yield from nm.wait_all(ctx, reqs)
+
+    def receiver(ctx):
+        nm = ctx.env["nm"]
+        for tag, count in sorted(per_tag_counts.items()):
+            for _ in range(count):
+                req = yield from nm.recv(ctx, 0, tag, KiB(128))
+                received[tag].append(req.data)
+
+    rt.spawn(0, sender, name="S")
+    rt.spawn(1, receiver, name="R")
+    end = rt.run()
+    return end, received
+
+
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(message_mixes)
+def test_all_payloads_delivered_in_flow_order(mix):
+    for engine in (EngineKind.SEQUENTIAL, EngineKind.PIOMAN):
+        _end, received = _run_mix(engine, mix)
+        # per flow, payload indices must be increasing (send order)
+        expected: dict[int, list[int]] = {}
+        for i, (_s, tag, _c) in enumerate(mix):
+            expected.setdefault(tag, []).append(i)
+        for tag, payloads in received.items():
+            assert payloads == expected[tag], f"{engine}: flow {tag} out of order"
+
+
+@settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(message_mixes)
+def test_engines_agree_on_delivered_data(mix):
+    _e1, r1 = _run_mix(EngineKind.SEQUENTIAL, mix)
+    _e2, r2 = _run_mix(EngineKind.PIOMAN, mix)
+    assert r1 == r2
+
+
+@settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    st.integers(min_value=KiB(1), max_value=KiB(32)),
+    st.floats(min_value=5.0, max_value=60.0),
+)
+def test_offload_never_slower_than_sum(size, compute):
+    """Invariant from §2.2: 'the offload has no impact on regular
+    computations' — PIOMan's sender time never exceeds the baseline's
+    sum-shape by more than the bounded overhead."""
+    from repro.apps.overlap import OverlapConfig, run_overlap
+
+    base = run_overlap(
+        OverlapConfig(engine=EngineKind.SEQUENTIAL, size=size, compute_us=compute, iterations=8, warmup=2)
+    )
+    piom = run_overlap(
+        OverlapConfig(engine=EngineKind.PIOMAN, size=size, compute_us=compute, iterations=8, warmup=2)
+    )
+    assert piom.per_iteration_us <= base.per_iteration_us + 5.0

@@ -1,0 +1,68 @@
+"""Property tests: units, RNG streams, registration cache."""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.config import NicModel
+from repro.network.registration import MemoryRegistry
+from repro.sim.rng import RngStreams
+from repro.units import fmt_size, parse_size
+
+
+@given(st.integers(min_value=0, max_value=1 << 40))
+def test_fmt_parse_size_roundtrip_for_exact_multiples(n):
+    """fmt_size output always parses back to a value within rounding."""
+    text = fmt_size(n)
+    parsed = parse_size(text)
+    # exact for multiples, ≤5% off for fractional labels like '1.5K'
+    assert abs(parsed - n) <= max(0.05 * n, 1)
+
+
+@given(st.integers(0, 2**31), st.text(min_size=1, max_size=20))
+def test_rng_substream_seed_is_pure(seed, name):
+    assert RngStreams(seed).derive_seed(name) == RngStreams(seed).derive_seed(name)
+
+
+@given(st.integers(0, 2**31), st.text(min_size=1, max_size=12), st.text(min_size=1, max_size=12))
+def test_rng_distinct_names_distinct_seeds(seed, a, b):
+    if a == b:
+        return
+    s = RngStreams(seed)
+    assert s.derive_seed(a) != s.derive_seed(b)
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 20), st.integers(0, 1 << 20)),
+        min_size=1,
+        max_size=60,
+    ),
+    st.integers(1 << 16, 1 << 22),
+)
+def test_registration_cache_never_exceeds_capacity(ops, capacity):
+    """Invariant: pinned bytes ≤ capacity after any operation sequence;
+    hits are always free."""
+    reg = MemoryRegistry(NicModel(), capacity_bytes=capacity)
+    for buf, size in ops:
+        cost = reg.register(f"buf{buf}", size)
+        assert cost >= 0.0
+        assert reg.pinned_bytes <= capacity
+    # re-registering the most recent buffer of its recorded size is free
+    buf, size = ops[-1]
+    if size <= capacity:
+        assert reg.register(f"buf{buf}", size) == 0.0
+
+
+@given(st.integers(0, 1 << 24))
+def test_memcpy_cost_linear_bound(n):
+    from repro.config import HostModel
+
+    h = HostModel()
+    cost = h.memcpy_us(n)
+    if n == 0:
+        assert cost == 0.0
+    else:
+        assert cost >= h.memcpy_setup_us
+        assert cost <= h.memcpy_setup_us + n / h.memcpy_bw + 1e-9

@@ -1,0 +1,86 @@
+"""Property tests: Marcel scheduler conservation and bounds.
+
+For any random set of compute-only threads:
+
+* every thread finishes;
+* total busy time equals the compute issued (conservation);
+* the makespan is at least the longest thread and at least the
+  total-work/cores lower bound, and no worse than serial execution plus
+  bounded scheduler overhead.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.marcel.scheduler import MarcelScheduler
+from repro.sim.kernel import Simulator
+from repro.topology.builder import build_node
+
+compute_lists = st.lists(
+    st.floats(min_value=0.5, max_value=200.0, allow_nan=False),
+    min_size=1,
+    max_size=16,
+)
+
+
+def _run_threads(computes, cores=8, pin_all_to_one=False):
+    sim = Simulator()
+    node = build_node(0, sockets=1, cores_per_socket=cores)
+    sched = MarcelScheduler(sim, node)
+    ends = {}
+
+    def body(ctx, i, d):
+        yield ctx.compute(d)
+        ends[i] = sim.now
+
+    for i, d in enumerate(computes):
+        kwargs = {"core_index": 0, "migratable": False} if pin_all_to_one else {}
+        sched.spawn(lambda c, i=i, d=d: body(c, i, d), name=f"t{i}", **kwargs)
+    makespan = sim.run()
+    return sched, ends, makespan
+
+
+@settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(compute_lists)
+def test_all_threads_finish_and_busy_conserved(computes):
+    sched, ends, _makespan = _run_threads(computes)
+    assert len(ends) == len(computes)
+    busy = sum(c.timeline.busy_us for c in sched.cores)
+    assert busy == pytest.approx(sum(computes), rel=1e-9)
+
+
+@settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(compute_lists)
+def test_makespan_bounds(computes):
+    cores = 8
+    sched, _ends, makespan = _run_threads(computes, cores=cores)
+    total = sum(computes)
+    longest = max(computes)
+    lower = max(longest, total / cores)
+    assert makespan >= lower - 1e-6
+    # upper bound: serial execution + generous per-switch overhead
+    switches = sched.stats()["switches"] + sched.stats()["preemptions"]
+    assert makespan <= total + switches * 2.0 + 1.0
+
+
+@settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(compute_lists)
+def test_single_core_serializes_fairly(computes):
+    """Pinned to one core: makespan == total compute + switch costs, and
+    no thread finishes before its own compute time."""
+    sched, ends, makespan = _run_threads(computes, pin_all_to_one=True)
+    total = sum(computes)
+    assert makespan >= total - 1e-6
+    for i, d in enumerate(computes):
+        assert ends[i] >= d - 1e-6
+
+
+@settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(compute_lists, st.integers(1, 8))
+def test_determinism_across_runs(computes, cores):
+    a = _run_threads(computes, cores=cores)[2]
+    b = _run_threads(computes, cores=cores)[2]
+    assert a == b

@@ -1,0 +1,184 @@
+"""Unit tests for virtual-time synchronization primitives."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.primitives import Mutex, Semaphore, SimEvent, Store
+from repro.sim.process import Delay, WaitEvent, spawn
+
+
+class TestSimEvent:
+    def test_trigger_once_only(self, sim):
+        ev = SimEvent(sim)
+        ev.trigger(1)
+        with pytest.raises(SimulationError, match="twice"):
+            ev.trigger(2)
+
+    def test_waiters_fifo(self, sim):
+        ev = SimEvent(sim)
+        order = []
+        ev.add_waiter(lambda v: order.append(("a", v)))
+        ev.add_waiter(lambda v: order.append(("b", v)))
+        ev.trigger("x")
+        sim.run()
+        assert order == [("a", "x"), ("b", "x")]
+
+    def test_late_waiter_still_woken(self, sim):
+        ev = SimEvent(sim)
+        ev.trigger(5)
+        got = []
+        ev.add_waiter(got.append)
+        sim.run()
+        assert got == [5]
+
+    def test_waiter_count(self, sim):
+        ev = SimEvent(sim)
+        assert ev.waiter_count == 0
+        ev.add_waiter(lambda v: None)
+        assert ev.waiter_count == 1
+
+
+class TestMutex:
+    def test_mutual_exclusion(self, sim):
+        m = Mutex(sim)
+        trace = []
+
+        def proc(name, hold):
+            yield from m.acquire()
+            trace.append((name, "in", sim.now))
+            yield Delay(hold)
+            trace.append((name, "out", sim.now))
+            m.release()
+
+        spawn(sim, proc("a", 3.0))
+        spawn(sim, proc("b", 2.0))
+        sim.run()
+        assert trace == [
+            ("a", "in", 0.0),
+            ("a", "out", 3.0),
+            ("b", "in", 3.0),
+            ("b", "out", 5.0),
+        ]
+        assert m.contended_acquires == 1
+
+    def test_try_acquire(self, sim):
+        m = Mutex(sim)
+        assert m.try_acquire()
+        assert not m.try_acquire()
+        m.release()
+        assert m.try_acquire()
+
+    def test_release_unlocked_raises(self, sim):
+        m = Mutex(sim)
+        with pytest.raises(SimulationError, match="unlocked"):
+            m.release()
+
+    def test_fifo_handoff(self, sim):
+        m = Mutex(sim)
+        order = []
+
+        def proc(name):
+            yield from m.acquire()
+            order.append(name)
+            yield Delay(1.0)
+            m.release()
+
+        for name in "abcd":
+            spawn(sim, proc(name))
+        sim.run()
+        assert order == list("abcd")
+
+
+class TestSemaphore:
+    def test_initial_value_consumed_without_blocking(self, sim):
+        s = Semaphore(sim, value=2)
+        done = []
+
+        def proc(i):
+            yield from s.wait()
+            done.append((i, sim.now))
+
+        spawn(sim, proc(0))
+        spawn(sim, proc(1))
+        spawn(sim, proc(2))
+        sim.schedule(5.0, s.post)
+        sim.run()
+        assert done == [(0, 0.0), (1, 0.0), (2, 5.0)]
+
+    def test_negative_value_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            Semaphore(sim, value=-1)
+
+    def test_post_count_validation(self, sim):
+        s = Semaphore(sim)
+        with pytest.raises(SimulationError):
+            s.post(0)
+
+    def test_try_wait(self, sim):
+        s = Semaphore(sim, value=1)
+        assert s.try_wait()
+        assert not s.try_wait()
+
+    def test_post_many(self, sim):
+        s = Semaphore(sim)
+        s.post(3)
+        assert s.value == 3
+
+
+class TestStore:
+    def test_put_then_get(self, sim):
+        st = Store(sim)
+        st.put("x")
+        got = []
+
+        def proc():
+            item = yield from st.get()
+            got.append(item)
+
+        spawn(sim, proc())
+        sim.run()
+        assert got == ["x"]
+
+    def test_get_blocks_until_put(self, sim):
+        st = Store(sim)
+        got = []
+
+        def proc():
+            item = yield from st.get()
+            got.append((item, sim.now))
+
+        spawn(sim, proc())
+        sim.schedule(7.0, st.put, "late")
+        sim.run()
+        assert got == [("late", 7.0)]
+
+    def test_fifo_item_and_waiter_order(self, sim):
+        st = Store(sim)
+        got = []
+
+        def consumer(name):
+            item = yield from st.get()
+            got.append((name, item))
+
+        spawn(sim, consumer("c1"))
+        spawn(sim, consumer("c2"))
+        sim.schedule(1.0, st.put, "first")
+        sim.schedule(2.0, st.put, "second")
+        sim.run()
+        assert got == [("c1", "first"), ("c2", "second")]
+
+    def test_try_get(self, sim):
+        st = Store(sim)
+        ok, item = st.try_get()
+        assert not ok and item is None
+        st.put(9)
+        ok, item = st.try_get()
+        assert ok and item == 9
+
+    def test_len(self, sim):
+        st = Store(sim)
+        st.put(1)
+        st.put(2)
+        assert len(st) == 2

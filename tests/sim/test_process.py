@@ -1,0 +1,173 @@
+"""Unit tests for generator-based sim processes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.kernel import Simulator
+from repro.sim.primitives import SimEvent
+from repro.sim.process import Delay, SimProcess, WaitEvent, spawn
+
+
+def test_delay_advances_virtual_time(sim):
+    marks = []
+
+    def proc():
+        yield Delay(5.0)
+        marks.append(sim.now)
+        yield Delay(2.5)
+        marks.append(sim.now)
+
+    spawn(sim, proc())
+    sim.run()
+    assert marks == [5.0, 7.5]
+
+
+def test_process_return_value(sim):
+    def proc():
+        yield Delay(1.0)
+        return 42
+
+    p = spawn(sim, proc())
+    sim.run()
+    assert p.done and p.result == 42
+
+
+def test_wait_event_receives_value(sim):
+    ev = SimEvent(sim, name="data")
+    got = []
+
+    def waiter():
+        value = yield WaitEvent(ev)
+        got.append((sim.now, value))
+
+    spawn(sim, waiter())
+    sim.schedule(3.0, ev.trigger, "payload")
+    sim.run()
+    assert got == [(3.0, "payload")]
+
+
+def test_wait_on_already_triggered_event(sim):
+    ev = SimEvent(sim)
+    ev.trigger("early")
+    got = []
+
+    def waiter():
+        value = yield WaitEvent(ev)
+        got.append(value)
+
+    spawn(sim, waiter())
+    sim.run()
+    assert got == ["early"]
+
+
+def test_join_other_process(sim):
+    def child():
+        yield Delay(4.0)
+        return "child-result"
+
+    def parent():
+        c = SimProcess(sim, child(), name="child")
+        result = yield c
+        return (sim.now, result)
+
+    p = spawn(sim, parent())
+    sim.run()
+    assert p.result == (4.0, "child-result")
+
+
+def test_join_finished_process(sim):
+    def child():
+        yield Delay(1.0)
+        return 7
+
+    c = spawn(sim, child(), name="child")
+
+    def parent():
+        yield Delay(5.0)  # child finishes first
+        result = yield c
+        return result
+
+    p = spawn(sim, parent())
+    sim.run()
+    assert p.result == 7
+
+
+def test_negative_delay_rejected(sim):
+    with pytest.raises(SimulationError):
+        Delay(-1.0)
+
+
+def test_non_generator_rejected(sim):
+    with pytest.raises(SimulationError, match="generator"):
+        SimProcess(sim, lambda: None)  # type: ignore[arg-type]
+
+
+def test_double_start_rejected(sim):
+    def proc():
+        yield Delay(1.0)
+
+    p = spawn(sim, proc())
+    with pytest.raises(SimulationError, match="already started"):
+        p.start()
+
+
+def test_unsupported_effect_raises(sim):
+    def proc():
+        yield "nonsense"
+
+    spawn(sim, proc())
+    with pytest.raises(SimulationError, match="unsupported effect"):
+        sim.run()
+
+
+def test_exception_propagates_and_marks_done(sim):
+    def proc():
+        yield Delay(1.0)
+        raise ValueError("boom")
+
+    p = spawn(sim, proc())
+    with pytest.raises(ValueError, match="boom"):
+        sim.run()
+    assert p.done
+    assert isinstance(p.error, ValueError)
+
+
+def test_completion_event_fires(sim):
+    def proc():
+        yield Delay(2.0)
+        return "x"
+
+    p = spawn(sim, proc())
+    seen = []
+    p.completion.add_waiter(seen.append)
+    sim.run()
+    assert seen == ["x"]
+
+
+def test_blocked_property(sim):
+    def proc():
+        yield Delay(1.0)
+
+    p = SimProcess(sim, proc())
+    assert not p.blocked  # not started
+    p.start()
+    assert p.blocked
+    sim.run()
+    assert not p.blocked
+
+
+def test_many_concurrent_processes(sim):
+    finished = []
+
+    def proc(i):
+        yield Delay(float(i % 5) + 1)
+        finished.append(i)
+
+    for i in range(100):
+        spawn(sim, proc(i), name=f"p{i}")
+    sim.run()
+    assert sorted(finished) == list(range(100))
+    # processes with equal delay finish in spawn order
+    assert finished == sorted(finished, key=lambda i: (i % 5, i))

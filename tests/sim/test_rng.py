@@ -1,0 +1,60 @@
+"""Unit tests for seeded RNG substreams."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sim.rng import RngStreams
+
+
+def test_same_seed_same_stream():
+    a = RngStreams(7).stream("x").random(5)
+    b = RngStreams(7).stream("x").random(5)
+    assert np.array_equal(a, b)
+
+
+def test_different_names_independent():
+    streams = RngStreams(7)
+    a = streams.stream("a").random(5)
+    b = streams.stream("b").random(5)
+    assert not np.array_equal(a, b)
+
+
+def test_different_seeds_differ():
+    a = RngStreams(1).stream("x").random(5)
+    b = RngStreams(2).stream("x").random(5)
+    assert not np.array_equal(a, b)
+
+
+def test_stream_is_cached():
+    streams = RngStreams(0)
+    assert streams.stream("x") is streams.stream("x")
+
+
+def test_adding_consumer_does_not_perturb_existing():
+    s1 = RngStreams(3)
+    first = s1.stream("main").random(4)
+    s2 = RngStreams(3)
+    s2.stream("newcomer")  # extra stream created first
+    second = s2.stream("main").random(4)
+    assert np.array_equal(first, second)
+
+
+def test_fork_deterministic_and_distinct():
+    root = RngStreams(5)
+    f1 = root.fork("node0")
+    f2 = root.fork("node1")
+    again = RngStreams(5).fork("node0")
+    assert f1.root_seed == again.root_seed
+    assert f1.root_seed != f2.root_seed
+    assert f1.root_seed != root.root_seed
+
+
+def test_derive_seed_stable():
+    assert RngStreams(9).derive_seed("abc") == RngStreams(9).derive_seed("abc")
+
+
+def test_negative_seed_rejected():
+    with pytest.raises(ValueError):
+        RngStreams(-1)

@@ -1,0 +1,79 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_info(capsys):
+    assert main(["info"]) == 0
+    out = capsys.readouterr().out
+    assert "MX-like" in out
+    assert "2 node(s)" in out
+
+
+def test_table1(capsys):
+    assert main(["table1"]) == 0
+    out = capsys.readouterr().out
+    assert "No offloading" in out and "Speedup" in out
+
+
+def test_fig5_table_only(capsys):
+    assert main(["fig5", "--iterations", "6", "--no-plot"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 5" in out
+    assert "copy offloading" in out
+    assert "crossover" in out
+    assert "┐" not in out  # no plot frame
+
+
+def test_fig6_with_plot(capsys):
+    assert main(["fig6", "--iterations", "6"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 6" in out
+    assert "RDV progression" in out
+    assert "┐" in out  # plot frame present
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["teleport"])
+
+
+def test_parser_has_all_subcommands():
+    parser = build_parser()
+    text = parser.format_help()
+    for cmd in ("fig5", "fig6", "table1", "all", "info"):
+        assert cmd in text
+
+
+def test_gantt_command(capsys):
+    assert main(["gantt", "--engine", "pioman"]) == 0
+    out = capsys.readouterr().out
+    assert "█" in out and "overlap ratio" in out
+
+
+def test_gantt_both_engines_by_default(capsys):
+    assert main(["gantt"]) == 0
+    out = capsys.readouterr().out
+    assert "sequential" in out and "pioman" in out
+
+
+def test_trace_command(tmp_path, capsys):
+    out_path = tmp_path / "trace.json"
+    assert main(["trace", "--out", str(out_path)]) == 0
+    import json
+
+    doc = json.loads(out_path.read_text())
+    assert doc["traceEvents"]
+
+
+def test_all_with_json_artifact(tmp_path, capsys):
+    out = tmp_path / "results.json"
+    assert main(["all", "--iterations", "6", "--no-plot", "--json", str(out)]) == 0
+    import json
+
+    doc = json.loads(out.read_text())
+    assert set(doc) == {"fig5", "fig6", "table1"}

@@ -1,0 +1,49 @@
+"""Tests for the exception hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import errors
+
+
+def test_all_derive_from_repro_error():
+    for name in (
+        "ConfigError",
+        "SimulationError",
+        "DeadlockError",
+        "SchedulerError",
+        "ThreadStateError",
+        "NetworkError",
+        "RouteError",
+        "ProtocolError",
+        "MatchingError",
+        "RequestError",
+        "PiomanError",
+        "MpiError",
+        "HarnessError",
+    ):
+        exc_type = getattr(errors, name)
+        assert issubclass(exc_type, errors.ReproError), name
+
+
+def test_subsystem_hierarchy():
+    assert issubclass(errors.DeadlockError, errors.SimulationError)
+    assert issubclass(errors.ThreadStateError, errors.SchedulerError)
+    assert issubclass(errors.RouteError, errors.NetworkError)
+    assert issubclass(errors.MatchingError, errors.ProtocolError)
+
+
+def test_deadlock_error_carries_blocked_list():
+    err = errors.DeadlockError("stuck", blocked=("a", "b"))
+    assert err.blocked == ("a", "b")
+    assert "stuck" in str(err)
+
+
+def test_deadlock_error_default_blocked():
+    assert errors.DeadlockError("x").blocked == ()
+
+
+def test_catchable_as_library_failure():
+    with pytest.raises(errors.ReproError):
+        raise errors.MpiError("rank out of range")

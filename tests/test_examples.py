@@ -1,0 +1,47 @@
+"""Smoke tests: every shipped example runs end-to-end and prints sanely.
+
+Examples are documentation; a broken example is a broken promise. Each is
+executed in-process (runpy) with stdout captured.
+"""
+
+from __future__ import annotations
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+EXPECTATIONS = {
+    "quickstart.py": ["isend returned after", "PIOMan"],
+    "overlap_microbench.py": ["Figure 5", "Figure 6", "crossover"],
+    "stencil_convolution.py": ["Table 1", "Speedup"],
+    "mpi_collectives.py": ["allreduce agreed"],
+    "irregular_workload.py": ["irregular pipeline", "comm-service"],
+    "core_timeline_gantt.py": ["overlap ratio", "█"],
+    "master_worker.py": ["results in", "p95"],
+    "jacobi_heat.py": ["max|Δ| vs serial = 0.0e+00", "bit-identical"],
+}
+
+
+@pytest.mark.parametrize("script", sorted(EXPECTATIONS))
+def test_example_runs(script, capsys, monkeypatch):
+    path = EXAMPLES_DIR / script
+    assert path.exists(), f"example {script} missing"
+    # overlap_microbench parses argv: give it --fast for test speed
+    argv = [str(path)] + (["--fast"] if script == "overlap_microbench.py" else [])
+    monkeypatch.setattr(sys, "argv", argv)
+    runpy.run_path(str(path), run_name="__main__")
+    out = capsys.readouterr().out
+    for needle in EXPECTATIONS[script]:
+        assert needle in out, f"{script}: missing {needle!r} in output"
+
+
+def test_every_example_has_expectations():
+    on_disk = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert on_disk == set(EXPECTATIONS), (
+        "examples and smoke-test expectations out of sync: "
+        f"{on_disk ^ set(EXPECTATIONS)}"
+    )

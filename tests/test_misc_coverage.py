@@ -1,0 +1,97 @@
+"""Coverage for small helpers and validation paths across modules."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SchedulerError
+from repro.marcel.effects import Compute, Sleep
+from repro.units import bytes_per_us, us
+
+
+class TestEffectValidation:
+    def test_negative_compute_rejected(self):
+        with pytest.raises(SchedulerError):
+            Compute(-1.0)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(SchedulerError):
+            Compute(1.0, kind="leisure")
+
+    def test_negative_sleep_rejected(self):
+        with pytest.raises(SchedulerError):
+            Sleep(-0.1)
+
+    def test_service_kind_accepted(self):
+        assert Compute(1.0, kind="service").kind == "service"
+
+
+class TestUnitAliases:
+    def test_identity_helpers(self):
+        assert us(5) == 5.0
+        assert bytes_per_us(1074.0) == 1074.0
+
+
+class TestEngineBaseAbstract:
+    def test_abstract_methods_raise(self, sim, node8):
+        from repro.marcel.scheduler import MarcelScheduler
+        from repro.nmad.core import NmSession
+        from repro.nmad.progress import EngineBase
+
+        session = NmSession(sim, MarcelScheduler(sim, node8), node8)
+        engine = EngineBase(session)
+        for gen in (
+            engine.isend(None, 1, 0, 10),
+            engine.irecv(None, 0, 0, 10),
+            engine.wait(None, None),
+            engine._progress_step(None),
+        ):
+            with pytest.raises(NotImplementedError):
+                next(gen)
+
+
+class TestReportEdge:
+    def test_ascii_plot_linear_x(self):
+        from repro.harness.report import ascii_plot
+
+        out = ascii_plot([1, 2, 3], {"s": [1.0, 2.0, 3.0]}, logx=False)
+        assert "s" in out
+
+    def test_interface_engine_session_mismatch(self, sim, node8):
+        from repro.errors import RequestError
+        from repro.marcel.scheduler import MarcelScheduler
+        from repro.nmad.core import NmSession
+        from repro.nmad.interface import NmInterface
+        from repro.nmad.progress import SequentialEngine
+
+        sched = MarcelScheduler(sim, node8)
+        s1 = NmSession(sim, sched, node8)
+        s2 = NmSession(sim, sched, node8)
+        engine = SequentialEngine(s1)
+        with pytest.raises(RequestError, match="different session"):
+            NmInterface(s2, engine)
+
+
+class TestTimeoutAlias:
+    def test_timeout_is_delay(self, sim):
+        from repro.sim.primitives import timeout
+        from repro.sim.process import Delay
+
+        t = timeout(sim, 3.0)
+        assert isinstance(t, Delay) and t.duration == 3.0
+
+
+class TestVersionMetadata:
+    def test_version_importable(self):
+        import repro
+
+        assert repro.__version__
+        from repro._version import __version__
+
+        assert __version__ == repro.__version__
+
+    def test_unknown_toplevel_attribute(self):
+        import repro
+
+        with pytest.raises(AttributeError):
+            repro.warp_drive  # noqa: B018

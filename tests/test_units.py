@@ -1,0 +1,115 @@
+"""Unit tests for size/time helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.units import (
+    GiB,
+    GiB_per_s,
+    KiB,
+    MiB,
+    MiB_per_s,
+    fmt_size,
+    fmt_time,
+    ms,
+    parse_size,
+    parse_time,
+    seconds,
+    us,
+)
+
+
+class TestConstructors:
+    def test_sizes(self):
+        assert KiB(1) == 1024
+        assert KiB(32) == 32768
+        assert MiB(1) == 1024**2
+        assert GiB(2) == 2 * 1024**3
+        assert KiB(1.5) == 1536
+
+    def test_times(self):
+        assert us(20) == 20.0
+        assert ms(1.5) == 1500.0
+        assert seconds(2) == 2e6
+
+    def test_bandwidths(self):
+        assert GiB_per_s(1.0) == pytest.approx(1073.741824)
+        assert MiB_per_s(1024) == pytest.approx(GiB_per_s(1.0))
+
+
+class TestParseSize:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("128", 128),
+            ("1K", 1024),
+            ("32K", 32768),
+            ("1KiB", 1024),
+            ("2kb", 2048),
+            ("1M", 1024**2),
+            ("1.5M", int(1.5 * 1024**2)),
+            ("1G", 1024**3),
+            ("64B", 64),
+        ],
+    )
+    def test_valid(self, text, expected):
+        assert parse_size(text) == expected
+
+    def test_int_passthrough(self):
+        assert parse_size(4096) == 4096
+
+    def test_negative_int_rejected(self):
+        with pytest.raises(ConfigError):
+            parse_size(-1)
+
+    @pytest.mark.parametrize("text", ["", "abc", "12X", "-5K"])
+    def test_invalid(self, text):
+        with pytest.raises(ConfigError):
+            parse_size(text)
+
+
+class TestParseTime:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [("20us", 20.0), ("20µs", 20.0), ("1.5ms", 1500.0), ("2s", 2e6), ("7", 7.0)],
+    )
+    def test_valid(self, text, expected):
+        assert parse_time(text) == expected
+
+    def test_number_passthrough(self):
+        assert parse_time(12.5) == 12.5
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigError):
+            parse_time(-3)
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ConfigError):
+            parse_time("fast")
+
+
+class TestFormat:
+    def test_fmt_size_paper_labels(self):
+        assert fmt_size(1024) == "1K"
+        assert fmt_size(32768) == "32K"
+        assert fmt_size(512 * 1024) == "512K"
+        assert fmt_size(1024**2) == "1M"
+        assert fmt_size(100) == "100"
+
+    def test_fmt_size_fractional(self):
+        assert fmt_size(1536) == "1.5K"
+
+    def test_fmt_size_negative_rejected(self):
+        with pytest.raises(ConfigError):
+            fmt_size(-1)
+
+    def test_fmt_time(self):
+        assert fmt_time(12.34) == "12.3µs"
+        assert fmt_time(1500.0) == "1.50ms"
+        assert fmt_time(2.5e6) == "2.500s"
+
+    def test_roundtrip(self):
+        for n in (1024, 32768, 1024**2):
+            assert parse_size(fmt_size(n)) == n

@@ -1,0 +1,87 @@
+"""Unit tests for the machine topology model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.topology.builder import build_cluster, build_node, paper_testbed
+from repro.topology.machine import Cluster, Core, Node, Socket
+
+
+class TestBuilders:
+    def test_paper_testbed_shape(self):
+        cluster = paper_testbed()
+        assert cluster.node_count == 2
+        assert cluster.total_cores == 16
+        assert cluster.interconnect == "mx"
+        for node in cluster.nodes:
+            assert node.core_count == 8
+            assert len(node.sockets) == 2
+            assert node.ghz == 2.33
+
+    def test_core_indices_unique_and_dense(self):
+        node = build_node(0, sockets=2, cores_per_socket=4)
+        indices = [c.core_index for c in node.cores]
+        assert indices == list(range(8))
+
+    def test_socket_membership(self):
+        node = build_node(0, sockets=2, cores_per_socket=4)
+        c0, c3, c4 = node.core(0), node.core(3), node.core(4)
+        assert c0.same_socket(c3)
+        assert not c0.same_socket(c4)
+        assert c0.same_node(c4)
+
+    def test_core_names(self):
+        node = build_node(1, sockets=1, cores_per_socket=2)
+        assert node.core(0).name == "n1.c0"
+        assert node.name == "n1"
+
+    def test_bad_params_rejected(self):
+        with pytest.raises(ConfigError):
+            build_node(0, sockets=0)
+        with pytest.raises(ConfigError):
+            build_node(0, cores_per_socket=0)
+        with pytest.raises(ConfigError):
+            build_cluster(nodes=0)
+
+    def test_missing_core_lookup(self):
+        node = build_node(0)
+        with pytest.raises(ConfigError):
+            node.core(99)
+
+
+class TestCluster:
+    def test_node_lookup(self):
+        cluster = build_cluster(nodes=3)
+        assert cluster.node(2).index == 2
+        with pytest.raises(ConfigError):
+            cluster.node(5)
+
+    def test_duplicate_node_index_rejected(self):
+        node = build_node(0)
+        with pytest.raises(ConfigError):
+            Cluster(nodes=(node, node))
+
+    def test_empty_cluster_rejected(self):
+        with pytest.raises(ConfigError):
+            Cluster(nodes=())
+
+    def test_describe_mentions_shape(self):
+        text = paper_testbed().describe()
+        assert "2 node(s)" in text and "4 core(s)" in text and "mx" in text
+
+    def test_heterogeneous_cluster_sizes(self):
+        big = build_cluster(nodes=4, sockets=4, cores_per_socket=8)
+        assert big.total_cores == 128
+
+
+class TestValidation:
+    def test_node_without_sockets_rejected(self):
+        with pytest.raises(ConfigError):
+            Node(index=0, sockets=())
+
+    def test_bad_clock_rejected(self):
+        sock = Socket(0, 0, (Core(0, 0, 0),))
+        with pytest.raises(ConfigError):
+            Node(index=0, sockets=(sock,), ghz=0)

@@ -1,0 +1,68 @@
+"""Unit tests for the NUMA/cache penalty model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.topology.builder import build_node
+from repro.topology.numa import NumaModel
+
+
+@pytest.fixture
+def node():
+    return build_node(0, sockets=2, cores_per_socket=4)
+
+
+def test_same_core_no_penalty(node):
+    numa = NumaModel()
+    c = node.core(0)
+    assert numa.copy_factor(c, c) == 1.0
+
+
+def test_same_socket_penalty(node):
+    numa = NumaModel()
+    f = numa.copy_factor(node.core(0), node.core(1))
+    assert f == numa.same_socket_factor > 1.0
+
+
+def test_cross_socket_penalty_larger(node):
+    numa = NumaModel()
+    same = numa.copy_factor(node.core(0), node.core(1))
+    cross = numa.copy_factor(node.core(0), node.core(4))
+    assert cross > same
+
+
+def test_unknown_producer_conservative(node):
+    numa = NumaModel()
+    assert numa.copy_factor(None, node.core(0)) == numa.same_socket_factor
+
+
+def test_cross_node_meaningless(node):
+    from repro.topology.builder import build_node as bn
+
+    other = bn(1)
+    numa = NumaModel()
+    with pytest.raises(ConfigError, match="across nodes"):
+        numa.copy_factor(other.core(0), node.core(0))
+
+
+def test_validation():
+    with pytest.raises(ConfigError):
+        NumaModel(same_socket_factor=0.9)
+    with pytest.raises(ConfigError):
+        NumaModel(same_socket_factor=1.5, cross_socket_factor=1.2)
+
+
+def test_offload_cache_effect_integration():
+    """§2.2: 'this method may increase the latency (because of cache
+    effects)' — with a NUMA model, offloading a copy to a remote socket
+    charges more CPU than the local submission would."""
+    from repro.config import TimingModel
+
+    timing = TimingModel()
+    numa = NumaModel()
+    node = build_node(0)
+    local = timing.host.memcpy_us(16384) * numa.copy_factor(node.core(0), node.core(0))
+    remote = timing.host.memcpy_us(16384) * numa.copy_factor(node.core(0), node.core(7))
+    assert remote > local
