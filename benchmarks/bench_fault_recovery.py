@@ -1,0 +1,158 @@
+"""Latency/bandwidth degradation under injected faults, and recovery proof.
+
+The paper's MX-like fabric is lossless; this bench measures what the
+``repro.faults`` injector + ``repro.nmad.reliability`` recovery layer cost
+when the wire misbehaves. Swept: drop rate 0 → 20% on an eager ping-pong.
+Asserted shape:
+
+* every message completes at every drop rate when recovery is on;
+* degradation is monotonic-ish (higher drop ⇒ no faster);
+* the same seed reproduces byte-identical fault/recovery counters;
+* with recovery *off*, a lossy wire actually loses messages
+  (:class:`~repro.errors.DeadlockError` — receivers wait forever).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import EngineKind
+from repro.errors import DeadlockError
+from repro.faults import FaultPlan
+from repro.harness.report import format_table
+from repro.harness.runner import ClusterRuntime
+from repro.units import KiB
+
+SIZE = KiB(4)
+ROUNDS = 16
+DROP_RATES = (0.0, 0.01, 0.05, 0.1, 0.2)
+SEED = 7
+
+
+def _run_pingpong(engine: str, drop: float, seed: int = SEED, recover: bool = True):
+    """Run ROUNDS eager round-trips under a uniform drop plan.
+
+    Returns ``(end_time_us, completed_payloads, fault_stats, recovery_stats)``.
+    """
+    plan = FaultPlan.uniform_drop(drop, seed=seed) if drop > 0 else None
+    rt = ClusterRuntime.build(engine=engine, faults=plan, recover=recover)
+    got: list = []
+
+    def origin(ctx):
+        nm = ctx.env["nm"]
+        for i in range(ROUNDS):
+            yield from nm.send(ctx, 1, i, SIZE, payload=i)
+            req = yield from nm.recv(ctx, 1, 1000 + i, SIZE)
+            got.append(req.data)
+        yield from nm.drain(ctx)
+
+    def echo(ctx):
+        nm = ctx.env["nm"]
+        for i in range(ROUNDS):
+            req = yield from nm.recv(ctx, 0, i, SIZE)
+            yield from nm.send(ctx, 0, 1000 + i, SIZE, payload=req.data)
+        yield from nm.drain(ctx)
+
+    rt.spawn(0, origin, name="origin")
+    rt.spawn(1, echo, name="echo")
+    end = rt.run()
+    faults = rt.fault_injector.stats() if rt.fault_injector is not None else {}
+    recovery = rt.recovery_stats()
+    rt.close()
+    return end, got, faults, recovery
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return {
+        (engine, drop): _run_pingpong(engine, drop)
+        for engine in (EngineKind.SEQUENTIAL, EngineKind.PIOMAN)
+        for drop in DROP_RATES
+    }
+
+
+def test_degradation_report(sweep, print_report):
+    rows = []
+    for drop in DROP_RATES:
+        seq_end, _, seq_f, seq_r = sweep[(EngineKind.SEQUENTIAL, drop)]
+        pio_end, _, _, pio_r = sweep[(EngineKind.PIOMAN, drop)]
+        total_bytes = 2 * ROUNDS * SIZE
+        rows.append(
+            (
+                f"{drop * 100:.0f}%",
+                f"{seq_end / ROUNDS:.1f}",
+                f"{pio_end / ROUNDS:.1f}",
+                f"{total_bytes / seq_end:.1f}",
+                f"{total_bytes / pio_end:.1f}",
+                str(seq_f.get("drops", 0)),
+                str(seq_r.get("retransmits", 0) + seq_r.get("rts_retries", 0)),
+            )
+        )
+    body = format_table(
+        [
+            "drop",
+            "seq rtt (µs)",
+            "pioman rtt (µs)",
+            "seq bw (B/µs)",
+            "pioman bw (B/µs)",
+            "drops",
+            "retx",
+        ],
+        rows,
+        title=f"{ROUNDS}× ping-pong of {SIZE}B under uniform packet drop (seed {SEED})",
+    )
+    print_report("Fault-recovery degradation curves", body)
+
+
+def test_all_messages_complete_under_faults(sweep):
+    """Recovery contract: every round-trip completes at every drop rate."""
+    for (engine, drop), (_, got, _, _) in sweep.items():
+        assert got == list(range(ROUNDS)), (engine, drop)
+
+
+def test_latency_degrades_with_drop_rate(sweep):
+    """A lossy wire is never *faster*: retransmission only adds time."""
+    for engine in (EngineKind.SEQUENTIAL, EngineKind.PIOMAN):
+        faultless = sweep[(engine, 0.0)][0]
+        lossy = sweep[(engine, 0.2)][0]
+        assert lossy > faultless, engine
+
+
+def test_recovery_counters_track_injector(sweep):
+    """At 20% drop, faults must both occur and be repaired.
+
+    Give-ups split along the paper's axis: pioman's idle cores keep the
+    receive side acknowledging after the application thread finishes, so
+    it never gives up; the sequential engine stops progressing the moment
+    its threads exit ``drain()``, so the peer's *final* in-flight ACK can
+    be unrecoverable — a bounded tail give-up, not a lost message (the
+    data arrived; only its acknowledgement did not).
+    """
+    for engine in (EngineKind.SEQUENTIAL, EngineKind.PIOMAN):
+        _, _, faults, recovery = sweep[(engine, 0.2)]
+        assert faults["drops"] > 0, engine
+        assert recovery["retransmits"] + recovery["rts_retries"] > 0, engine
+    assert sweep[(EngineKind.PIOMAN, 0.2)][3]["gave_up"] == 0
+    assert sweep[(EngineKind.SEQUENTIAL, 0.2)][3]["gave_up"] <= 2
+
+
+def test_same_seed_is_deterministic(sweep):
+    """Re-running the lossiest point with the same seed reproduces the end
+    time and every fault/recovery counter exactly."""
+    for engine in (EngineKind.SEQUENTIAL, EngineKind.PIOMAN):
+        first = sweep[(engine, 0.2)]
+        second = _run_pingpong(engine, 0.2)
+        assert second[0] == first[0], engine
+        assert second[2] == first[2], engine
+        assert second[3] == first[3], engine
+
+
+def test_without_retransmit_messages_are_lost():
+    """The control experiment: same lossy wire, recovery disabled — the
+    run deadlocks because dropped packets are never repaired."""
+    with pytest.raises(DeadlockError):
+        _run_pingpong(EngineKind.PIOMAN, 0.3, recover=False)
+
+
+def test_bench_fault_recovery(benchmark):
+    benchmark(_run_pingpong, EngineKind.PIOMAN, 0.1)

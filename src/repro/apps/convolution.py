@@ -172,6 +172,7 @@ def run_convolution(cfg: ConvolutionConfig) -> ConvolutionResult:
             )
             per_node_spawned[node] += 1
     exec_time = rt.run()
+    rt.close()
     return ConvolutionResult(
         config=cfg,
         exec_time_us=exec_time,

@@ -121,6 +121,7 @@ def run_overlap(cfg: OverlapConfig) -> OverlapResult:
     rt.spawn(0, lambda ctx: _sender_body(ctx, cfg, result.sender_times), name="sender")
     rt.spawn(1, lambda ctx: _receiver_body(ctx, cfg, result.receiver_times), name="receiver")
     result.total_us = rt.run()
+    rt.close()
     expected = cfg.iterations - cfg.warmup
     if len(result.sender_times) != expected or len(result.receiver_times) != expected:
         raise HarnessError(

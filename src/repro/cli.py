@@ -113,6 +113,60 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_demo(args: argparse.Namespace) -> int:
+    """Ping-pong demo; with ``--faults`` the wire misbehaves and the
+    recovery layer (unless ``--no-retransmit``) repairs it."""
+    from .errors import DeadlockError
+    from .faults import FaultPlan
+    from .harness.runner import ClusterRuntime
+
+    plan = None
+    if args.faults:
+        plan = FaultPlan.lossy(
+            drop=args.drop, corrupt=args.corrupt, duplicate=args.duplicate, seed=args.seed
+        )
+    engines = (args.engine,) if args.engine else ("sequential", "pioman")
+    for engine in engines:
+        rt = ClusterRuntime.build(engine=engine, faults=plan, recover=not args.no_retransmit)
+        n, size = args.messages, args.size
+
+        def origin(ctx):
+            nm = ctx.env["nm"]
+            for i in range(n):
+                yield from nm.send(ctx, 1, i, size, payload=i)
+                yield from nm.recv(ctx, 1, 1000 + i, size)
+            yield from nm.drain(ctx)
+
+        def echo(ctx):
+            nm = ctx.env["nm"]
+            for i in range(n):
+                req = yield from nm.recv(ctx, 0, i, size)
+                yield from nm.send(ctx, 0, 1000 + i, size, payload=req.data)
+            yield from nm.drain(ctx)
+
+        rt.spawn(0, origin, name="origin")
+        rt.spawn(1, echo, name="echo")
+        try:
+            end = rt.run()
+        except DeadlockError as exc:
+            print(f"{engine:<10}: LOST MESSAGES (no retransmission) — {exc}")
+            rt.close()
+            continue
+        line = f"{engine:<10}: {n} round-trips of {fmt_size(size)} in {end:.1f}µs"
+        if rt.fault_injector is not None:
+            inj = rt.fault_injector.stats()
+            rec = rt.recovery_stats()
+            line += (
+                f" | faults: drops={inj['drops'] + inj['flap_drops']}"
+                f" corrupt={inj['corruptions']} dup={inj['duplicates']}"
+                f" | recovery: retransmits={rec['retransmits'] + rec['rts_retries']}"
+                f" acks={rec['acks_received']} gave_up={rec['gave_up']}"
+            )
+        print(line)
+        rt.close()
+    return 0
+
+
 def _cmd_info(args: argparse.Namespace) -> int:
     timing = TimingModel()
     cluster = paper_testbed()
@@ -138,6 +192,11 @@ def build_parser() -> argparse.ArgumentParser:
         "multicore architectures' (IPDPS-CAC 2008)",
     )
     parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    parser.add_argument(
+        "--faults",
+        action="store_true",
+        help="enable fault injection on the fabric (honoured by the demo command)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
     for name, fn, doc in (
         ("fig5", _cmd_fig5, "Figure 5: small-message submission offloading"),
@@ -147,6 +206,7 @@ def build_parser() -> argparse.ArgumentParser:
         ("info", _cmd_info, "show platform and calibration constants"),
         ("gantt", _cmd_gantt, "render a per-core ASCII Gantt of a demo round"),
         ("trace", _cmd_trace, "export a Chrome/Perfetto trace of a demo round"),
+        ("demo", _cmd_demo, "ping-pong smoke run (combine with --faults for a lossy wire)"),
     ):
         p = sub.add_parser(name, help=doc)
         p.set_defaults(fn=fn)
@@ -155,10 +215,22 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("--no-plot", action="store_true", help="table only, no ASCII plot")
         if name == "all":
             p.add_argument("--json", default=None, help="also save machine-readable results to this path")
-        if name in ("gantt", "trace"):
+        if name in ("gantt", "trace", "demo"):
             p.add_argument("--engine", choices=("sequential", "pioman"), default=None)
         if name == "trace":
             p.add_argument("--out", default="repro_trace.json", help="output JSON path")
+        if name == "demo":
+            p.add_argument("--messages", type=int, default=16, help="round-trips per engine")
+            p.add_argument("--size", type=int, default=4096, help="message size in bytes")
+            p.add_argument("--drop", type=float, default=0.1, help="per-packet drop probability")
+            p.add_argument("--corrupt", type=float, default=0.02, help="per-packet corruption probability")
+            p.add_argument("--duplicate", type=float, default=0.02, help="per-packet duplication probability")
+            p.add_argument("--seed", type=int, default=0, help="fault plan seed")
+            p.add_argument(
+                "--no-retransmit",
+                action="store_true",
+                help="inject faults without the recovery layer (messages may be lost)",
+            )
     return parser
 
 

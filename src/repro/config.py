@@ -26,6 +26,7 @@ __all__ = [
     "ShmModel",
     "PiomanConfig",
     "MarcelConfig",
+    "FaultConfig",
     "TimingModel",
     "EngineKind",
 ]
@@ -275,6 +276,53 @@ class PiomanConfig:
 
 
 @dataclass(frozen=True)
+class FaultConfig:
+    """Reliability/recovery configuration of the NewMadeleine layer.
+
+    The paper assumes a lossless NIC (MX handles link-level reliability in
+    firmware); this reproduction can instead run over a faulty fabric (see
+    :mod:`repro.faults`), in which case the session layer provides recovery:
+    per-packet sequence numbers, acknowledgements, retransmission with
+    exponential backoff for the eager path, RTS retry for the rendezvous
+    handshake, and degraded-link rerouting over alternate rails.
+    ``docs/faults.md`` describes the model and how it departs from the
+    paper's lossless assumption.
+    """
+
+    #: master switch: when False the session layer is exactly the paper's
+    #: lossless protocol (no sequence numbers, no ACK traffic).
+    enabled: bool = False
+    #: time after submission without an ACK before the first retransmit.
+    ack_timeout_us: float = 120.0
+    #: retransmits per packet before the sender gives up on it.
+    max_retries: int = 8
+    #: exponential backoff factor applied to ``ack_timeout_us`` per retry.
+    backoff_factor: float = 2.0
+    #: time after an RTS without a CTS answer before the RTS is re-sent.
+    rts_timeout_us: float = 300.0
+    #: consecutive timeouts on one rail before it is marked degraded
+    #: (rerouting to an alternate rail when the gate has one).
+    degraded_threshold: int = 3
+    #: how long a degraded rail is avoided before being probed again.
+    degraded_restore_us: float = 2000.0
+
+    def __post_init__(self) -> None:
+        _positive("ack_timeout_us", self.ack_timeout_us)
+        _positive("rts_timeout_us", self.rts_timeout_us)
+        _positive("degraded_restore_us", self.degraded_restore_us)
+        if self.max_retries < 0:
+            raise ConfigError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.backoff_factor < 1.0:
+            raise ConfigError(
+                f"backoff_factor must be >= 1.0, got {self.backoff_factor}"
+            )
+        if self.degraded_threshold < 1:
+            raise ConfigError(
+                f"degraded_threshold must be >= 1, got {self.degraded_threshold}"
+            )
+
+
+@dataclass(frozen=True)
 class TimingModel:
     """Aggregate of every cost model used by a simulation run."""
 
@@ -283,6 +331,7 @@ class TimingModel:
     shm: ShmModel = field(default_factory=ShmModel)
     marcel: MarcelConfig = field(default_factory=MarcelConfig)
     pioman: PiomanConfig = field(default_factory=PiomanConfig)
+    faults: FaultConfig = field(default_factory=FaultConfig)
 
     def replace(self, **kwargs: object) -> "TimingModel":
         """Return a copy with top-level sections replaced.

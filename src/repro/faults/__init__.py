@@ -1,0 +1,23 @@
+"""Deterministic fault injection for the network stack.
+
+The paper's testbed assumes a lossless NIC; this subsystem lets the
+reproduction drop, corrupt, delay, and duplicate packets on the simulated
+fabric — deterministically, from a seeded :class:`FaultPlan` — so the
+progression engines can be evaluated under adverse conditions instead of
+only the happy path. Recovery lives in :mod:`repro.nmad.reliability`; the
+fault *model* lives here and plugs into :class:`repro.network.fabric.Fabric`
+through :class:`FaultInjector` (see ``docs/faults.md``).
+"""
+
+from .inject import FaultDecision, FaultInjector
+from .plan import FaultAction, FaultPlan, FaultRule, LinkFlap, NicStall
+
+__all__ = [
+    "FaultAction",
+    "FaultDecision",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultRule",
+    "LinkFlap",
+    "NicStall",
+]

@@ -15,11 +15,13 @@ and ``node`` (the node index).
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Any, Callable, Generator, Optional
 
 from ..config import EngineKind, TimingModel
 from ..errors import HarnessError
+from ..faults import FaultInjector, FaultPlan
 from ..marcel.scheduler import MarcelScheduler
 from ..marcel.thread import MarcelThread, Priority, ThreadContext
 from ..network.fabric import Fabric
@@ -93,6 +95,8 @@ class ClusterRuntime:
         self.tracer = tracer
         self.rng = rng
         self.engine_kind = engine_kind
+        #: shared fault injector when the platform was built with a plan
+        self.fault_injector: Optional[FaultInjector] = None
 
     # ------------------------------------------------------------------- build
 
@@ -114,6 +118,8 @@ class ClusterRuntime:
         offload_policy: Optional[str] = None,
         offload_policy_kwargs: Optional[dict[str, Any]] = None,
         ingress_contention: bool = False,
+        faults: Optional[FaultPlan] = None,
+        recover: bool = True,
     ) -> "ClusterRuntime":
         """Assemble a cluster.
 
@@ -122,6 +128,14 @@ class ClusterRuntime:
         selects the progression engine; ``rails > 1`` attaches several
         NICs per node (multirail); ``interconnect`` is ``"mx"`` or
         ``"tcp"``.
+
+        ``faults`` installs a :class:`repro.faults.FaultPlan` on every
+        fabric (one shared injector, so ``every_nth`` counts cluster-wide
+        packets). With ``recover=True`` (default) the sessions' ack/
+        retransmit layer is switched on alongside; ``recover=False`` leaves
+        the protocols lossless-naive — messages hit by the plan are simply
+        lost, which is exactly what the degradation benchmarks compare
+        against.
         """
         EngineKind.validate(engine)
         if rails < 1:
@@ -129,6 +143,10 @@ class ClusterRuntime:
         if interconnect not in ("mx", "ib", "tcp"):
             raise HarnessError(f"interconnect must be mx, ib or tcp, got {interconnect!r}")
         timing = timing or TimingModel()
+        if faults is not None and recover and not timing.faults.enabled:
+            timing = dataclasses.replace(
+                timing, faults=dataclasses.replace(timing.faults, enabled=True)
+            )
         sim = Simulator(trace=tracer)
         rng = RngStreams(seed)
         cluster = build_cluster(
@@ -148,6 +166,11 @@ class ClusterRuntime:
             Fabric(sim, name=f"{interconnect}{r}", ingress_contention=ingress_contention)
             for r in range(rails)
         ]
+        injector: Optional[FaultInjector] = None
+        if faults is not None:
+            injector = FaultInjector(faults)
+            for fabric in fabrics:
+                fabric.set_injector(injector)
         node_rts: list[NodeRuntime] = []
         per_node_nics: list[list[Nic]] = []
         for node in cluster.nodes:
@@ -193,7 +216,9 @@ class ClusterRuntime:
                     shm=shm,
                 )
             )
-        return cls(sim, cluster, node_rts, timing, tracer, rng, engine)
+        rt = cls(sim, cluster, node_rts, timing, tracer, rng, engine)
+        rt.fault_injector = injector
+        return rt
 
     # ------------------------------------------------------------------- running
 
@@ -242,4 +267,24 @@ class ClusterRuntime:
         for nrt in self.nodes:
             out[f"n{nrt.index}.sched"] = nrt.scheduler.stats()
             out[f"n{nrt.index}.session"] = dict(nrt.session.stats)
+        if self.fault_injector is not None:
+            out["faults"] = self.fault_injector.stats()
         return out
+
+    def recovery_stats(self) -> dict[str, int]:
+        """Cluster-wide ack/retransmit counters (zeros when recovery off)."""
+        from ..nmad.reliability import ReliabilityLayer
+
+        totals = {key: 0 for key in ReliabilityLayer.STAT_KEYS}
+        for nrt in self.nodes:
+            for key in totals:
+                totals[key] += nrt.session.stats.get(key, 0)
+        return totals
+
+    def close(self) -> None:
+        """Tear down engines: deregister every scheduler/session/driver
+        hook. Call when a runtime is discarded but its sessions, scheduler,
+        or simulator objects stay reachable (engine-comparison harnesses);
+        idempotent."""
+        for nrt in self.nodes:
+            nrt.engine.close()

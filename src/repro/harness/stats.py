@@ -52,10 +52,27 @@ class LatencyCollector:
     def __init__(self, session: NmSession, kind: str = "recv", tag: Optional[int] = None) -> None:
         if kind not in ("recv", "send", "both"):
             raise HarnessError(f"kind must be recv/send/both, got {kind!r}")
+        self.session = session
         self.kind = kind
         self.tag = tag
         self.latencies_us: list[float] = []
         session.on_request_complete.append(self._on_complete)
+
+    def detach(self) -> None:
+        """Stop observing the session (idempotent). A collector that is
+        rebuilt per experiment run must detach first, or the session keeps
+        feeding every old instance — growing lists, skewed percentiles.
+        Recorded latencies stay available after detaching."""
+        try:
+            self.session.on_request_complete.remove(self._on_complete)
+        except ValueError:
+            pass
+
+    def __enter__(self) -> "LatencyCollector":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.detach()
 
     def _on_complete(self, req: NmRequest) -> None:
         if self.kind != "both" and req.kind != self.kind:

@@ -127,6 +127,26 @@ class MarcelScheduler:
     def register_switch_hook(self, hook: Callable[[CoreRuntime], float]) -> None:
         self.switch_hooks.append(hook)
 
+    def unregister_idle_hook(self, hook: Callable[[CoreRuntime], tuple[float, Optional[float]]]) -> None:
+        """Remove a previously registered idle hook (no-op if absent), so a
+        torn-down engine stops being activated by the scheduler."""
+        try:
+            self.idle_hooks.remove(hook)
+        except ValueError:
+            pass
+
+    def unregister_tick_hook(self, hook: Callable[[CoreRuntime], float]) -> None:
+        try:
+            self.tick_hooks.remove(hook)
+        except ValueError:
+            pass
+
+    def unregister_switch_hook(self, hook: Callable[[CoreRuntime], float]) -> None:
+        try:
+            self.switch_hooks.remove(hook)
+        except ValueError:
+            pass
+
     # -------------------------------------------------------------- spawning
 
     def spawn(

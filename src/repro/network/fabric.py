@@ -10,7 +10,8 @@ testbed where the switch is never the bottleneck.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+import dataclasses
+from typing import TYPE_CHECKING, Optional
 
 from ..errors import RouteError
 from ..sim.events import Priority as EventPriority
@@ -18,6 +19,7 @@ from ..sim.kernel import Simulator
 from .message import Packet
 
 if TYPE_CHECKING:  # pragma: no cover
+    from ..faults.inject import FaultInjector
     from .nic import Nic
 
 __all__ = ["Fabric"]
@@ -39,10 +41,18 @@ class Fabric:
         self.ingress_contention = ingress_contention
         self._nics: dict[int, "Nic"] = {}
         self._ingress_free_at: dict[int, float] = {}
+        #: optional fault-injection hook (see :mod:`repro.faults`); consulted
+        #: once per transmitted packet when set
+        self.injector: Optional["FaultInjector"] = None
         # statistics
         self.packets_carried = 0
         self.bytes_carried = 0
+        self.packets_dropped = 0
         self.ingress_queued_us = 0.0
+
+    def set_injector(self, injector: Optional["FaultInjector"]) -> None:
+        """Install (or clear) the fault-injection hook for this fabric."""
+        self.injector = injector
 
     def attach(self, nic: "Nic") -> None:
         if nic.node_index in self._nics:
@@ -70,6 +80,21 @@ class Fabric:
         model = src_nic.model
         drain = packet.wire_size() / model.wire_bw
         delay = tx_time + model.wire_latency_us + drain
+        duplicates = 0
+        if self.injector is not None:
+            decision = self.injector.decide(packet, self.sim.now + tx_time)
+            if not decision.deliver:
+                self.packets_dropped += 1
+                return
+            if decision.corrupt:
+                # the receiver gets a *copy* flagged corrupted: the sender's
+                # retransmit buffer (which aliases the original packet) must
+                # stay intact
+                packet = dataclasses.replace(
+                    packet, headers={**packet.headers, "corrupted": True}
+                )
+            delay += decision.extra_delay_us
+            duplicates = decision.duplicates
         if self.ingress_contention:
             arrival = self.sim.now + delay
             free_at = self._ingress_free_at.get(packet.dst_node, 0.0)
@@ -86,3 +111,12 @@ class Fabric:
         self.sim.schedule(
             delay, dst.deliver, packet, priority=EventPriority.INTERRUPT, label=f"{self.name}.deliver"
         )
+        for i in range(duplicates):
+            # a duplicated frame trails the original by one extra drain time
+            self.sim.schedule(
+                delay + (i + 1) * drain,
+                dst.deliver,
+                packet,
+                priority=EventPriority.INTERRUPT,
+                label=f"{self.name}.deliver_dup",
+            )

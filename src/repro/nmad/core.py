@@ -37,6 +37,7 @@ from ..sim.tracing import Tracer
 from ..topology.machine import Node
 from ..topology.numa import NumaModel
 from .drivers.base import Driver
+from .reliability import ReliabilityLayer
 from .request import NmRequest, Protocol, ReqState
 from .strategies import DefaultStrategy, Strategy
 from .strategies.base import RailInfo
@@ -123,6 +124,9 @@ class NmSession:
         self.on_driver_added: list[Callable[[Driver], None]] = []
         #: callbacks fired on each completed request
         self.on_request_complete: list[Callable[[NmRequest], None]] = []
+        #: callbacks fired when a retransmit timer queued recovery work
+        #: (engines re-arm their detection paths: idle kick, blocking server)
+        self.on_retransmit_timer: list[Callable[[], None]] = []
         self._core_by_index = {c.core_index: c for c in node.cores}
         # statistics
         self.stats: dict[str, int] = {
@@ -138,6 +142,13 @@ class NmSession:
             "ops_executed": 0,
             "completions_handled": 0,
         }
+        for key in ReliabilityLayer.STAT_KEYS:
+            self.stats[key] = 0
+        #: ack/retransmit recovery layer (None while the fault model is off,
+        #: which keeps the lossless fast path byte-identical to the seed)
+        self.reliability: Optional[ReliabilityLayer] = (
+            ReliabilityLayer(self) if self.timing.faults.enabled else None
+        )
 
     # ------------------------------------------------------------------ wiring
 
@@ -275,6 +286,14 @@ class NmSession:
         for cb in self.on_ops_enqueued:
             cb()
 
+    def _notify_retransmit(self) -> None:
+        """Timer (hardware) context: a retransmit op was just queued. Wake
+        baseline waiters blocked on the activity flag and give engines a
+        chance to re-arm interrupt-based detection."""
+        self.activity_flag.set()
+        for cb in self.on_retransmit_timer:
+            cb()
+
     def has_pending_ops(self) -> bool:
         return bool(self.ops)
 
@@ -333,7 +352,10 @@ class NmSession:
         """
         gate.flush_pending = False
         if not gate.pending_plans:
-            gate.pending_plans.extend(gate.strategy.take_plans(gate.rail_infos()))
+            infos = gate.rail_infos()
+            if self.reliability is not None:
+                infos = self.reliability.filter_rails(gate, infos)
+            gate.pending_plans.extend(gate.strategy.take_plans(infos))
         if not gate.pending_plans:
             return
         plans = [gate.pending_plans.popleft()]
@@ -380,11 +402,15 @@ class NmSession:
                 if e.req.state == ReqState.QUEUED:
                     e.req.transition(ReqState.SUBMITTED)
                     e.req.submitted_at = ctx.end
+            if self.reliability is not None:
+                self.reliability.track(gate, packet, plan.mode, plan.rail_index)
             if plan.mode == "pio":
                 driver.submit_pio(ctx, packet)
             else:
                 self.stats["copies_bytes"] += plan.payload_size()
                 driver.submit_eager(ctx, packet, plan.payload_size(), factor)
+            if self.reliability is not None:
+                self.reliability.arm(ctx, packet)
             # Both PIO and eager are *buffered* sends: the request completes
             # as soon as the CPU pushed/copied the payload (MX semantics —
             # the application buffer is reusable immediately). Only the
@@ -395,7 +421,10 @@ class NmSession:
 
     def _op_send_rts(self, ctx, req: NmRequest) -> None:
         gate = self.gate_to(req.peer)
-        driver = gate.rails[0]
+        rail_index = 0
+        if self.reliability is not None:
+            rail_index = self.reliability.select_rail(gate, 0)
+        driver = gate.rails[rail_index]
         if not driver.supports_zero_copy:
             # rendezvous without zero-copy support still bounds unexpected
             # buffering; the DATA leg will be a copy send (TCP driver).
@@ -415,7 +444,11 @@ class NmSession:
         )
         req.transition(ReqState.RTS_SENT)
         req.submitted_at = ctx.end
+        if self.reliability is not None:
+            self.reliability.track(gate, packet, "control", rail_index)
         driver.submit_control(ctx, packet)
+        if self.reliability is not None:
+            self.reliability.arm(ctx, packet)
         self._trace("nmad.rts", req)
 
     def _op_copy_out(self, ctx, req: NmRequest, item: UnexpectedEager) -> None:
@@ -432,7 +465,10 @@ class NmSession:
         """Answer a rendezvous handshake: register the application buffer
         and send the CTS (§2.3 operations (b)/(c))."""
         gate = self.gate_to(source)
-        driver = gate.rails[0]
+        rail_index = 0
+        if self.reliability is not None:
+            rail_index = self.reliability.select_rail(gate, 0)
+        driver = gate.rails[rail_index]
         if driver.supports_zero_copy:
             ctx.charge(self.registry.register(recv_req.buffer_id, size))
         packet = Packet(
@@ -446,7 +482,11 @@ class NmSession:
         recv_req.received_size = size
         recv_req.source = source
         self._rdv_recvs[recv_req.req_id] = recv_req
+        if self.reliability is not None:
+            self.reliability.track(gate, packet, "control", rail_index)
         driver.submit_control(ctx, packet)
+        if self.reliability is not None:
+            self.reliability.arm(ctx, packet)
         self._trace("nmad.cts", recv_req)
 
     # ------------------------------------------------------ completion handling
@@ -456,6 +496,8 @@ class NmSession:
         if rec.event == "tx_done":
             self._on_tx_done(ctx, packet)
             return
+        if self.reliability is not None and not self.reliability.on_rx(ctx, driver, packet):
+            return  # consumed at the wire level: ACK, corrupted, or duplicate
         if packet.kind in (PacketKind.EAGER, PacketKind.PIO):
             self._on_rx_eager(ctx, driver, packet)
         elif packet.kind == PacketKind.RTS:
@@ -464,7 +506,7 @@ class NmSession:
             self._on_rx_cts(ctx, driver, packet)
         elif packet.kind == PacketKind.DATA:
             self._on_rx_data(ctx, driver, packet)
-        else:  # pragma: no cover - ACK unused by the core protocols
+        else:  # pragma: no cover - ACKs are consumed by the reliability layer
             raise ProtocolError(f"unhandled packet kind {packet.kind}")
 
     def _on_tx_done(self, ctx, packet: Packet) -> None:
@@ -472,6 +514,11 @@ class NmSession:
         # application buffer is involved until the NIC has read it all.
         # PIO/eager completed at submission; control frames complete nothing.
         if packet.kind != PacketKind.DATA:
+            return
+        if self.reliability is not None and "wire_seq" in packet.headers:
+            # recovery pins the application buffer until the peer
+            # acknowledges (it is the retransmission source): the send
+            # completes on ACK — or on give-up — not at DMA drain
             return
         for req_id in packet.headers.get("tx_reqs", ()):
             req = self._sends.get(req_id)
@@ -606,10 +653,17 @@ class NmSession:
         """Sender side: the receiver is ready — send the data zero-copy
         (§2.3 operation (d))."""
         req = self._sends.get(packet.headers["send_req_id"])
-        if req is None:
+        if req is None or req.state != ReqState.RTS_SENT:
+            if self.reliability is not None:
+                # stale CTS (the wire-seq dedup normally filters these, but
+                # stay tolerant): the rendezvous already moved on
+                return
             raise ProtocolError(f"CTS for unknown send #{packet.headers['send_req_id']}")
         gate = self.gate_to(req.peer)
-        out_driver = gate.rails[0]
+        rail_index = 0
+        if self.reliability is not None:
+            rail_index = self.reliability.select_rail(gate, 0)
+        out_driver = gate.rails[rail_index]
         if out_driver.supports_zero_copy:
             ctx.charge(self.registry.register(req.buffer_id, req.size))
         req.transition(ReqState.DATA_SENDING)
@@ -625,17 +679,24 @@ class NmSession:
             },
         )
         req._tx_chunks_left = 1  # type: ignore[attr-defined]
+        if self.reliability is not None:
+            mode = "zero_copy" if out_driver.supports_zero_copy else "eager"
+            self.reliability.track(gate, data, mode, rail_index)
         if out_driver.supports_zero_copy:
             out_driver.submit_zero_copy(ctx, data)
         else:
             self.stats["copies_bytes"] += req.size
             out_driver.submit_eager(ctx, data, req.size, self._numa_factor(ctx, req.producer_core))
+        if self.reliability is not None:
+            self.reliability.arm(ctx, data)
         self._trace("nmad.data_send", req)
 
     def _on_rx_data(self, ctx, driver: Driver, packet: Packet) -> None:
         recv_id = packet.headers["recv_req_id"]
         req = self._rdv_recvs.pop(recv_id, None)
         if req is None:
+            if self.reliability is not None:
+                return  # duplicate DATA already satisfied this recv
             raise ProtocolError(f"DATA for unknown rendezvous recv #{recv_id}")
         ctx.charge(driver.rx_consume_us())
         req.data = packet.headers.get("payload")

@@ -12,12 +12,18 @@ after).
 
 from __future__ import annotations
 
+import itertools
 from typing import Callable
 
 from ...errors import NetworkError
 from ...network.message import CompletionRecord, Packet
 
 __all__ = ["Driver"]
+
+#: process-wide monotonic driver numbering — serials are never reused, so
+#: they are safe identity keys across engine rebuilds (unlike ``id()``,
+#: which the allocator recycles after garbage collection)
+_driver_serials = itertools.count(1)
 
 
 class Driver:
@@ -27,6 +33,13 @@ class Driver:
     name: str = "base"
     #: whether the hardware can DMA from/to registered app buffers
     supports_zero_copy: bool = False
+
+    def serial(self) -> int:
+        """Monotonic process-unique identity of this driver instance."""
+        s = getattr(self, "_serial", None)
+        if s is None:
+            s = self._serial = next(_driver_serials)
+        return s
 
     # -- thresholds --------------------------------------------------------------
 
@@ -69,6 +82,11 @@ class Driver:
         raise NotImplementedError
 
     def add_activity_listener(self, cb: Callable[[], None]) -> None:
+        raise NotImplementedError
+
+    def remove_activity_listener(self, cb: Callable[[], None]) -> None:
+        """Deregister ``cb``; a no-op if it was never (or already) removed,
+        so teardown paths can call it unconditionally."""
         raise NotImplementedError
 
     # -- receive-side costs -----------------------------------------------------------

@@ -98,6 +98,13 @@ class NmInterface:
         result = yield from self.engine.wait_any(tctx, list(reqs))
         return result
 
+    def drain(self, tctx: ThreadContext) -> Generator[Any, Any, None]:
+        """Quiesce before exiting a thread body (MPI_Finalize semantics):
+        progresses until no deferred work remains and every reliable packet
+        this node sent has been acknowledged. A no-op beyond local work
+        when fault recovery is disabled."""
+        yield from self.engine.drain(tctx)
+
     def test(self, req: NmRequest) -> bool:
         """Non-blocking completion check (MPI_Test without progression).
 

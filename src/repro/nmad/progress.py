@@ -53,6 +53,24 @@ class EngineBase:
     def _service(ctx: TaskletContext, label: str) -> Compute:
         return Compute(ctx.cpu_us, kind="service", label=label)
 
+    @staticmethod
+    def _remove_hook(hooks: list, cb) -> None:
+        """Remove ``cb`` from a hook list; idempotent."""
+        try:
+            hooks.remove(cb)
+        except ValueError:
+            pass
+
+    def close(self) -> None:
+        """Detach every session/scheduler hook this engine registered.
+
+        Engines can be rebuilt on a live session (harness reuse, engine
+        comparison runs); without deregistration the stale engine keeps
+        reacting to session events — duplicate idle kicks, double polling,
+        double statistics. The base engine registers nothing, so this is a
+        no-op here; subclasses override and must stay idempotent.
+        """
+
     # -- engine API --------------------------------------------------------------
 
     def isend(
@@ -111,6 +129,28 @@ class EngineBase:
             flag.clear()
             if self.session.has_work() or any(r.done for r in reqs):
                 continue
+            yield WaitFlag(flag)
+
+    def drain(self, tctx: ThreadContext) -> Generator[Any, Any, None]:
+        """Quiesce the session: progress until no local work is queued and
+        the recovery layer (if on) holds no unacknowledged packets — the
+        MPI_Finalize contract. Thread bodies on a faulty fabric should end
+        with this, or their node stops retransmitting/acknowledging the
+        moment the thread exits and peers are left to the give-up path.
+        """
+        rel = self.session.reliability
+        flag = self.session.activity_flag
+        while self.session.has_work() or (rel is not None and rel.pending_count() > 0):
+            did = yield from self._progress_step(tctx)
+            if did:
+                continue
+            flag.clear()
+            if self.session.has_work():
+                continue
+            if rel is None or rel.pending_count() == 0:
+                break
+            # unacked packets but a quiet wire: sleep until an ACK arrives
+            # or a retransmit timer queues work (both set the flag)
             yield WaitFlag(flag)
 
     def iprobe(

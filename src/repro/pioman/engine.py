@@ -56,7 +56,12 @@ class PiomanEngine(EngineBase):
         session.on_ops_enqueued.append(self._kick)
         self._seen_drivers: set[int] = set()
         self._watch_drivers()
-        session.on_driver_added.append(lambda _drv: self._watch_drivers())
+        #: kept by name so close() can deregister it
+        self._driver_added_cb = lambda _drv: self._watch_drivers()
+        session.on_driver_added.append(self._driver_added_cb)
+        # retransmit timers fire in hardware context while every core may be
+        # blocked: re-arm the detection paths exactly like a hw completion
+        session.on_retransmit_timer.append(self._on_retransmit_timer)
         #: per-core virtual time at which a paid tasklet dispatch lands
         self._dispatch_due: dict[int, float | None] = {
             c.index: None for c in self.scheduler.cores
@@ -72,10 +77,17 @@ class PiomanEngine(EngineBase):
 
     def _watch_drivers(self) -> None:
         """Subscribe to activity of all (current) drivers; called again by
-        the session hook when gates are added later."""
+        the session hook when gates are added later.
+
+        Keyed by the driver's monotonic :meth:`~repro.nmad.drivers.base.
+        Driver.serial`, NOT by ``id()``: the allocator reuses addresses of
+        collected drivers, and a recycled id would make this silently skip
+        a brand-new driver (its completions would then only ever be seen by
+        polling, never by the activity-driven wakeups).
+        """
         for driver in self.session.drivers:
-            if id(driver) not in self._seen_drivers:
-                self._seen_drivers.add(id(driver))
+            if driver.serial() not in self._seen_drivers:
+                self._seen_drivers.add(driver.serial())
                 driver.add_activity_listener(self._on_hw_activity)
 
     def _on_hw_activity(self) -> None:
@@ -84,6 +96,24 @@ class PiomanEngine(EngineBase):
             # every core is busy: the blocking method (if armed) takes over;
             # otherwise the timer-tick trigger will detect the completion.
             self.server.on_hw_activity()
+
+    def _on_retransmit_timer(self) -> None:
+        """Hardware context: an ack timeout queued a retransmit op."""
+        if not self.scheduler.kick_idle():
+            self.server.on_hw_activity()
+
+    def close(self) -> None:
+        """Deregister every scheduler/session/driver hook (idempotent)."""
+        self.scheduler.unregister_idle_hook(self._idle_hook)
+        self.scheduler.unregister_tick_hook(self._tick_hook)
+        self.scheduler.unregister_switch_hook(self._switch_hook)
+        self._remove_hook(self.session.on_ops_enqueued, self._kick)
+        self._remove_hook(self.session.on_driver_added, self._driver_added_cb)
+        self._remove_hook(self.session.on_retransmit_timer, self._on_retransmit_timer)
+        for driver in self.session.drivers:
+            driver.remove_activity_listener(self._on_hw_activity)
+        self._seen_drivers.clear()
+        self.server.close()
 
     def _kick(self) -> None:
         """An op was enqueued (e.g. a deferred submission): give it to an

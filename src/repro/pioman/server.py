@@ -48,6 +48,15 @@ class EventServer:
         self.blocking_waits = 0
         self.interrupts_taken = 0
 
+    def close(self) -> None:
+        """Detach from the session; armed watches are abandoned. Part of the
+        engine teardown contract (see :meth:`EngineBase.close`)."""
+        try:
+            self.session.on_request_complete.remove(self._on_complete)
+        except ValueError:
+            pass
+        self._armed.clear()
+
     def arm(self, req: NmRequest) -> None:
         """Watch ``req`` with the blocking method until it completes."""
         if req.req_id not in self._armed:

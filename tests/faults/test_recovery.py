@@ -1,0 +1,201 @@
+"""End-to-end recovery: the reliability layer restores the lossless
+contract the NewMadeleine protocols assume, for every fault flavour."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import EngineKind
+from repro.faults import FaultAction, FaultPlan, FaultRule, LinkFlap, NicStall
+from repro.harness.runner import ClusterRuntime
+from repro.units import KiB
+
+pytestmark = pytest.mark.faults
+
+ENGINES = (EngineKind.SEQUENTIAL, EngineKind.PIOMAN)
+
+
+def _pingpong(rt: ClusterRuntime, n: int, size: int):
+    """Spawn an n-round ping-pong; returns the list origin received."""
+    got: list = []
+
+    def origin(ctx):
+        nm = ctx.env["nm"]
+        for i in range(n):
+            yield from nm.send(ctx, 1, i, size, payload=i)
+            req = yield from nm.recv(ctx, 1, 1000 + i, size)
+            got.append(req.data)
+        yield from nm.drain(ctx)
+
+    def echo(ctx):
+        nm = ctx.env["nm"]
+        for i in range(n):
+            req = yield from nm.recv(ctx, 0, i, size)
+            yield from nm.send(ctx, 0, 1000 + i, size, payload=req.data)
+        yield from nm.drain(ctx)
+
+    rt.spawn(0, origin, name="S")
+    rt.spawn(1, echo, name="R")
+    return got
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_eager_drop_recovery(engine):
+    rt = ClusterRuntime.build(engine=engine, faults=FaultPlan.uniform_drop(0.25, seed=5))
+    got = _pingpong(rt, n=6, size=KiB(4))
+    rt.run()
+    rec = rt.recovery_stats()
+    assert got == list(range(6))
+    assert rt.fault_injector.stats()["drops"] > 0
+    assert rec["retransmits"] > 0
+    assert rec["acks_received"] > 0
+    rt.close()
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_pio_drop_recovery(engine):
+    """Tiny messages ride the PIO submission path; its retransmits too."""
+    rt = ClusterRuntime.build(engine=engine, faults=FaultPlan.uniform_drop(0.3, seed=11))
+    got = _pingpong(rt, n=5, size=64)
+    rt.run()
+    assert got == list(range(5))
+    assert rt.recovery_stats()["retransmits"] > 0
+    rt.close()
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_rendezvous_drop_recovery(engine):
+    """RTS/CTS/DATA frames all carry wire sequences: a lossy wire heals.
+
+    ``gave_up`` may be nonzero for the sequential engine only: once its
+    threads exit ``drain()`` the node stops acknowledging, so the peer's
+    final in-flight frame can exhaust its retries — a bounded tail effect
+    (the data was delivered; its ACK was not), impossible under pioman
+    because idle cores keep the receive side acking autonomously.
+    """
+    rt = ClusterRuntime.build(engine=engine, faults=FaultPlan.uniform_drop(0.2, seed=3))
+    got = _pingpong(rt, n=2, size=KiB(96))
+    rt.run()
+    rec = rt.recovery_stats()
+    assert got == [0, 1]
+    assert rec["retransmits"] + rec["rts_retries"] > 0
+    if engine == EngineKind.PIOMAN:
+        assert rec["gave_up"] == 0
+    else:
+        assert rec["gave_up"] <= 2
+    rt.close()
+
+
+def test_corruption_degenerates_to_loss():
+    """Corrupted frames are discarded without an ACK; the sender's timeout
+    retransmits them like drops."""
+    rt = ClusterRuntime.build(
+        engine=EngineKind.PIOMAN, faults=FaultPlan.lossy(corrupt=0.3, seed=2)
+    )
+    got = _pingpong(rt, n=6, size=KiB(4))
+    rt.run()
+    rec = rt.recovery_stats()
+    assert got == list(range(6))
+    assert rec["corrupt_drops"] > 0
+    assert rec["retransmits"] > 0
+    rt.close()
+
+
+def test_duplicates_are_swallowed_and_reacked():
+    rt = ClusterRuntime.build(
+        engine=EngineKind.PIOMAN, faults=FaultPlan.lossy(duplicate=0.5, seed=4)
+    )
+    got = _pingpong(rt, n=6, size=KiB(4))
+    rt.run()
+    rec = rt.recovery_stats()
+    assert got == list(range(6))  # exactly once each, in order
+    assert rt.fault_injector.stats()["duplicates"] > 0
+    assert rec["dup_drops"] > 0
+    rt.close()
+
+
+def test_every_nth_drop_is_deterministic_and_healed():
+    def run():
+        plan = FaultPlan(rules=[FaultRule(FaultAction.DROP, every_nth=4)])
+        rt = ClusterRuntime.build(engine=EngineKind.PIOMAN, faults=plan)
+        got = _pingpong(rt, n=6, size=KiB(2))
+        end = rt.run()
+        stats = (rt.fault_injector.stats(), rt.recovery_stats())
+        rt.close()
+        return got, end, stats
+
+    first = run()
+    assert first[0] == list(range(6))
+    assert first[2][0]["drops"] > 0
+    assert run() == first  # periodic rules replay exactly
+
+
+def test_link_flap_outage_is_ridden_out():
+    """All traffic during the outage is lost; backoff retries land after
+    the link comes back and the run completes."""
+    plan = FaultPlan(flaps=[LinkFlap(down_at=0.0, up_at=400.0)])
+    rt = ClusterRuntime.build(engine=EngineKind.PIOMAN, faults=plan)
+    got = _pingpong(rt, n=3, size=KiB(4))
+    rt.run()
+    assert got == [0, 1, 2]
+    assert rt.fault_injector.stats()["flap_drops"] > 0
+    assert rt.recovery_stats()["gave_up"] == 0
+    rt.close()
+
+
+def test_nic_stall_delays_but_never_loses():
+    plan = FaultPlan(stalls=[NicStall(start=0.0, end=80.0, node=1)])
+    rt = ClusterRuntime.build(engine=EngineKind.PIOMAN, faults=plan)
+    got = _pingpong(rt, n=3, size=KiB(4))
+    rt.run()
+    assert got == [0, 1, 2]
+    assert rt.fault_injector.stats()["stall_delays"] > 0
+    rt.close()
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_degraded_link_reroutes_to_alternate_rail(engine):
+    """A rail whose link black-holes every packet is marked degraded after
+    ``degraded_threshold`` consecutive timeouts; retransmissions and new
+    submissions reroute to the healthy rail and the run completes."""
+    rt = ClusterRuntime.build(
+        engine=engine, rails=2, faults=FaultPlan.uniform_drop(1.0), recover=True
+    )
+    # the builder installs the injector on every fabric; confine the black
+    # hole to rail 0 so rail 1 stays healthy
+    rail1_fabric = rt.node(0).nics[1].fabric
+    rail1_fabric.set_injector(None)
+    got = _pingpong(rt, n=2, size=KiB(4))
+    rt.run()
+    rec = rt.recovery_stats()
+    assert got == [0, 1]
+    assert rec["degraded_events"] > 0
+    assert rec["gave_up"] == 0
+    # the healthy rail actually carried traffic after the reroute
+    assert rt.node(0).nics[1].tx_packets > 0
+    rt.close()
+
+
+def test_recovery_state_quiesces_after_drain():
+    """drain() returns only when every reliable frame is acknowledged:
+    no pending retransmit state may survive the run."""
+    rt = ClusterRuntime.build(
+        engine=EngineKind.PIOMAN, faults=FaultPlan.uniform_drop(0.25, seed=8)
+    )
+    _pingpong(rt, n=5, size=KiB(4))
+    rt.run()
+    for nrt in rt.nodes:
+        assert nrt.session.reliability is not None
+        assert nrt.session.reliability.pending_count() == 0
+    rt.close()
+
+
+def test_recover_false_leaves_protocols_naive():
+    """recover=False installs the injector but no reliability layer."""
+    rt = ClusterRuntime.build(
+        engine=EngineKind.PIOMAN, faults=FaultPlan.uniform_drop(0.0), recover=False
+    )
+    assert rt.fault_injector is not None
+    for nrt in rt.nodes:
+        assert nrt.session.reliability is None
+    rt.close()

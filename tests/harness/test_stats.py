@@ -84,3 +84,62 @@ def test_empty_summary_rejected():
     c = LatencyCollector(rt.node(0).session)
     with pytest.raises(HarnessError, match="no completed"):
         c.summary()
+
+
+def _one_pingpong(rt, tag=0):
+    def sender(ctx):
+        nm = ctx.env["nm"]
+        yield from nm.send(ctx, 1, tag, KiB(2))
+
+    def receiver(ctx):
+        nm = ctx.env["nm"]
+        yield from nm.recv(ctx, 0, tag, KiB(2))
+
+    rt.spawn(0, sender)
+    rt.spawn(1, receiver)
+    rt.run()
+
+
+def test_detach_stops_recording():
+    rt = ClusterRuntime.build(engine=EngineKind.PIOMAN)
+    c = LatencyCollector(rt.node(1).session)
+    c.detach()
+    _one_pingpong(rt)
+    assert len(c) == 0
+    assert c._on_complete not in rt.node(1).session.on_request_complete
+
+
+def test_detach_is_idempotent_and_keeps_samples():
+    rt = ClusterRuntime.build(engine=EngineKind.PIOMAN)
+    c = LatencyCollector(rt.node(1).session)
+    _one_pingpong(rt)
+    assert len(c) == 1
+    c.detach()
+    c.detach()
+    assert len(c) == 1  # recorded latencies survive detaching
+    assert c.summary().count == 1
+
+
+def test_context_manager_detaches_on_exit():
+    rt = ClusterRuntime.build(engine=EngineKind.PIOMAN)
+    session = rt.node(1).session
+    with LatencyCollector(session) as c:
+        _one_pingpong(rt)
+    assert c._on_complete not in session.on_request_complete
+    assert len(c) == 1
+
+
+def test_per_run_collectors_do_not_double_count():
+    """The leak this API fixes: a collector rebuilt per run must not keep
+    feeding the previous instance. With detach, each collector sees only
+    its own run's completions."""
+    rt = ClusterRuntime.build(engine=EngineKind.PIOMAN)
+    session = rt.node(1).session
+    hooks_before = list(session.on_request_complete)
+    counts = []
+    for tag in (0, 1):
+        with LatencyCollector(session) as c:
+            _one_pingpong(rt, tag=tag)
+            counts.append(len(c))
+    assert counts == [1, 1]
+    assert session.on_request_complete == hooks_before  # no collector left behind

@@ -1,0 +1,129 @@
+"""Engine lifecycle regressions: hook deregistration and driver identity.
+
+Two bugs this file pins down:
+
+* engines used to register scheduler/session/driver hooks they never
+  removed, so rebuilding an engine on live objects left the stale one
+  reacting to every event (duplicate kicks, double polling);
+* ``PiomanEngine._watch_drivers`` used to key its seen-set by ``id(driver)``
+  — the allocator reuses addresses of collected drivers, so a brand-new
+  driver could be silently skipped and never get an activity listener.
+"""
+
+from __future__ import annotations
+
+import gc
+
+from repro.config import EngineKind, TimingModel
+from repro.harness.runner import ClusterRuntime
+from repro.nmad.drivers.mx import MxDriver
+from repro.pioman.engine import PiomanEngine
+
+
+def _hook_counts(nrt):
+    sched, sess = nrt.scheduler, nrt.session
+    return {
+        "idle": len(sched.idle_hooks),
+        "tick": len(sched.tick_hooks),
+        "switch": len(sched.switch_hooks),
+        "ops_enqueued": len(sess.on_ops_enqueued),
+        "driver_added": len(sess.on_driver_added),
+        "retransmit": len(sess.on_retransmit_timer),
+        "request_complete": len(sess.on_request_complete),
+        "nic_listeners": [len(nic._activity_listeners) for nic in nrt.nics],
+    }
+
+
+def test_close_deregisters_every_hook():
+    rt = ClusterRuntime.build(engine=EngineKind.PIOMAN)
+    nrt = rt.node(0)
+    before = _hook_counts(nrt)
+    assert before["idle"] == 1 and before["request_complete"] == 1
+    assert all(n >= 1 for n in before["nic_listeners"])
+    nrt.engine.close()
+    after = _hook_counts(nrt)
+    assert after["idle"] == 0
+    assert after["tick"] == 0
+    assert after["switch"] == 0
+    assert after["ops_enqueued"] == 0
+    assert after["driver_added"] == 0
+    assert after["retransmit"] == 0
+    assert after["request_complete"] == 0
+    # each nic loses exactly the engine's listener; the session's own
+    # activity_flag.set listener (registered at gate creation) stays
+    assert after["nic_listeners"] == [n - 1 for n in before["nic_listeners"]]
+    for nic in nrt.nics:
+        assert nrt.engine._on_hw_activity not in nic._activity_listeners
+
+
+def test_close_is_idempotent():
+    rt = ClusterRuntime.build(engine=EngineKind.PIOMAN)
+    rt.close()
+    rt.close()  # second teardown must be a no-op, not a ValueError
+
+
+def test_rebuild_after_close_does_not_accumulate_hooks():
+    """The engine-comparison pattern: tear one engine down, build another
+    on the same session — hook populations must not grow."""
+    rt = ClusterRuntime.build(engine=EngineKind.PIOMAN)
+    nrt = rt.node(0)
+    baseline = _hook_counts(nrt)
+    nrt.engine.close()
+    replacement = PiomanEngine(nrt.session)
+    assert _hook_counts(nrt) == baseline
+    replacement.close()
+
+
+def test_runtime_close_tears_down_all_nodes():
+    rt = ClusterRuntime.build(engine=EngineKind.PIOMAN)
+    rt.close()
+    for nrt in rt.nodes:
+        assert not nrt.scheduler.idle_hooks
+        assert not nrt.session.on_request_complete
+
+
+def test_sequential_engine_close_is_safe():
+    """The baseline engine registers nothing; close() must still exist and
+    be callable through the same teardown path."""
+    rt = ClusterRuntime.build(engine=EngineKind.SEQUENTIAL)
+    rt.close()
+    rt.close()
+
+
+# ------------------------------------------------------------ driver identity
+
+
+def test_driver_serials_are_unique_and_stable():
+    rt = ClusterRuntime.build(engine=EngineKind.PIOMAN, rails=2)
+    drivers = rt.node(0).session.drivers
+    serials = [d.serial() for d in drivers]
+    assert len(set(serials)) == len(serials)
+    assert serials == [d.serial() for d in drivers]  # stable across calls
+
+
+def test_driver_serial_never_reused_after_collection():
+    """Unlike ``id()``, a serial is never recycled: a fresh driver always
+    gets a fresh serial even if it lands at a collected driver's address."""
+    rt = ClusterRuntime.build(engine=EngineKind.PIOMAN)
+    nic = rt.node(0).nics[0]
+    timing = TimingModel()
+    d1 = MxDriver(nic, timing.host)
+    s1, addr1 = d1.serial(), id(d1)
+    del d1
+    gc.collect()
+    d2 = MxDriver(nic, timing.host)
+    assert d2.serial() != s1
+    assert d2.serial() > s1
+    # even in the id-reuse case the seen-set logic stays correct
+    if id(d2) == addr1:  # pragma: no cover - allocator-dependent
+        assert d2.serial() != s1
+
+
+def test_watch_drivers_keyed_by_serial():
+    """The engine's seen-set holds serials (never ids), so every driver of
+    the session — including ones added after construction — is watched."""
+    rt = ClusterRuntime.build(engine=EngineKind.PIOMAN)
+    nrt = rt.node(0)
+    engine = nrt.engine
+    assert engine._seen_drivers == {d.serial() for d in nrt.session.drivers}
+    assert all(isinstance(s, int) for s in engine._seen_drivers)

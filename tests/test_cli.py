@@ -70,6 +70,49 @@ def test_trace_command(tmp_path, capsys):
     assert doc["traceEvents"]
 
 
+def test_demo_smoke(capsys):
+    assert main(["demo", "--messages", "2", "--engine", "pioman"]) == 0
+    out = capsys.readouterr().out
+    assert "2 round-trips" in out
+    assert "recovery:" not in out  # no injector, no fault report
+
+
+def test_demo_with_faults_smoke(capsys):
+    assert main(["--faults", "demo", "--messages", "4", "--seed", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "sequential" in out and "pioman" in out
+    assert "faults:" in out and "recovery:" in out
+
+
+def test_demo_with_faults_is_deterministic(capsys):
+    argv = ["--faults", "demo", "--messages", "4", "--engine", "pioman", "--seed", "3"]
+    assert main(argv) == 0
+    first = capsys.readouterr().out
+    assert main(argv) == 0
+    assert capsys.readouterr().out == first
+
+
+def test_demo_no_retransmit_reports_loss(capsys):
+    assert (
+        main(
+            [
+                "--faults",
+                "demo",
+                "--messages",
+                "8",
+                "--drop",
+                "0.3",
+                "--engine",
+                "pioman",
+                "--no-retransmit",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "LOST MESSAGES" in out
+
+
 def test_all_with_json_artifact(tmp_path, capsys):
     out = tmp_path / "results.json"
     assert main(["all", "--iterations", "6", "--no-plot", "--json", str(out)]) == 0
