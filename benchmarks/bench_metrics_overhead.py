@@ -1,0 +1,111 @@
+"""Metrics overhead proof: zero simulated time, bounded wall-clock cost.
+
+The ``repro.obs`` registry claims it can stay on by default because
+recording a metric never charges an execution context and never schedules
+a kernel event. This bench asserts that claim directly — a fixed-seed
+run's trace stream and finish time are identical with metrics on and off
+— and reports the *wall-clock* (host CPU) overhead, which is real but
+must stay within an order of magnitude of the bare run.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from repro.config import EngineKind, ObsConfig, TimingModel
+from repro.harness.runner import ClusterRuntime
+from repro.obs import snapshot_to_json
+from repro.sim.tracing import Tracer
+from repro.units import KiB
+
+pytestmark = pytest.mark.obs
+
+ROUNDS = 12
+SIZE = KiB(8)
+
+
+def _timing(enabled: bool, sample: float = 0.0) -> TimingModel:
+    return TimingModel().replace(
+        obs=ObsConfig(enabled=enabled, sample_interval_us=sample)
+    )
+
+
+def _run(enabled: bool, sample: float = 0.0):
+    """Fixed-seed ping-pong; returns (end_us, trace shape, wall seconds, rt)."""
+    tracer = Tracer()
+    rt = ClusterRuntime.build(
+        engine=EngineKind.PIOMAN, tracer=tracer, timing=_timing(enabled, sample)
+    )
+
+    def origin(ctx):
+        nm = ctx.env["nm"]
+        for i in range(ROUNDS):
+            yield from nm.send(ctx, 1, i, SIZE, payload=i)
+            yield from nm.recv(ctx, 1, 1000 + i, SIZE)
+
+    def echo(ctx):
+        nm = ctx.env["nm"]
+        for i in range(ROUNDS):
+            req = yield from nm.recv(ctx, 0, i, SIZE)
+            yield from nm.send(ctx, 0, 1000 + i, SIZE, payload=req.data)
+
+    rt.spawn(0, origin, name="S")
+    rt.spawn(1, echo, name="R")
+    t0 = time.perf_counter()
+    end = rt.run()
+    wall = time.perf_counter() - t0
+    # labels embed process-global request ids: compare the stream shape,
+    # the repo's determinism convention (tests/integration/test_determinism)
+    shape = [(t, c, w) for t, c, w, _ in tracer.signature()]
+    return end, shape, wall, rt
+
+
+def test_metrics_do_not_perturb_the_simulation(print_report):
+    end_on, shape_on, wall_on, rt_on = _run(enabled=True)
+    end_off, shape_off, wall_off, rt_off = _run(enabled=False)
+
+    assert end_on == end_off, "metrics changed the finish time"
+    assert shape_on == shape_off, "metrics changed the event stream"
+    assert rt_on.metrics() != {} and rt_off.metrics() == {}
+
+    ratio = wall_on / wall_off if wall_off > 0 else float("inf")
+    print_report(
+        "Metrics overhead (simulated time: zero by assertion)",
+        f"rounds={ROUNDS} size={SIZE}B end={end_on:.1f}µs events={len(shape_on)}\n"
+        f"wall-clock: metrics on {wall_on * 1e3:.2f}ms, "
+        f"off {wall_off * 1e3:.2f}ms (ratio {ratio:.2f}x)",
+    )
+    # generous bound: the pull-model registry only pays at snapshot time,
+    # so anything close to parity is expected; 10x would mean a per-event
+    # cost crept in
+    assert ratio < 10.0
+    rt_on.close()
+    rt_off.close()
+
+
+def test_sampling_does_not_perturb_the_simulation():
+    """Even an aggressive sampling interval adds no simulated time (the
+    sampler piggybacks on fired events, it never schedules its own)."""
+    end_plain, shape_plain, _, rt_plain = _run(enabled=True)
+    end_sampled, shape_sampled, _, rt_sampled = _run(enabled=True, sample=2.0)
+    assert end_plain == end_sampled
+    assert shape_plain == shape_sampled
+    assert len(rt_sampled.sampler.samples) > 10
+    rt_plain.close()
+    rt_sampled.close()
+
+
+def test_snapshot_exports_cleanly(print_report):
+    _, _, _, rt = _run(enabled=True)
+    snap = rt.metrics()
+    payload = snapshot_to_json(snap)
+    assert json.loads(payload) == snap
+    keys = [k for k in snap if k.startswith("n0.")]
+    print_report(
+        "Registry snapshot (node 0 keys)",
+        "\n".join(f"{k} = {snap[k]}" for k in keys[:16]) + f"\n… {len(snap)} keys total",
+    )
+    rt.close()

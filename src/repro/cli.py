@@ -65,24 +65,28 @@ def _cmd_all(args: argparse.Namespace) -> int:
     return rc
 
 
-def _demo_workload(engine: str, tracer=None):
+def _demo_workload(engine: str, tracer=None, timing=None, faults=None):
     """One isend(32K)+compute(40µs)+swait round — the gantt/trace subject."""
     from .harness.runner import ClusterRuntime
     from .units import KiB
 
-    rt = ClusterRuntime.build(engine=engine, tracer=tracer)
+    rt = ClusterRuntime.build(engine=engine, tracer=tracer, timing=timing, faults=faults)
 
     def sender(ctx):
         nm = ctx.env["nm"]
         req = yield from nm.isend(ctx, 1, 0, KiB(32), buffer_id="b")
         yield ctx.compute(40.0)
         yield from nm.swait(ctx, req)
+        if faults is not None:
+            yield from nm.drain(ctx)
 
     def receiver(ctx):
         nm = ctx.env["nm"]
         req = yield from nm.irecv(ctx, 0, 0, KiB(32), buffer_id="r")
         yield ctx.compute(40.0)
         yield from nm.rwait(ctx, req)
+        if faults is not None:
+            yield from nm.drain(ctx)
 
     rt.spawn(0, sender, name="sender", core_index=0)
     rt.spawn(1, receiver, name="receiver", core_index=0)
@@ -90,16 +94,34 @@ def _demo_workload(engine: str, tracer=None):
     return rt
 
 
+def _emit_metrics_report(rt, path: str, suffix: str = "") -> None:
+    """Write the merged run report (``--metrics <path>``); ``suffix``
+    disambiguates when one invocation produces several runtimes."""
+    import os.path
+
+    from .obs import write_run_report
+
+    if suffix:
+        root, ext = os.path.splitext(path)
+        path = f"{root}.{suffix}{ext or '.json'}"
+    write_run_report(rt, path)
+    print(f"metrics report: {path}")
+
+
 def _cmd_gantt(args: argparse.Namespace) -> int:
     from .harness.timeline import overlap_ratio, render_gantt
 
-    for engine in (args.engine,) if args.engine else ("sequential", "pioman"):
+    engines = (args.engine,) if args.engine else ("sequential", "pioman")
+    for engine in engines:
         rt = _demo_workload(engine)
         sched = rt.node(0).scheduler
         active = [c.timeline for c in sched.cores if c.timeline.intervals]
         print(f"--- {engine} (node 0, finished at {rt.sim.now:.1f}µs) ---")
         print(render_gantt(active, width=72, t_end=rt.sim.now))
         print(f"overlap ratio: {overlap_ratio(sched) * 100:.0f}%\n")
+        if args.metrics:
+            _emit_metrics_report(rt, args.metrics, suffix=engine if len(engines) > 1 else "")
+        rt.close()
     return 0
 
 
@@ -110,6 +132,9 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     rt = _demo_workload(args.engine or "pioman", tracer=Tracer())
     n = export_chrome_trace(rt, args.out)
     print(f"wrote {n} events to {args.out} (open in chrome://tracing or ui.perfetto.dev)")
+    if args.metrics:
+        _emit_metrics_report(rt, args.metrics)
+    rt.close()
     return 0
 
 
@@ -163,7 +188,40 @@ def _cmd_demo(args: argparse.Namespace) -> int:
                 f" acks={rec['acks_received']} gave_up={rec['gave_up']}"
             )
         print(line)
+        if args.metrics:
+            _emit_metrics_report(rt, args.metrics, suffix=engine if len(engines) > 1 else "")
         rt.close()
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    """Run the demo round with the registry on and print/export metrics."""
+    from .config import ObsConfig
+    from .faults import FaultPlan
+    from .obs import snapshot_to_json, snapshot_to_prometheus, timeseries_to_csv
+    from .sim.tracing import Tracer
+
+    plan = None
+    if args.faults:
+        plan = FaultPlan.lossy(drop=0.1, corrupt=0.02, duplicate=0.02, seed=0)
+    timing = TimingModel().replace(
+        obs=ObsConfig(enabled=True, sample_interval_us=args.sample)
+    )
+    rt = _demo_workload(args.engine or "pioman", tracer=Tracer(), timing=timing, faults=plan)
+    snap = rt.metrics()
+    if args.format == "prom":
+        print(snapshot_to_prometheus(snap), end="")
+    elif args.format == "csv":
+        if rt.sampler is None:
+            print("no time series: pass --sample INTERVAL_US", file=sys.stderr)
+            rt.close()
+            return 2
+        print(timeseries_to_csv(rt.sampler), end="")
+    else:
+        print(snapshot_to_json(snap))
+    if args.out:
+        _emit_metrics_report(rt, args.out)
+    rt.close()
     return 0
 
 
@@ -195,7 +253,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--faults",
         action="store_true",
-        help="enable fault injection on the fabric (honoured by the demo command)",
+        help="enable fault injection on the fabric (honoured by the demo and metrics commands)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
     for name, fn, doc in (
@@ -207,6 +265,7 @@ def build_parser() -> argparse.ArgumentParser:
         ("gantt", _cmd_gantt, "render a per-core ASCII Gantt of a demo round"),
         ("trace", _cmd_trace, "export a Chrome/Perfetto trace of a demo round"),
         ("demo", _cmd_demo, "ping-pong smoke run (combine with --faults for a lossy wire)"),
+        ("metrics", _cmd_metrics, "run a demo round and dump the unified metrics registry"),
     ):
         p = sub.add_parser(name, help=doc)
         p.set_defaults(fn=fn)
@@ -215,10 +274,30 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("--no-plot", action="store_true", help="table only, no ASCII plot")
         if name == "all":
             p.add_argument("--json", default=None, help="also save machine-readable results to this path")
-        if name in ("gantt", "trace", "demo"):
+        if name in ("gantt", "trace", "demo", "metrics"):
             p.add_argument("--engine", choices=("sequential", "pioman"), default=None)
+        if name in ("gantt", "trace", "demo"):
+            p.add_argument(
+                "--metrics",
+                default=None,
+                metavar="PATH",
+                help="also write a merged metrics/trace run report (JSON) to PATH",
+            )
         if name == "trace":
             p.add_argument("--out", default="repro_trace.json", help="output JSON path")
+        if name == "metrics":
+            p.add_argument(
+                "--format", choices=("json", "prom", "csv"), default="json",
+                help="stdout format: JSON snapshot, Prometheus text, or CSV time series",
+            )
+            p.add_argument(
+                "--sample", type=float, default=0.0, metavar="US",
+                help="time-series sampling interval in virtual µs (0 = no series)",
+            )
+            p.add_argument(
+                "--out", default=None, metavar="PATH",
+                help="also write the merged run report (JSON) to PATH",
+            )
         if name == "demo":
             p.add_argument("--messages", type=int, default=16, help="round-trips per engine")
             p.add_argument("--size", type=int, default=4096, help="message size in bytes")

@@ -27,6 +27,7 @@ __all__ = [
     "PiomanConfig",
     "MarcelConfig",
     "FaultConfig",
+    "ObsConfig",
     "TimingModel",
     "EngineKind",
 ]
@@ -305,11 +306,18 @@ class FaultConfig:
     degraded_threshold: int = 3
     #: how long a degraded rail is avoided before being probed again.
     degraded_restore_us: float = 2000.0
+    #: quiet window (in multiples of ``ack_timeout_us``) after which the
+    #: consecutive-timeout count of a rail decays to zero — sporadic
+    #: timeouts spread over a long run then no longer trip
+    #: ``degraded_threshold``. Must span the exponential-backoff gaps of a
+    #: genuinely dead link (≥ ``backoff_factor ** degraded_threshold``).
+    degraded_decay_factor: float = 8.0
 
     def __post_init__(self) -> None:
         _positive("ack_timeout_us", self.ack_timeout_us)
         _positive("rts_timeout_us", self.rts_timeout_us)
         _positive("degraded_restore_us", self.degraded_restore_us)
+        _positive("degraded_decay_factor", self.degraded_decay_factor)
         if self.max_retries < 0:
             raise ConfigError(f"max_retries must be >= 0, got {self.max_retries}")
         if self.backoff_factor < 1.0:
@@ -323,6 +331,29 @@ class FaultConfig:
 
 
 @dataclass(frozen=True)
+class ObsConfig:
+    """Metrics/observability configuration (see ``docs/metrics.md``).
+
+    Metrics are free of simulated time — enabling them cannot change a
+    run's trace signature — so they default to on. Sampling is opt-in
+    because a time series only makes sense at a workload-chosen interval.
+    """
+
+    #: master switch: when False the runtime hands out no-op instruments
+    #: and registers no collectors.
+    enabled: bool = True
+    #: registry sampling period for the time series; 0 disables sampling.
+    sample_interval_us: float = 0.0
+    #: ring-buffer cap on retained samples (None = unlimited).
+    max_samples: int | None = None
+
+    def __post_init__(self) -> None:
+        _non_negative("sample_interval_us", self.sample_interval_us)
+        if self.max_samples is not None and self.max_samples < 1:
+            raise ConfigError(f"max_samples must be >= 1, got {self.max_samples}")
+
+
+@dataclass(frozen=True)
 class TimingModel:
     """Aggregate of every cost model used by a simulation run."""
 
@@ -332,6 +363,7 @@ class TimingModel:
     marcel: MarcelConfig = field(default_factory=MarcelConfig)
     pioman: PiomanConfig = field(default_factory=PiomanConfig)
     faults: FaultConfig = field(default_factory=FaultConfig)
+    obs: ObsConfig = field(default_factory=ObsConfig)
 
     def replace(self, **kwargs: object) -> "TimingModel":
         """Return a copy with top-level sections replaced.

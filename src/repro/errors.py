@@ -72,3 +72,7 @@ class MpiError(ReproError):
 
 class HarnessError(ReproError):
     """An experiment-harness precondition failed."""
+
+
+class ObsError(ReproError):
+    """Invalid use of the metrics/observability subsystem."""

@@ -34,7 +34,9 @@ from ..nmad.drivers.shm import ShmDriver
 from ..nmad.drivers.tcp import TcpDriver, tcp_nic_model
 from ..nmad.interface import NmInterface
 from ..nmad.progress import SequentialEngine
+from ..nmad.reliability import ReliabilityLayer
 from ..nmad.strategies import make_strategy
+from ..obs import MetricsRegistry, TimeSeriesSampler
 from ..pioman.engine import PiomanEngine
 from ..sim.kernel import Simulator
 from ..sim.rng import RngStreams
@@ -73,6 +75,8 @@ class NodeRuntime:
     nm: NmInterface
     nics: list[Nic] = field(default_factory=list)
     shm: Optional[ShmChannel] = None
+    #: every driver attached to this node's gates (rails first, shm last)
+    drivers: list[Any] = field(default_factory=list)
 
 
 class ClusterRuntime:
@@ -97,6 +101,13 @@ class ClusterRuntime:
         self.engine_kind = engine_kind
         #: shared fault injector when the platform was built with a plan
         self.fault_injector: Optional[FaultInjector] = None
+        #: unified metrics (see ``repro.obs``); ``build`` replaces this with
+        #: an enabled registry unless metrics are switched off
+        self.metrics_registry = MetricsRegistry(enabled=False)
+        #: sim-clock sampler, attached when ``timing.obs.sample_interval_us > 0``
+        self.sampler: Optional[TimeSeriesSampler] = None
+        #: (session, callback) pairs to detach in :meth:`close`
+        self._metric_hooks: list[tuple[NmSession, Any]] = []
 
     # ------------------------------------------------------------------- build
 
@@ -120,6 +131,7 @@ class ClusterRuntime:
         ingress_contention: bool = False,
         faults: Optional[FaultPlan] = None,
         recover: bool = True,
+        metrics: Optional[bool] = None,
     ) -> "ClusterRuntime":
         """Assemble a cluster.
 
@@ -136,6 +148,11 @@ class ClusterRuntime:
         the protocols lossless-naive — messages hit by the plan are simply
         lost, which is exactly what the degradation benchmarks compare
         against.
+
+        ``metrics`` overrides ``timing.obs.enabled`` (None = follow the
+        config, default on). Metrics never consume simulated time, so
+        enabling them cannot change a run's trace signature; sampling
+        starts when ``timing.obs.sample_interval_us > 0``.
         """
         EngineKind.validate(engine)
         if rails < 1:
@@ -214,11 +231,98 @@ class ClusterRuntime:
                     nm=nm,
                     nics=nics,
                     shm=shm,
+                    drivers=[*drivers, shm_driver],
                 )
             )
         rt = cls(sim, cluster, node_rts, timing, tracer, rng, engine)
         rt.fault_injector = injector
+        obs = timing.obs
+        enabled = obs.enabled if metrics is None else metrics
+        rt.metrics_registry = MetricsRegistry(enabled=enabled)
+        if enabled and obs.sample_interval_us > 0:
+            rt.sampler = TimeSeriesSampler(
+                sim, rt.metrics_registry, obs.sample_interval_us, obs.max_samples
+            )
+        rt._wire_metrics()
         return rt
+
+    # ------------------------------------------------------------------- metrics
+
+    def _wire_metrics(self) -> None:
+        """Route every pre-existing ad-hoc statistic through the registry.
+
+        Pull model: collectors read the live counters at snapshot/sample
+        time, so no increment site is rewritten and a disabled registry
+        costs nothing. The only push-style instruments are the per-node
+        request-latency histograms, fed by ``on_request_complete`` hooks
+        (pure Python mutation — zero simulated time).
+        """
+        reg = self.metrics_registry
+        if not reg.enabled:
+            return
+        sim = self.sim
+        reg.register_collector(
+            "sim", lambda: {"time_us": sim.now, "events_fired": sim.events_fired}
+        )
+        if self.fault_injector is not None:
+            reg.register_collector("faults", self.fault_injector.stats)
+        rel_keys = frozenset(ReliabilityLayer.STAT_KEYS)
+        for nrt in self.nodes:
+            n = f"n{nrt.index}"
+            session = nrt.session
+            reg.register_collector(
+                f"{n}.session",
+                lambda s=session: {
+                    k: v for k, v in s.stats.items() if k not in rel_keys
+                },
+            )
+            reg.register_collector(
+                f"{n}.reliability",
+                lambda s=session: {k: s.stats.get(k, 0) for k in rel_keys},
+            )
+            reg.register_collector(
+                f"{n}.scheduler",
+                lambda sch=nrt.scheduler: self._scheduler_metrics(sch),
+            )
+            if isinstance(nrt.engine, PiomanEngine):
+                reg.register_collector(
+                    f"{n}.pioman",
+                    lambda e=nrt.engine: {
+                        "idle_activations": e.idle_activations,
+                        "tick_activations": e.tick_activations,
+                        "switch_activations": e.switch_activations,
+                        "kicks": e.kicks,
+                        "offloaded_ops": e.offloaded_ops,
+                    },
+                )
+            seen_names: dict[str, int] = {}
+            for drv in nrt.drivers:
+                k = seen_names.get(drv.name, 0)
+                seen_names[drv.name] = k + 1
+                reg.register_collector(f"{n}.driver.{drv.name}{k}", drv.stats)
+            send_h = reg.histogram(f"{n}.latency.send_us")
+            recv_h = reg.histogram(f"{n}.latency.recv_us")
+
+            def _observe_latency(req, sh=send_h, rh=recv_h):
+                (sh if req.kind == "send" else rh).observe(req.latency())
+
+            session.on_request_complete.append(_observe_latency)
+            self._metric_hooks.append((session, _observe_latency))
+
+    @staticmethod
+    def _scheduler_metrics(scheduler: MarcelScheduler) -> dict[str, Any]:
+        out: dict[str, Any] = dict(scheduler.stats())
+        for core in scheduler.cores:
+            tl = core.timeline
+            out[f"c{core.index}.busy_us"] = tl.busy_us
+            out[f"c{core.index}.service_us"] = tl.service_us
+            out[f"c{core.index}.idle_us"] = tl.idle_us
+        return out
+
+    def metrics(self) -> dict[str, Any]:
+        """Flat, key-sorted snapshot of the unified metrics registry
+        (empty when metrics are disabled)."""
+        return self.metrics_registry.snapshot()
 
     # ------------------------------------------------------------------- running
 
@@ -273,8 +377,6 @@ class ClusterRuntime:
 
     def recovery_stats(self) -> dict[str, int]:
         """Cluster-wide ack/retransmit counters (zeros when recovery off)."""
-        from ..nmad.reliability import ReliabilityLayer
-
         totals = {key: 0 for key in ReliabilityLayer.STAT_KEYS}
         for nrt in self.nodes:
             for key in totals:
@@ -288,3 +390,11 @@ class ClusterRuntime:
         idempotent."""
         for nrt in self.nodes:
             nrt.engine.close()
+        for session, cb in self._metric_hooks:
+            try:
+                session.on_request_complete.remove(cb)
+            except ValueError:
+                pass
+        self._metric_hooks.clear()
+        if self.sampler is not None:
+            self.sampler.detach()

@@ -34,6 +34,40 @@ class Driver:
     #: whether the hardware can DMA from/to registered app buffers
     supports_zero_copy: bool = False
 
+    #: canonical statistic attributes reported by :meth:`stats`. Subclasses
+    #: shadow (as instance attributes) only the ones their paths increment;
+    #: the rest read 0 from these class defaults.
+    _STAT_ATTRS = (
+        "pio_sends",
+        "eager_sends",
+        "zero_copy_sends",
+        "inline_sends",
+        "rdma_writes",
+        "control_sends",
+        "polls",
+        "rx_completions",
+    )
+    pio_sends = 0
+    eager_sends = 0
+    zero_copy_sends = 0
+    inline_sends = 0
+    rdma_writes = 0
+    control_sends = 0
+    polls = 0
+    rx_completions = 0
+
+    def stats(self) -> dict:
+        """Flat submit/poll/rx counters (consumed by ``repro.obs``)."""
+        return {key: getattr(self, key) for key in self._STAT_ATTRS}
+
+    def _record_poll(self, records: list[CompletionRecord]) -> list[CompletionRecord]:
+        """Count one completion-queue poll and its harvested records;
+        subclasses wrap their ``poll()`` return value with this."""
+        self.polls += 1
+        if records:
+            self.rx_completions += len(records)
+        return records
+
     def serial(self) -> int:
         """Monotonic process-unique identity of this driver instance."""
         s = getattr(self, "_serial", None)

@@ -114,7 +114,7 @@ class IbDriver(Driver):
         return self.model.poll_us
 
     def poll(self, max_events: int = 16) -> list[CompletionRecord]:
-        return self.nic.poll(max_events)
+        return self._record_poll(self.nic.poll(max_events))
 
     def has_completions(self) -> bool:
         return self.nic.has_completions()

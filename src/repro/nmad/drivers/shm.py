@@ -58,7 +58,7 @@ class ShmDriver(Driver):
         return self.model.ring_op_us
 
     def poll(self, max_events: int = 16) -> list[CompletionRecord]:
-        return self.channel.poll(max_events)
+        return self._record_poll(self.channel.poll(max_events))
 
     def has_completions(self) -> bool:
         return self.channel.has_completions()

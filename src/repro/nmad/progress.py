@@ -100,10 +100,32 @@ class EngineBase:
         raise NotImplementedError
         yield  # pragma: no cover
 
+    #: trace label charged for the default inline-progression service time
+    step_label = "nm.step"
+
+    def _progress_max_ops(self) -> "int | None":
+        """Events-per-pass cap for :meth:`_progress_step`; None = no cap."""
+        return None
+
     def _progress_step(self, tctx: ThreadContext) -> Generator[Any, Any, bool]:
-        """One engine-specific inline progression step; True if work ran."""
-        raise NotImplementedError
-        yield  # pragma: no cover
+        """One inline progression pass; True if work ran.
+
+        Default behaviour (used as-is by :class:`PiomanEngine`, which only
+        customises :attr:`step_label` and :meth:`_progress_max_ops`): skip
+        quickly when the session is quiet, otherwise take the per-event
+        locks — charged as one spinlock acquisition — and run up to
+        ``_progress_max_ops()`` events. :class:`SequentialEngine` overrides
+        this wholesale with its big-lock variant, which always polls (and
+        pays) even when no work is queued.
+        """
+        if not self.session.has_work():
+            return False
+        ctx = self._exec_ctx(tctx)
+        ctx.charge(self.timing.host.spinlock_us)
+        did = self.session.progress(ctx, max_ops=self._progress_max_ops())
+        if ctx.cpu_us > 0:
+            yield self._service(ctx, self.step_label)
+        return did
 
     # -- shared multi-request / probing operations ---------------------------------
 

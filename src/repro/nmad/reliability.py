@@ -105,8 +105,8 @@ class ReliabilityLayer:
         #: receive-side dedup per source: (floor, sparse seqs >= floor);
         #: every wire_seq < floor has been seen
         self._rx_seen: dict[int, tuple[int, set[int]]] = {}
-        #: consecutive timeouts per (peer, rail_index)
-        self._rail_timeouts: dict[tuple[int, int], int] = {}
+        #: consecutive timeouts per (peer, rail_index): (count, last seen at)
+        self._rail_timeouts: dict[tuple[int, int], tuple[int, float]] = {}
         #: degraded rails by (peer, rail_index)
         self._degraded: dict[tuple[int, int], DegradedLink] = {}
 
@@ -231,11 +231,25 @@ class ReliabilityLayer:
 
     # -------------------------------------------------------- degraded links
 
+    def _decay_window_us(self) -> float:
+        """Quiet time after which accumulated rail timeouts go stale.
+
+        A multiple of the ack timeout so the window comfortably spans the
+        exponential-backoff gaps of a genuinely dead link (which must still
+        trip ``degraded_threshold``) while sporadic timeouts hours apart in
+        virtual time no longer count as *consecutive*.
+        """
+        return self.cfg.ack_timeout_us * self.cfg.degraded_decay_factor
+
     def _note_rail_timeout(self, entry: _Pending) -> None:
         gate = entry.gate
         rail_key = (gate.peer, entry.rail_index)
-        count = self._rail_timeouts.get(rail_key, 0) + 1
-        self._rail_timeouts[rail_key] = count
+        now = self.sim.now
+        count, last_at = self._rail_timeouts.get(rail_key, (0, now))
+        if count and now - last_at > self._decay_window_us():
+            count = 0  # the rail sat quiet past the window: start over
+        count += 1
+        self._rail_timeouts[rail_key] = (count, now)
         if (
             count >= self.cfg.degraded_threshold
             and len(gate.rails) > 1
@@ -258,15 +272,16 @@ class ReliabilityLayer:
         now = self.sim.now
         for key in [k for k, d in self._degraded.items() if d.until_us <= now]:
             del self._degraded[key]
-            self._rail_timeouts[key] = 0
+            self._rail_timeouts.pop(key, None)
 
     def _acked(self, entry: _Pending) -> None:
         if entry.timer is not None:
             entry.timer.cancel()
             entry.timer = None
         rail_key = (entry.gate.peer, entry.rail_index)
-        self._rail_timeouts[rail_key] = 0
-        # a delivery proves the link works again: lift the degradation early
+        # a delivery proves the link works again: forget accumulated
+        # timeouts and lift any degradation early
+        self._rail_timeouts.pop(rail_key, None)
         self._degraded.pop(rail_key, None)
 
     # ---------------------------------------------------------- receive side
@@ -276,15 +291,17 @@ class ReliabilityLayer:
         consumed here (ACK, corrupted, or duplicate) and must not reach the
         protocol handlers."""
         session = self.session
+        if packet.headers.get("corrupted"):
+            # bad checksum: discard silently, whatever the frame claims to
+            # be — a corrupted ACK must not cancel retransmission. No ACK
+            # means the sender's timeout turns corruption into loss and
+            # retransmits.
+            ctx.charge(driver.rx_consume_us())
+            session.stats["corrupt_drops"] += 1
+            return False
         if packet.kind == PacketKind.ACK:
             ctx.charge(driver.rx_consume_us())
             self._on_ack(ctx, packet)
-            return False
-        if packet.headers.get("corrupted"):
-            # bad checksum: discard silently — no ACK means the sender's
-            # timeout turns corruption into loss and retransmits
-            ctx.charge(driver.rx_consume_us())
-            session.stats["corrupt_drops"] += 1
             return False
         wire_seq = packet.headers.get("wire_seq")
         if wire_seq is None:

@@ -1,0 +1,98 @@
+"""Sim-clock time-series sampling of a metrics registry.
+
+The sampler must not perturb the simulation: scheduling its own periodic
+events would keep the event queue alive forever (the kernel runs until the
+queue drains) and interleave with real work. Instead it registers a
+:meth:`repro.sim.kernel.Simulator.add_observer` callback — invoked after
+every fired event, outside any execution context — and records a sample
+whenever virtual time has crossed the next ``interval_us`` boundary.
+Sample timestamps are quantized to the boundary, so two identical runs
+produce identical series (the determinism contract extends to metrics).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING
+
+from ..errors import ObsError
+from .registry import MetricsRegistry
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.kernel import Simulator
+
+__all__ = ["TimeSeriesSampler"]
+
+
+class TimeSeriesSampler:
+    """Record registry snapshots every ``interval_us`` of virtual time.
+
+    ``max_samples`` optionally caps the series as a ring buffer (oldest
+    samples dropped first) so week-long benchmark runs stay bounded;
+    :attr:`dropped` counts evictions.
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        registry: MetricsRegistry,
+        interval_us: float,
+        max_samples: int | None = None,
+    ) -> None:
+        if interval_us <= 0:
+            raise ObsError(f"sample interval must be > 0, got {interval_us}")
+        if max_samples is not None and max_samples < 1:
+            raise ObsError(f"max_samples must be >= 1, got {max_samples}")
+        self.sim = sim
+        self.registry = registry
+        self.interval_us = float(interval_us)
+        self.max_samples = max_samples
+        #: (quantized time, snapshot) pairs in time order
+        self.samples: list[tuple[float, dict[str, float]]] = []
+        self.dropped = 0
+        self._next_due = self.interval_us
+        self._attached = registry.enabled
+        if self._attached:
+            sim.add_observer(self._on_event)
+
+    # -- event-loop hook -----------------------------------------------------
+
+    def _on_event(self, now: float) -> None:
+        if now < self._next_due:
+            return
+        # one sample per crossing, stamped at the last boundary <= now (a
+        # quiet stretch of virtual time yields one late sample, not a
+        # backfilled run of identical ones)
+        t = math.floor(now / self.interval_us) * self.interval_us
+        self.samples.append((t, self.registry.snapshot()))
+        if self.max_samples is not None and len(self.samples) > self.max_samples:
+            del self.samples[0]
+            self.dropped += 1
+        self._next_due = t + self.interval_us
+
+    def detach(self) -> None:
+        """Stop observing the simulator (idempotent); samples stay readable."""
+        if self._attached:
+            self.sim.remove_observer(self._on_event)
+            self._attached = False
+
+    # -- queries -------------------------------------------------------------
+
+    def series(self, key: str) -> tuple[list[float], list[float]]:
+        """(times, values) of one snapshot key; missing points become 0."""
+        times = [t for t, _ in self.samples]
+        values = [snap.get(key, 0) for _, snap in self.samples]
+        return times, values
+
+    def keys(self) -> list[str]:
+        """Union of snapshot keys seen across every sample, sorted."""
+        seen: set[str] = set()
+        for _, snap in self.samples:
+            seen.update(snap)
+        return sorted(seen)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"<TimeSeriesSampler every={self.interval_us}µs "
+            f"samples={len(self.samples)} dropped={self.dropped}>"
+        )

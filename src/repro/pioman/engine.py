@@ -246,16 +246,12 @@ class PiomanEngine(EngineBase):
         self.session.post_recv(req)
         return req
 
-    def _progress_step(self, tctx):
-        """One inline progression pass under event-granular locking."""
-        if not self.session.has_work():
-            return False
-        ctx = self._exec_ctx(tctx)
-        ctx.charge(self.timing.host.spinlock_us)
-        did = self.session.progress(ctx, max_ops=self.cfg.max_events_per_activation)
-        if ctx.cpu_us > 0:
-            yield self._service(ctx, "piom.step")
-        return did
+    # inline progression is EngineBase._progress_step: pioman only renames
+    # the service label and caps events per pass
+    step_label = "piom.step"
+
+    def _progress_max_ops(self):
+        return self.cfg.max_events_per_activation
 
     def wait(self, tctx, req):
         while not req.done:

@@ -47,6 +47,10 @@ class Simulator:
         self._liveness_probes: list[Callable[[], Iterable[str]]] = []
         #: total events fired (statistics / regression checks)
         self.events_fired: int = 0
+        #: callbacks fired after every event with the current time; observers
+        #: must not schedule events (they exist so samplers can piggyback on
+        #: the loop without perturbing it — see ``repro.obs.sampler``).
+        self._observers: list[Callable[[float], None]] = []
 
     # -- clock ---------------------------------------------------------------
 
@@ -106,6 +110,24 @@ class Simulator:
         """
         self._liveness_probes.append(probe)
 
+    # -- observers -----------------------------------------------------------
+
+    def add_observer(self, fn: Callable[[float], None]) -> None:
+        """Call ``fn(now)`` after every fired event.
+
+        Observers run outside any execution context and must not schedule
+        events or otherwise mutate simulation state; they are a read-only
+        window for metrics sampling.
+        """
+        self._observers.append(fn)
+
+    def remove_observer(self, fn: Callable[[float], None]) -> None:
+        """Deregister ``fn`` (idempotent)."""
+        try:
+            self._observers.remove(fn)
+        except ValueError:
+            pass
+
     def _check_liveness(self) -> None:
         blocked: list[str] = []
         for probe in self._liveness_probes:
@@ -143,6 +165,9 @@ class Simulator:
         self._now = handle.time
         handle._fire()
         self.events_fired += 1
+        if self._observers:
+            for ob in tuple(self._observers):
+                ob(self._now)
         return True
 
     def run(self, until: float | None = None, max_events: int | None = None) -> float:

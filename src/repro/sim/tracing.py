@@ -12,8 +12,12 @@ used for three purposes:
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
+from itertools import islice
 from typing import Any, Callable, Iterable, Iterator
+
+from ..errors import SimulationError
 
 __all__ = ["TraceRecord", "Tracer", "CoreTimeline"]
 
@@ -50,15 +54,37 @@ class Tracer:
     ``enabled_categories`` filters at record time: ``None`` records
     everything, an empty set nothing. Category matching is by prefix, so
     enabling ``"pioman"`` records ``pioman.poll``, ``pioman.task`` etc.
+
+    ``max_records`` bounds memory on long runs: when set, ``records``
+    becomes a ring buffer keeping only the newest ``max_records`` entries
+    (``total_recorded`` still counts everything, ``dropped_records`` the
+    evictions). Determinism tests keep working on capped traces: two
+    identical runs evict identically, so :meth:`signature` still matches.
     """
 
-    def __init__(self, enabled_categories: Iterable[str] | None = None) -> None:
-        self.records: list[TraceRecord] = []
+    def __init__(
+        self,
+        enabled_categories: Iterable[str] | None = None,
+        max_records: int | None = None,
+    ) -> None:
+        if max_records is not None and max_records < 1:
+            raise SimulationError(f"max_records must be >= 1, got {max_records}")
+        self.max_records = max_records
+        self.records: "deque[TraceRecord] | list[TraceRecord]" = (
+            deque(maxlen=max_records) if max_records is not None else []
+        )
+        #: records ever seen (capped or not); evictions = total - len(records)
+        self.total_recorded: int = 0
         self.enabled: tuple[str, ...] | None = (
             None if enabled_categories is None else tuple(enabled_categories)
         )
         #: optional live sink, e.g. ``print`` for interactive debugging
         self.sink: Callable[[TraceRecord], None] | None = None
+
+    @property
+    def dropped_records(self) -> int:
+        """Entries evicted by the ``max_records`` ring buffer."""
+        return self.total_recorded - len(self.records)
 
     def wants(self, category: str) -> bool:
         if self.enabled is None:
@@ -69,7 +95,8 @@ class Tracer:
         if not self.wants(category):
             return
         rec = TraceRecord(time, category, where, label, tuple(sorted(data.items())))
-        self.records.append(rec)
+        self.records.append(rec)  # deque evicts the oldest when capped
+        self.total_recorded += 1
         if self.sink is not None:
             self.sink(rec)
 
@@ -85,7 +112,9 @@ class Tracer:
         return sum(1 for _ in self.filter(category, where))
 
     def dump(self, limit: int | None = None) -> str:
-        recs = self.records if limit is None else self.records[:limit]
+        recs: Iterable[TraceRecord] = (
+            self.records if limit is None else islice(self.records, limit)
+        )
         return "\n".join(r.format() for r in recs)
 
     def signature(self) -> tuple[tuple[float, str, str, str], ...]:

@@ -8,6 +8,7 @@ import pytest
 from repro.config import EngineKind
 from repro.faults import FaultAction, FaultPlan, FaultRule, LinkFlap, NicStall
 from repro.harness.runner import ClusterRuntime
+from repro.network.message import PacketKind
 from repro.units import KiB
 
 pytestmark = pytest.mark.faults
@@ -101,6 +102,33 @@ def test_corruption_degenerates_to_loss():
     rt.close()
 
 
+@pytest.mark.parametrize("engine", ENGINES)
+def test_corrupted_ack_is_dropped_not_accepted(engine):
+    """Regression: a corrupted ACK must not count as an acknowledgement.
+
+    ``on_rx`` once dispatched on ``PacketKind.ACK`` before checking the
+    ``corrupted`` header, so a fault-injected bogus ACK cancelled the
+    retransmit timer. With the check ordered first, the corrupted ACK is
+    discarded (``corrupt_drops``) and the sender's timeout retransmits the
+    payload — the old ordering makes this test fail with zero retransmits.
+    """
+    plan = FaultPlan(
+        rules=[
+            FaultRule(
+                FaultAction.CORRUPT, rate=1.0, kinds=(PacketKind.ACK,), max_count=3
+            )
+        ]
+    )
+    rt = ClusterRuntime.build(engine=engine, faults=plan)
+    got = _pingpong(rt, n=4, size=KiB(4))
+    rt.run()
+    rec = rt.recovery_stats()
+    assert got == list(range(4))
+    assert rec["corrupt_drops"] > 0  # the bogus ACKs were discarded...
+    assert rec["retransmits"] > 0  # ...so their payloads were re-sent
+    rt.close()
+
+
 def test_duplicates_are_swallowed_and_reacked():
     rt = ClusterRuntime.build(
         engine=EngineKind.PIOMAN, faults=FaultPlan.lossy(duplicate=0.5, seed=4)
@@ -173,6 +201,56 @@ def test_degraded_link_reroutes_to_alternate_rail(engine):
     assert rec["gave_up"] == 0
     # the healthy rail actually carried traffic after the reroute
     assert rt.node(0).nics[1].tx_packets > 0
+    rt.close()
+
+
+def test_rail_timeout_count_decays_after_quiet_window():
+    """Sporadic timeouts spread over a long run must not accumulate into a
+    spurious degraded-link event: the consecutive-timeout count restarts
+    when the rail sits quiet past the decay window, and a delivery (ACK)
+    forgets it entirely."""
+    from types import SimpleNamespace
+
+    rt = ClusterRuntime.build(
+        engine=EngineKind.SEQUENTIAL, faults=FaultPlan.uniform_drop(0.0), recover=True
+    )
+    rel = rt.node(0).session.reliability
+    window = rel._decay_window_us()
+    entry = SimpleNamespace(
+        gate=SimpleNamespace(peer=1, rails=(None, None)), rail_index=0, timer=None
+    )
+    sim = rt.sim
+    # two timeouts in quick succession accumulate...
+    sim.schedule_at(10.0, rel._note_rail_timeout, entry)
+    sim.schedule_at(20.0, rel._note_rail_timeout, entry)
+    sim.run(until=30.0)
+    assert rel._rail_timeouts[(1, 0)][0] == 2
+    # ...but after a quiet stretch longer than the window the next timeout
+    # starts a fresh streak instead of reaching the threshold (3)
+    sim.schedule_at(20.0 + window + 1.0, rel._note_rail_timeout, entry)
+    sim.run(until=20.0 + window + 2.0)
+    assert rel._rail_timeouts[(1, 0)][0] == 1
+    assert rel.degraded_links() == []
+    # a delivery on the rail clears the count outright
+    rel._acked(entry)
+    assert (1, 0) not in rel._rail_timeouts
+    rt.close()
+
+
+def test_dead_link_still_trips_threshold_despite_decay():
+    """The decay window must span exponential-backoff gaps: a black-holed
+    rail still degrades (guards against an over-eager decay)."""
+    rt = ClusterRuntime.build(
+        engine=EngineKind.PIOMAN,
+        rails=2,
+        faults=FaultPlan.uniform_drop(1.0),
+        recover=True,
+    )
+    rt.node(0).nics[1].fabric.set_injector(None)
+    got = _pingpong(rt, n=2, size=KiB(4))
+    rt.run()
+    assert got == [0, 1]
+    assert rt.recovery_stats()["degraded_events"] > 0
     rt.close()
 
 

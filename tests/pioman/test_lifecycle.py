@@ -38,7 +38,9 @@ def test_close_deregisters_every_hook():
     rt = ClusterRuntime.build(engine=EngineKind.PIOMAN)
     nrt = rt.node(0)
     before = _hook_counts(nrt)
-    assert before["idle"] == 1 and before["request_complete"] == 1
+    # request_complete: the engine's hook + the runtime's metrics-latency
+    # hook (removed by rt.close(), not by engine.close())
+    assert before["idle"] == 1 and before["request_complete"] == 2
     assert all(n >= 1 for n in before["nic_listeners"])
     nrt.engine.close()
     after = _hook_counts(nrt)
@@ -48,7 +50,9 @@ def test_close_deregisters_every_hook():
     assert after["ops_enqueued"] == 0
     assert after["driver_added"] == 0
     assert after["retransmit"] == 0
-    assert after["request_complete"] == 0
+    assert after["request_complete"] == 1  # only the metrics hook remains
+    rt.close()
+    assert len(nrt.session.on_request_complete) == 0
     # each nic loses exactly the engine's listener; the session's own
     # activity_flag.set listener (registered at gate creation) stays
     assert after["nic_listeners"] == [n - 1 for n in before["nic_listeners"]]

@@ -57,6 +57,43 @@ class TestTracer:
         assert "cat" in out and "where" in out and "k=1" in out
 
 
+class TestTracerRingBuffer:
+    def test_cap_keeps_newest(self):
+        t = Tracer(max_records=3)
+        for i in range(5):
+            t.record(float(i), "cat", "w", f"l{i}")
+        assert [r.label for r in t.records] == ["l2", "l3", "l4"]
+        assert t.total_recorded == 5
+        assert t.dropped_records == 2
+
+    def test_uncapped_default_unlimited(self):
+        t = Tracer()
+        for i in range(5):
+            t.record(float(i), "cat", "w", f"l{i}")
+        assert len(t.records) == 5
+        assert t.dropped_records == 0
+
+    def test_capped_signature_deterministic(self):
+        t1, t2 = Tracer(max_records=4), Tracer(max_records=4)
+        for t in (t1, t2):
+            for i in range(10):
+                t.record(float(i), "a", "w", f"l{i}")
+        assert t1.signature() == t2.signature()
+        assert len(t1.signature()) == 4
+
+    def test_dump_limit_works_on_capped_trace(self):
+        t = Tracer(max_records=3)
+        for i in range(5):
+            t.record(float(i), "cat", "w", f"l{i}")
+        assert t.dump(limit=2).count("\n") == 1  # two lines
+
+    def test_invalid_cap_rejected(self):
+        from repro.errors import SimulationError
+
+        with pytest.raises(SimulationError):
+            Tracer(max_records=0)
+
+
 class TestCoreTimeline:
     def test_accumulates_by_kind(self):
         tl = CoreTimeline("c0")

@@ -44,10 +44,33 @@ class TestEngineBaseAbstract:
             engine.isend(None, 1, 0, 10),
             engine.irecv(None, 0, 0, 10),
             engine.wait(None, None),
-            engine._progress_step(None),
         ):
             with pytest.raises(NotImplementedError):
                 next(gen)
+
+    def test_progress_step_default_is_shared_not_shadowed(self, sim, node8):
+        """PiomanEngine must not duplicate the base inline-progression
+        path: it customises the label/cap hooks only (regression for a
+        shadowing copy that drifted from the base implementation)."""
+        from repro.nmad.progress import EngineBase
+        from repro.pioman.engine import PiomanEngine
+
+        assert PiomanEngine._progress_step is EngineBase._progress_step
+        assert PiomanEngine.step_label == "piom.step"
+        assert EngineBase.step_label == "nm.step"
+
+    def test_progress_step_idle_session_returns_false(self, sim, node8):
+        """The default step skips (and charges nothing) on a quiet session."""
+        from repro.marcel.scheduler import MarcelScheduler
+        from repro.nmad.core import NmSession
+        from repro.nmad.progress import EngineBase
+
+        session = NmSession(sim, MarcelScheduler(sim, node8), node8)
+        engine = EngineBase(session)
+        gen = engine._progress_step(None)  # tctx unused before has_work gate
+        with pytest.raises(StopIteration) as stop:
+            next(gen)
+        assert stop.value.value is False
 
 
 class TestReportEdge:
