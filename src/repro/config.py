@@ -27,6 +27,7 @@ __all__ = [
     "PiomanConfig",
     "MarcelConfig",
     "FaultConfig",
+    "RdvConfig",
     "ObsConfig",
     "TimingModel",
     "EngineKind",
@@ -331,6 +332,57 @@ class FaultConfig:
 
 
 @dataclass(frozen=True)
+class RdvConfig:
+    """Rendezvous data-phase pipelining/striping configuration.
+
+    The paper's §2.3 sends the rendezvous payload as one zero-copy DATA
+    transfer once the CTS arrives. This section optionally splits the data
+    phase into pipeline *chunks* — registration of chunk *k+1* overlaps the
+    DMA drain of chunk *k* — and *stripes* chunks across every healthy rail
+    of the gate proportionally to rail bandwidth (the multirail trick the
+    split strategy applies to eager traffic). Each chunk is tracked
+    individually by the reliability layer, so a lost chunk retransmits
+    alone. ``docs/rdv.md`` walks through the full pipeline.
+
+    Defaults keep the seed behaviour byte-identical: ``chunk_bytes == 0``
+    and ``adaptive == False`` mean a single DATA packet on one rail.
+    """
+
+    #: fixed pipeline chunk size in bytes; 0 = no chunking (single DATA
+    #: packet on one rail, the paper's behaviour).
+    chunk_bytes: int = 0
+    #: size chunks from each rail's ``wire_bandwidth()`` instead of
+    #: ``chunk_bytes``: a chunk is whatever the rail drains in
+    #: ``adaptive_chunk_us`` (or the driver's own hint when it gives one).
+    adaptive: bool = False
+    #: target per-chunk DMA drain time for the adaptive mode.
+    adaptive_chunk_us: float = 60.0
+    #: floor under any computed chunk size (avoids silly tiny chunks whose
+    #: per-packet setup would dominate).
+    min_chunk_bytes: int = 1024
+    #: cap on chunks per rail per message (bounds op-queue growth).
+    max_chunks_per_rail: int = 64
+    #: stripe chunks across every healthy rail of the gate; False pins the
+    #: whole data phase to one rail even when chunking is on.
+    multirail: bool = True
+
+    def __post_init__(self) -> None:
+        if self.chunk_bytes < 0:
+            raise ConfigError(f"chunk_bytes must be >= 0, got {self.chunk_bytes}")
+        _positive("adaptive_chunk_us", self.adaptive_chunk_us)
+        _positive("min_chunk_bytes", self.min_chunk_bytes)
+        if self.max_chunks_per_rail < 1:
+            raise ConfigError(
+                f"max_chunks_per_rail must be >= 1, got {self.max_chunks_per_rail}"
+            )
+
+    @property
+    def enabled(self) -> bool:
+        """True when the data phase is chunked (fixed or adaptive)."""
+        return self.chunk_bytes > 0 or self.adaptive
+
+
+@dataclass(frozen=True)
 class ObsConfig:
     """Metrics/observability configuration (see ``docs/metrics.md``).
 
@@ -363,6 +415,7 @@ class TimingModel:
     marcel: MarcelConfig = field(default_factory=MarcelConfig)
     pioman: PiomanConfig = field(default_factory=PiomanConfig)
     faults: FaultConfig = field(default_factory=FaultConfig)
+    rdv: RdvConfig = field(default_factory=RdvConfig)
     obs: ObsConfig = field(default_factory=ObsConfig)
 
     def replace(self, **kwargs: object) -> "TimingModel":

@@ -19,7 +19,7 @@ import dataclasses
 from dataclasses import dataclass, field
 from typing import Any, Callable, Generator, Optional
 
-from ..config import EngineKind, TimingModel
+from ..config import EngineKind, RdvConfig, TimingModel
 from ..errors import HarnessError
 from ..faults import FaultInjector, FaultPlan
 from ..marcel.scheduler import MarcelScheduler
@@ -132,6 +132,7 @@ class ClusterRuntime:
         faults: Optional[FaultPlan] = None,
         recover: bool = True,
         metrics: Optional[bool] = None,
+        rdv: Optional[RdvConfig] = None,
     ) -> "ClusterRuntime":
         """Assemble a cluster.
 
@@ -153,6 +154,10 @@ class ClusterRuntime:
         config, default on). Metrics never consume simulated time, so
         enabling them cannot change a run's trace signature; sampling
         starts when ``timing.obs.sample_interval_us > 0``.
+
+        ``rdv`` overrides ``timing.rdv`` — shorthand for enabling the
+        chunked/striped rendezvous data phase (see
+        :class:`repro.config.RdvConfig` and ``docs/rdv.md``).
         """
         EngineKind.validate(engine)
         if rails < 1:
@@ -160,6 +165,8 @@ class ClusterRuntime:
         if interconnect not in ("mx", "ib", "tcp"):
             raise HarnessError(f"interconnect must be mx, ib or tcp, got {interconnect!r}")
         timing = timing or TimingModel()
+        if rdv is not None:
+            timing = timing.replace(rdv=rdv)
         if faults is not None and recover and not timing.faults.enabled:
             timing = dataclasses.replace(
                 timing, faults=dataclasses.replace(timing.faults, enabled=True)
@@ -267,18 +274,28 @@ class ClusterRuntime:
         if self.fault_injector is not None:
             reg.register_collector("faults", self.fault_injector.stats)
         rel_keys = frozenset(ReliabilityLayer.STAT_KEYS)
+        rdv_keys = frozenset(NmSession.RDV_STAT_KEYS)
         for nrt in self.nodes:
             n = f"n{nrt.index}"
             session = nrt.session
             reg.register_collector(
                 f"{n}.session",
                 lambda s=session: {
-                    k: v for k, v in s.stats.items() if k not in rel_keys
+                    k: v for k, v in s.stats.items() if k not in rel_keys and k not in rdv_keys
                 },
             )
             reg.register_collector(
                 f"{n}.reliability",
                 lambda s=session: {k: s.stats.get(k, 0) for k in rel_keys},
+            )
+            # rendezvous data-phase lane: n{i}.rdv.chunks_sent etc. (the
+            # rdv_ prefix is redundant under the rdv collector name)
+            reg.register_collector(
+                f"{n}.rdv",
+                lambda s=session: {
+                    k.removeprefix("rdv_"): s.stats.get(k, 0)
+                    for k in NmSession.RDV_STAT_KEYS
+                },
             )
             reg.register_collector(
                 f"{n}.scheduler",

@@ -12,6 +12,7 @@ from ..harness.runner import ClusterRuntime
 from ..marcel.thread import MarcelThread, ThreadContext
 from ..nmad.request import NmRequest
 from ..nmad.tags import ANY
+from ..nmad.unexpected import ProbeInfo
 
 __all__ = ["ANY_SOURCE", "ANY_TAG", "MpiRequest", "Communicator", "MpiWorld"]
 
@@ -152,14 +153,19 @@ class Communicator:
 
     def iprobe(
         self, tctx: ThreadContext, source: int = ANY_SOURCE, tag: int = ANY_TAG
-    ) -> Generator[Any, Any, "dict | None"]:
-        """MPI_Iprobe: non-blocking check for a matching pending message."""
+    ) -> Generator[Any, Any, Optional[ProbeInfo]]:
+        """MPI_Iprobe: non-blocking check for a matching pending message.
+
+        Returns a typed :class:`~repro.nmad.unexpected.ProbeInfo` (or
+        None); ``status["source"]``-style access still works for one
+        release.
+        """
         status = yield from self._nm.iprobe(tctx, source, tag)
         return status
 
     def probe(
         self, tctx: ThreadContext, source: int = ANY_SOURCE, tag: int = ANY_TAG
-    ) -> Generator[Any, Any, dict]:
+    ) -> Generator[Any, Any, ProbeInfo]:
         """MPI_Probe: block until a matching message is pending."""
         status = yield from self._nm.probe(tctx, source, tag)
         return status

@@ -57,6 +57,21 @@ class MemoryRegistry:
             self._pinned += size
         return cost
 
+    def register_range(self, buffer_id: object, offset: int, length: int) -> float:
+        """Cost (µs) to register one ``length``-byte window of a buffer.
+
+        The pipelined rendezvous data phase registers the payload chunk by
+        chunk so registration of chunk *k+1* overlaps the DMA drain of
+        chunk *k*. Each window is its own cache entry — keyed by
+        ``(buffer_id, offset, length)`` — so re-sending from the same
+        buffer with the same chunking hits the cache per-window, while a
+        whole-buffer registration under the plain ``buffer_id`` key is
+        never mistaken for a window (and vice versa).
+        """
+        if offset < 0:
+            raise NetworkError(f"negative registration offset: {offset}")
+        return self.register((buffer_id, offset, length), length)
+
     def deregister(self, buffer_id: object) -> None:
         size = self._cache.pop(buffer_id, None)
         if size is not None:

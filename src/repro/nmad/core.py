@@ -37,12 +37,13 @@ from ..sim.tracing import Tracer
 from ..topology.machine import Node
 from ..topology.numa import NumaModel
 from .drivers.base import Driver
+from .rdv import PayloadAssembler, RdvChunk, RdvPlanner, classify_payload, slice_raw
 from .reliability import ReliabilityLayer
 from .request import NmRequest, Protocol, ReqState
 from .strategies import DefaultStrategy, Strategy
 from .strategies.base import RailInfo
 from .tags import ANY, MatchTable, SequenceTracker
-from .unexpected import UnexpectedEager, UnexpectedRts, UnexpectedStore
+from .unexpected import ProbeInfo, UnexpectedEager, UnexpectedRts, UnexpectedStore
 
 __all__ = ["Gate", "NmSession"]
 
@@ -76,9 +77,27 @@ class Gate:
                 pio_threshold=r.pio_threshold(),
                 rdv_threshold=r.rdv_threshold(),
                 bandwidth=r.wire_bandwidth(),
+                chunk_hint=r.rdv_chunk_bytes(),
             )
             for i, r in enumerate(self.rails)
         ]
+
+    def effective_thresholds(self, infos: list[RailInfo] | None = None) -> tuple[int, int]:
+        """Gate-wide protocol thresholds: the (pio, rdv) cutoffs that are
+        safe on *every* given rail.
+
+        Protocol choice happens before rail choice — reliability rerouting
+        or RDV striping may carry the message on any rail — so the session
+        picks the protocol a message qualifies for on all of them (the
+        minimum of each threshold). Identical to ``rails[0]`` for
+        single-rail and homogeneous gates.
+        """
+        if infos is None:
+            infos = self.rail_infos()
+        return (
+            min(r.pio_threshold for r in infos),
+            min(r.rdv_threshold for r in infos),
+        )
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"<Gate ->n{self.peer} rails={[r.name for r in self.rails]}>"
@@ -86,6 +105,16 @@ class Gate:
 
 class NmSession:
     """Per-node communication session."""
+
+    #: rendezvous data-phase counters (exported as ``n{i}.rdv.*`` through
+    #: the observability registry — see ``harness/runner.py``)
+    RDV_STAT_KEYS = (
+        "rdv_chunks_sent",
+        "rdv_chunks_received",
+        "rdv_chunked_sends",
+        "rdv_striped_sends",
+        "rdv_chunk_retransmits",
+    )
 
     def __init__(
         self,
@@ -114,6 +143,10 @@ class NmSession:
         self._sends: dict[int, NmRequest] = {}
         #: rendezvous receives waiting for DATA, by recv req_id
         self._rdv_recvs: dict[int, NmRequest] = {}
+        #: chunked rendezvous reassembly state, by recv req_id
+        self._rdv_assembly: dict[int, PayloadAssembler] = {}
+        #: rendezvous data-phase chunk/stripe planner
+        self._rdv_planner = RdvPlanner(self.timing.rdv)
         #: multirail reassembly: (src, send_req_id) -> accumulated state
         self._reassembly: dict[tuple[int, int], dict[str, Any]] = {}
         #: level-triggered flag set on any driver activity (baseline waits)
@@ -142,6 +175,8 @@ class NmSession:
             "ops_executed": 0,
             "completions_handled": 0,
         }
+        for key in self.RDV_STAT_KEYS:
+            self.stats[key] = 0
         for key in ReliabilityLayer.STAT_KEYS:
             self.stats[key] = 0
         #: ack/retransmit recovery layer (None while the fault model is off,
@@ -213,13 +248,16 @@ class NmSession:
         — the caller (engine) charges the registration cost and decides when
         the queued work runs."""
         gate = self.gate_to(req.peer)
-        rail0 = gate.rails[0]
+        infos = gate.rail_infos()
+        if self.reliability is not None:
+            infos = self.reliability.filter_rails(gate, infos)
+        pio_threshold, rdv_threshold = gate.effective_thresholds(infos)
         req.seq = gate.next_seq(req.tag)
         self.stats["sends"] += 1
-        if req.size <= rail0.pio_threshold():
+        if req.size <= pio_threshold:
             req.protocol = Protocol.PIO
             self.stats["pio_sends"] += 1
-        elif req.size <= rail0.rdv_threshold():
+        elif req.size <= rdv_threshold:
             req.protocol = Protocol.EAGER
             self.stats["eager_sends"] += 1
         else:
@@ -258,25 +296,23 @@ class NmSession:
             raise ProtocolError(f"unknown unexpected item {item!r}")
         self._trace("nmad.post_recv_unexpected", req)
 
-    def probe_unexpected(self, source: int, tag: int) -> Optional[dict[str, Any]]:
+    def probe_unexpected(self, source: int, tag: int) -> Optional[ProbeInfo]:
         """Non-destructive probe of the unexpected store.
 
-        Returns ``{"source", "tag", "size", "rdv"}`` for the oldest
+        Returns a :class:`repro.nmad.unexpected.ProbeInfo` for the oldest
         arrival a recv posted with ``(source, tag)`` would match, or None.
         The item stays in the store (MPI_Probe semantics).
         """
-        from .unexpected import UnexpectedRts
-
         for item in self.unexpected._items:
             src_ok = source == ANY or item.source == source
             tag_ok = tag == ANY or item.tag == tag
             if src_ok and tag_ok:
-                return {
-                    "source": item.source,
-                    "tag": item.tag,
-                    "size": item.size,
-                    "rdv": isinstance(item, UnexpectedRts),
-                }
+                return ProbeInfo(
+                    source=item.source,
+                    tag=item.tag,
+                    size=item.size,
+                    rdv=isinstance(item, UnexpectedRts),
+                )
         return None
 
     # ------------------------------------------------------------------- ops
@@ -385,8 +421,7 @@ class NmSession:
                     }
                 )
                 tx_reqs.append(e.req.req_id)
-                if not hasattr(e.req, "_tx_chunks_left"):
-                    e.req._tx_chunks_left = e.nchunks  # type: ignore[attr-defined]
+                e.req.init_tx_chunks(e.nchunks)
             packet = Packet(
                 kind=PacketKind.PIO if plan.mode == "pio" else PacketKind.EAGER,
                 src_node=self.node_index,
@@ -527,15 +562,11 @@ class NmSession:
             ctx.schedule_after(0.0, self._complete_send_chunk, req)
 
     def _complete_send_chunk(self, req: NmRequest) -> None:
-        left = getattr(req, "_tx_chunks_left", 1) - 1
-        req._tx_chunks_left = left  # type: ignore[attr-defined]
-        if left > 0:
-            return
+        if not req.tx_chunk_done():
+            return  # more chunks still in flight
         if req.done:
             return
         if req.state != ReqState.COMPLETED:
-            if req.state == ReqState.DATA_SENDING:
-                pass  # rendezvous data drained
             self._complete_req(req)
 
     def _deliver_in_order(self, ctx, driver: Driver, item: dict[str, Any]) -> None:
@@ -651,7 +682,15 @@ class NmSession:
 
     def _on_rx_cts(self, ctx, driver: Driver, packet: Packet) -> None:
         """Sender side: the receiver is ready — send the data zero-copy
-        (§2.3 operation (d))."""
+        (§2.3 operation (d)).
+
+        With chunking configured (``TimingModel.rdv``), the data phase is
+        planned as pipeline chunks striped across the gate's healthy rails:
+        chunk 0 goes out here (as the one-shot DATA always did), the rest
+        are queued as ops so idle cores register+submit chunk *k+1* while
+        the NIC drains chunk *k*. With the default config the plan is one
+        chunk on one rail — byte-identical to the seed's behaviour.
+        """
         req = self._sends.get(packet.headers["send_req_id"])
         if req is None or req.state != ReqState.RTS_SENT:
             if self.reliability is not None:
@@ -660,46 +699,132 @@ class NmSession:
                 return
             raise ProtocolError(f"CTS for unknown send #{packet.headers['send_req_id']}")
         gate = self.gate_to(req.peer)
-        rail_index = 0
+        infos = gate.rail_infos()
         if self.reliability is not None:
-            rail_index = self.reliability.select_rail(gate, 0)
+            infos = self.reliability.filter_rails(gate, infos)
+        chunks = self._rdv_planner.plan(req.size, infos)
+        nchunks = len(chunks)
+        recv_req_id = packet.headers["recv_req_id"]
+        req.transition(ReqState.DATA_SENDING)
+        req.init_tx_chunks(nchunks)
+        mode, raw, meta = ("none", None, None)
+        if nchunks > 1:
+            self.stats["rdv_chunked_sends"] += 1
+            if len({c.rail_index for c in chunks}) > 1:
+                self.stats["rdv_striped_sends"] += 1
+            mode, raw, meta = classify_payload(req.payload, req.size)
+        # chunk 0 is charged to the CTS handler, like the one-shot DATA was
+        self._op_send_rdv_chunk(ctx, req, recv_req_id, chunks[0], nchunks, mode, raw, meta)
+        for chunk in chunks[1:]:
+            self._enqueue_op(
+                f"rdv_chunk#{req.req_id}.{chunk.index}",
+                lambda c, r=req, rid=recv_req_id, ch=chunk, n=nchunks, m=mode, rw=raw, mt=meta: (
+                    self._op_send_rdv_chunk(c, r, rid, ch, n, m, rw, mt)
+                ),
+            )
+        self._trace("nmad.data_send", req)
+
+    def _op_send_rdv_chunk(
+        self,
+        ctx,
+        req: NmRequest,
+        recv_req_id: int,
+        chunk: RdvChunk,
+        nchunks: int,
+        mode: str,
+        raw: Any,
+        meta: Optional[dict],
+    ) -> None:
+        """Register and submit one DATA chunk of a rendezvous data phase.
+
+        Registration is per-chunk (``register_range``) so the pinning cost
+        of the next chunk overlaps the wire drain of the previous one. Each
+        chunk is its own tracked packet in the reliability layer, so a lost
+        chunk retransmits alone.
+        """
+        gate = self.gate_to(req.peer)
+        rail_index = chunk.rail_index
+        if self.reliability is not None:
+            rail_index = self.reliability.select_rail(gate, rail_index)
         out_driver = gate.rails[rail_index]
         if out_driver.supports_zero_copy:
-            ctx.charge(self.registry.register(req.buffer_id, req.size))
-        req.transition(ReqState.DATA_SENDING)
+            if nchunks == 1:
+                ctx.charge(self.registry.register(req.buffer_id, req.size))
+            else:
+                ctx.charge(
+                    self.registry.register_range(req.buffer_id, chunk.offset, chunk.length)
+                )
+        headers: dict[str, Any] = {
+            "tx_reqs": [req.req_id],
+            "recv_req_id": recv_req_id,
+        }
+        if nchunks == 1:
+            headers["payload"] = req.payload
+        else:
+            headers.update(
+                payload=slice_raw(mode, raw, chunk.offset, chunk.length, chunk.index),
+                payload_mode=mode,
+                payload_meta=meta if chunk.index == 0 else None,
+                chunk_index=chunk.index,
+                offset=chunk.offset,
+                length=chunk.length,
+                size=req.size,
+                nchunks=nchunks,
+            )
         data = Packet(
             kind=PacketKind.DATA,
             src_node=self.node_index,
             dst_node=req.peer,
-            payload_size=req.size,
-            headers={
-                "tx_reqs": [req.req_id],
-                "recv_req_id": packet.headers["recv_req_id"],
-                "payload": req.payload,
-            },
+            payload_size=chunk.length,
+            headers=headers,
         )
-        req._tx_chunks_left = 1  # type: ignore[attr-defined]
         if self.reliability is not None:
-            mode = "zero_copy" if out_driver.supports_zero_copy else "eager"
-            self.reliability.track(gate, data, mode, rail_index)
+            track_mode = "zero_copy" if out_driver.supports_zero_copy else "eager"
+            self.reliability.track(gate, data, track_mode, rail_index)
         if out_driver.supports_zero_copy:
             out_driver.submit_zero_copy(ctx, data)
         else:
-            self.stats["copies_bytes"] += req.size
-            out_driver.submit_eager(ctx, data, req.size, self._numa_factor(ctx, req.producer_core))
+            self.stats["copies_bytes"] += chunk.length
+            out_driver.submit_eager(
+                ctx, data, chunk.length, self._numa_factor(ctx, req.producer_core)
+            )
         if self.reliability is not None:
             self.reliability.arm(ctx, data)
-        self._trace("nmad.data_send", req)
+        if nchunks > 1:
+            self.stats["rdv_chunks_sent"] += 1
 
     def _on_rx_data(self, ctx, driver: Driver, packet: Packet) -> None:
         recv_id = packet.headers["recv_req_id"]
-        req = self._rdv_recvs.pop(recv_id, None)
+        nchunks = packet.headers.get("nchunks", 1)
+        if nchunks <= 1:
+            req = self._rdv_recvs.pop(recv_id, None)
+            if req is None:
+                if self.reliability is not None:
+                    return  # duplicate DATA already satisfied this recv
+                raise ProtocolError(f"DATA for unknown rendezvous recv #{recv_id}")
+            ctx.charge(driver.rx_consume_us())
+            req.data = packet.headers.get("payload")
+            ctx.schedule_after(0.0, self._complete_req, req)
+            self._trace("nmad.data_recv", req)
+            return
+        # chunked data phase: accumulate until every chunk has landed
+        req = self._rdv_recvs.get(recv_id)
         if req is None:
             if self.reliability is not None:
-                return  # duplicate DATA already satisfied this recv
-            raise ProtocolError(f"DATA for unknown rendezvous recv #{recv_id}")
+                return  # duplicate chunk of an already-completed recv
+            raise ProtocolError(f"DATA chunk for unknown rendezvous recv #{recv_id}")
         ctx.charge(driver.rx_consume_us())
-        req.data = packet.headers.get("payload")
+        assembler = self._rdv_assembly.get(recv_id)
+        if assembler is None:
+            assembler = self._rdv_assembly[recv_id] = PayloadAssembler(
+                packet.headers["size"], nchunks
+            )
+        self.stats["rdv_chunks_received"] += 1
+        if not assembler.add(packet.headers):
+            return
+        self._rdv_recvs.pop(recv_id, None)
+        self._rdv_assembly.pop(recv_id, None)
+        req.data = assembler.payload()
         ctx.schedule_after(0.0, self._complete_req, req)
         self._trace("nmad.data_recv", req)
 

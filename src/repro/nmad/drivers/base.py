@@ -133,6 +133,15 @@ class Driver:
         """Nominal bandwidth (bytes/µs) — used by the multirail splitter."""
         raise NotImplementedError
 
+    def rdv_chunk_bytes(self) -> int:
+        """Driver-preferred pipeline chunk size for the RDV data phase.
+
+        0 (the default) means no preference: the planner sizes chunks from
+        :class:`repro.config.RdvConfig` and this driver's bandwidth instead.
+        Drivers whose hardware has a natural MTU/pipeline depth override.
+        """
+        return 0
+
     # -- common validation ----------------------------------------------------------
 
     @staticmethod

@@ -4,15 +4,23 @@ All calls are generators to be used from Marcel thread bodies with
 ``yield from``. Naming follows the paper's pseudo-code (Fig. 4/7):
 ``nm_isend`` / ``nm_swait`` become :meth:`isend` / :meth:`swait`.
 
+Sends are **payload-first**: pass real data (``bytes``, ``bytearray``,
+``memoryview``, or a numpy array) and the interface derives the wire size
+from it; an explicit ``size`` is still accepted — alone (the classic
+size-only simulation call) or together with a payload, in which case the
+two must agree. All optional arguments are keyword-only.
+
 >>> def body(ctx):
-...     req = yield from iface.isend(ctx, peer=1, tag=0, size=4096)
+...     req = yield from iface.isend(ctx, peer=1, tag=0, payload=b"x" * 4096)
 ...     yield ctx.compute(20.0)
 ...     yield from iface.swait(ctx, req)
 """
 
 from __future__ import annotations
 
-from typing import Any, Generator, Iterable, Sequence
+import numbers
+import sys
+from typing import Any, Generator, Iterable, Optional, Sequence
 
 from ..errors import RequestError
 from ..marcel.thread import ThreadContext
@@ -20,8 +28,21 @@ from .core import NmSession
 from .progress import EngineBase
 from .request import NmRequest
 from .tags import ANY
+from .unexpected import ProbeInfo
 
 __all__ = ["NmInterface"]
+
+
+def _payload_nbytes(payload: Any) -> Optional[int]:
+    """Wire size of a payload, or None when it has no obvious byte length."""
+    if isinstance(payload, (bytes, bytearray)):
+        return len(payload)
+    if isinstance(payload, memoryview):
+        return payload.nbytes
+    np = sys.modules.get("numpy")
+    if np is not None and isinstance(payload, np.ndarray):
+        return payload.nbytes
+    return None
 
 
 class NmInterface:
@@ -33,6 +54,38 @@ class NmInterface:
         self.session = session
         self.engine = engine
 
+    # -- argument resolution -------------------------------------------------------
+
+    @staticmethod
+    def _resolve_size(size: Any, payload: Any) -> int:
+        """Resolve the wire size of a send from ``(size, payload)``.
+
+        Accepts the classic size-only form, the payload-first form (size
+        derived from the bytes/numpy payload), and both together (validated
+        against each other). A non-integral ``size`` is treated as a
+        payload passed positionally — ``isend(ctx, peer, tag, b"data")``
+        reads naturally.
+        """
+        if size is not None and not isinstance(size, numbers.Integral):
+            raise RequestError(
+                f"size must be an integer, got {type(size).__name__}; "
+                "pass data via payload=..."
+            )
+        derived = _payload_nbytes(payload)
+        if size is None:
+            if derived is None:
+                raise RequestError(
+                    "cannot derive size: pass size= explicitly or a "
+                    "bytes/bytearray/memoryview/numpy payload"
+                )
+            return derived
+        size = int(size)
+        if derived is not None and derived != size:
+            raise RequestError(
+                f"explicit size {size} does not match payload of {derived} bytes"
+            )
+        return size
+
     # -- non-blocking -------------------------------------------------------------
 
     def isend(
@@ -40,12 +93,22 @@ class NmInterface:
         tctx: ThreadContext,
         peer: int,
         tag: int,
-        size: int,
+        size: Optional[int] = None,
+        *,
         payload: Any = None,
         buffer_id: object = None,
     ) -> Generator[Any, Any, NmRequest]:
-        """Non-blocking send of ``size`` bytes to ``peer`` under ``tag``."""
-        req = yield from self.engine.isend(tctx, peer, tag, size, payload, buffer_id)
+        """Non-blocking send to ``peer`` under ``tag``.
+
+        Either ``size`` (simulated bytes, no data attached) or ``payload``
+        (real data; size derived) must be given; both together are
+        validated against each other.
+        """
+        if size is not None and not isinstance(size, numbers.Integral) and payload is None:
+            # payload-first positional form: isend(ctx, peer, tag, b"data")
+            size, payload = None, size
+        nbytes = self._resolve_size(size, payload)
+        req = yield from self.engine.isend(tctx, peer, tag, nbytes, payload, buffer_id)
         return req
 
     def irecv(
@@ -54,6 +117,7 @@ class NmInterface:
         source: int = ANY,
         tag: int = ANY,
         size: int = 0,
+        *,
         buffer_id: object = None,
     ) -> Generator[Any, Any, NmRequest]:
         """Non-blocking receive posting (wildcards allowed)."""
@@ -113,19 +177,47 @@ class NmInterface:
         """
         return req.done
 
+    def test_all(self, reqs: Iterable[NmRequest]) -> bool:
+        """True when *every* request has completed (MPI_Testall shape).
+
+        Pure inspection like :meth:`test`: drives no progress, charges no
+        CPU. Vacuously True for an empty sequence.
+        """
+        return all(req.done for req in reqs)
+
+    def test_any(
+        self, reqs: Sequence[NmRequest]
+    ) -> Optional[tuple[int, NmRequest]]:
+        """First completed request as ``(index, req)``, or None.
+
+        Pure inspection like :meth:`test`; the ``(index, req)`` result
+        mirrors :meth:`wait_any` so polling loops can switch between the
+        two without reshaping their bookkeeping.
+        """
+        for i, req in enumerate(reqs):
+            if req.done:
+                return (i, req)
+        return None
+
     # -- probing ------------------------------------------------------------------
 
     def iprobe(
         self, tctx: ThreadContext, source: int = ANY, tag: int = ANY
-    ) -> Generator[Any, Any, "dict | None"]:
-        """Non-blocking probe for a pending (unmatched) message."""
+    ) -> Generator[Any, Any, Optional[ProbeInfo]]:
+        """Non-blocking probe for a pending (unmatched) message.
+
+        Returns a :class:`~repro.nmad.unexpected.ProbeInfo` (typed
+        ``source``/``tag``/``size``/``rdv``; still answers ``info["..."]``
+        for one release) or None.
+        """
         result = yield from self.engine.iprobe(tctx, source, tag)
         return result
 
     def probe(
         self, tctx: ThreadContext, source: int = ANY, tag: int = ANY
-    ) -> Generator[Any, Any, dict]:
-        """Blocking probe; returns ``{"source", "tag", "size", "rdv"}``."""
+    ) -> Generator[Any, Any, ProbeInfo]:
+        """Blocking probe; returns a
+        :class:`~repro.nmad.unexpected.ProbeInfo`."""
         result = yield from self.engine.probe(tctx, source, tag)
         return result
 
@@ -136,11 +228,16 @@ class NmInterface:
         tctx: ThreadContext,
         peer: int,
         tag: int,
-        size: int,
+        size: Optional[int] = None,
+        *,
         payload: Any = None,
         buffer_id: object = None,
     ) -> Generator[Any, Any, NmRequest]:
-        req = yield from self.isend(tctx, peer, tag, size, payload, buffer_id)
+        """Blocking send; same ``size``/``payload`` contract as
+        :meth:`isend`."""
+        req = yield from self.isend(
+            tctx, peer, tag, size, payload=payload, buffer_id=buffer_id
+        )
         yield from self.swait(tctx, req)
         return req
 
@@ -150,8 +247,9 @@ class NmInterface:
         source: int = ANY,
         tag: int = ANY,
         size: int = 0,
+        *,
         buffer_id: object = None,
     ) -> Generator[Any, Any, NmRequest]:
-        req = yield from self.irecv(tctx, source, tag, size, buffer_id)
+        req = yield from self.irecv(tctx, source, tag, size, buffer_id=buffer_id)
         yield from self.rwait(tctx, req)
         return req

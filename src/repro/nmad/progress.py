@@ -29,6 +29,7 @@ from ..marcel.tasklet import TaskletContext
 from ..marcel.thread import ThreadContext
 from .core import NmSession
 from .request import NmRequest
+from .unexpected import ProbeInfo
 
 __all__ = ["EngineBase", "SequentialEngine"]
 
@@ -177,15 +178,15 @@ class EngineBase:
 
     def iprobe(
         self, tctx: ThreadContext, source: int, tag: int
-    ) -> Generator[Any, Any, "dict | None"]:
+    ) -> Generator[Any, Any, "ProbeInfo | None"]:
         """Non-blocking probe: one progression step, then check the
-        unexpected store. Returns the match descriptor or None."""
+        unexpected store. Returns a :class:`ProbeInfo` or None."""
         yield from self._progress_step(tctx)
         return self.session.probe_unexpected(source, tag)
 
     def probe(
         self, tctx: ThreadContext, source: int, tag: int
-    ) -> Generator[Any, Any, dict]:
+    ) -> Generator[Any, Any, "ProbeInfo"]:
         """Blocking probe: progress/sleep until a matching message is
         pending (MPI_Probe)."""
         flag = self.session.activity_flag

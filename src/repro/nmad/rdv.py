@@ -1,0 +1,205 @@
+"""Rendezvous data-phase planner: pipeline chunking + multirail striping.
+
+The paper's §2.3 ships the rendezvous payload as one zero-copy DATA
+transfer on one rail once the CTS arrives. This module plans a *pipelined*
+data phase instead:
+
+* the payload is first **striped** across the gate's healthy rails
+  proportionally to rail bandwidth (the same arithmetic
+  :func:`repro.nmad.strategies.base.stripe_by_bandwidth` applies to large
+  eager sends), then
+* each rail's share is cut into **pipeline chunks** — either a fixed
+  ``RdvConfig.chunk_bytes``, or (adaptive mode) whatever that rail drains
+  in ``adaptive_chunk_us``, so registration of chunk *k+1* overlaps the
+  DMA drain of chunk *k* on every rail.
+
+The planner is pure: it maps ``(size, rails)`` to a chunk list and never
+touches the simulator, so it is deterministic by construction. The payload
+codec below handles byte-identical reconstruction of real ``bytes``/numpy
+payloads on the receive side; anything else rides chunk 0 whole ("opaque").
+"""
+
+from __future__ import annotations
+
+import math
+import sys
+from dataclasses import dataclass
+from typing import Any, Optional, Sequence
+
+from ..config import RdvConfig
+from ..errors import ProtocolError
+from .strategies.base import RailInfo, stripe_by_bandwidth
+
+__all__ = [
+    "RdvChunk",
+    "RdvPlanner",
+    "classify_payload",
+    "slice_raw",
+    "PayloadAssembler",
+]
+
+
+@dataclass(frozen=True)
+class RdvChunk:
+    """One planned DATA packet of a rendezvous data phase."""
+
+    index: int
+    offset: int
+    length: int
+    rail_index: int
+
+    def __post_init__(self) -> None:
+        if self.offset < 0 or self.length <= 0:
+            raise ProtocolError(f"invalid RDV chunk geometry {self.offset}+{self.length}")
+
+
+class RdvPlanner:
+    """Maps a rendezvous payload onto chunks and rails."""
+
+    def __init__(self, config: RdvConfig) -> None:
+        self.config = config
+
+    def plan(self, size: int, rails: Sequence[RailInfo]) -> list[RdvChunk]:
+        """Plan the DATA packets for a ``size``-byte payload over ``rails``.
+
+        With chunking off (the default config) the whole payload is one
+        chunk on the first rail — the seed's single-DATA behaviour. With
+        chunking on, the payload is striped across rails by bandwidth and
+        each share is subdivided into pipeline chunks.
+        """
+        if not rails:
+            raise ProtocolError("RDV plan needs at least one rail")
+        if size <= 0:
+            raise ProtocolError(f"RDV plan needs a positive payload size, got {size}")
+        cfg = self.config
+        if not cfg.enabled:
+            return [RdvChunk(0, 0, size, rails[0].index)]
+        use_rails = list(rails) if (cfg.multirail and len(rails) > 1) else [rails[0]]
+        shares = stripe_by_bandwidth(size, use_rails)
+        chunks: list[RdvChunk] = []
+        offset = 0
+        index = 0
+        for rail, share in zip(use_rails, shares):
+            if share <= 0:
+                continue
+            csize = self._chunk_size(rail, share)
+            for chunk_off in range(0, share, csize):
+                length = min(csize, share - chunk_off)
+                chunks.append(RdvChunk(index, offset + chunk_off, length, rail.index))
+                index += 1
+            offset += share
+        return chunks
+
+    def _chunk_size(self, rail: RailInfo, share: int) -> int:
+        cfg = self.config
+        if cfg.adaptive:
+            # the driver's own pipeline hint wins; otherwise size the chunk
+            # so one DMA drain takes ~adaptive_chunk_us on this rail
+            csize = rail.chunk_hint or int(rail.bandwidth * cfg.adaptive_chunk_us)
+        else:
+            csize = cfg.chunk_bytes
+        csize = max(csize, cfg.min_chunk_bytes)
+        # bound op-queue growth: never more than max_chunks_per_rail chunks
+        csize = max(csize, math.ceil(share / cfg.max_chunks_per_rail))
+        return csize
+
+
+# --------------------------------------------------------------- payload codec
+
+
+def classify_payload(payload: Any, size: int) -> tuple[str, Any, Optional[dict]]:
+    """Classify a send payload for chunked transport.
+
+    Returns ``(mode, raw, meta)``:
+
+    * ``("none", None, None)`` — no payload attached;
+    * ``("bytes", raw, None)`` — bytes-like of exactly ``size`` bytes,
+      sliceable per chunk and reassembled byte-identical;
+    * ``("ndarray", raw, meta)`` — numpy array whose buffer is exactly
+      ``size`` bytes; ``raw`` is its byte image, ``meta`` carries
+      dtype/shape for reconstruction;
+    * ``("opaque", payload, None)`` — anything else (or a length mismatch):
+      the object rides chunk 0 whole, as the eager reassembly does.
+    """
+    if payload is None:
+        return "none", None, None
+    if isinstance(payload, (bytes, bytearray, memoryview)):
+        raw = bytes(payload)
+        if len(raw) == size:
+            return "bytes", raw, None
+        return "opaque", payload, None
+    np = sys.modules.get("numpy")
+    if np is not None and isinstance(payload, np.ndarray):
+        if payload.nbytes == size:
+            meta = {"dtype": str(payload.dtype), "shape": tuple(payload.shape)}
+            return "ndarray", payload.tobytes(), meta
+        return "opaque", payload, None
+    return "opaque", payload, None
+
+
+def slice_raw(mode: str, raw: Any, offset: int, length: int, chunk_index: int) -> Any:
+    """The per-chunk wire payload for a classified send payload."""
+    if mode in ("bytes", "ndarray"):
+        return raw[offset : offset + length]
+    if mode == "opaque":
+        return raw if chunk_index == 0 else None
+    return None
+
+
+class PayloadAssembler:
+    """Receiver-side accumulator for one chunked rendezvous transfer."""
+
+    def __init__(self, size: int, nchunks: int) -> None:
+        self.size = size
+        self.nchunks = nchunks
+        self.received = 0
+        self.chunks_seen = 0
+        self._seen_offsets: set[int] = set()
+        self._buf = bytearray(size)
+        self._mode: Optional[str] = None
+        self._meta: Optional[dict] = None
+        self._opaque: Any = None
+
+    def add(self, headers: dict) -> bool:
+        """Fold one DATA chunk in; True once every chunk has landed."""
+        offset = headers["offset"]
+        length = headers["length"]
+        if offset in self._seen_offsets:
+            return False  # duplicate delivery of a retransmitted chunk
+        self._seen_offsets.add(offset)
+        self.received += length
+        self.chunks_seen += 1
+        if self.received > self.size:
+            raise ProtocolError(
+                f"RDV reassembly overflow: {self.received} > {self.size}"
+            )
+        mode = headers.get("payload_mode", "none")
+        if self._mode is None or self._mode == "none":
+            self._mode = mode
+        if headers.get("payload_meta") is not None:
+            self._meta = headers["payload_meta"]
+        data = headers.get("payload")
+        if mode in ("bytes", "ndarray") and data is not None:
+            self._buf[offset : offset + length] = data
+        elif mode == "opaque" and headers.get("chunk_index", 0) == 0:
+            self._opaque = data
+        return self.chunks_seen >= self.nchunks
+
+    def payload(self) -> Any:
+        """Reconstruct the application payload (byte-identical for
+        bytes/numpy sends)."""
+        if self._mode == "bytes":
+            return bytes(self._buf)
+        if self._mode == "ndarray":
+            np = sys.modules.get("numpy")
+            if np is None:  # pragma: no cover - meta only exists with numpy
+                return bytes(self._buf)
+            meta = self._meta or {}
+            arr = np.frombuffer(bytes(self._buf), dtype=meta.get("dtype", "u1"))
+            shape = meta.get("shape")
+            if shape is not None:
+                arr = arr.reshape(shape)
+            return arr.copy()
+        if self._mode == "opaque":
+            return self._opaque
+        return None

@@ -210,6 +210,13 @@ class ReliabilityLayer:
             session.stats["rts_retries"] += 1
         else:
             session.stats["retransmits"] += 1
+            if (
+                entry.packet.kind == PacketKind.DATA
+                and entry.packet.headers.get("nchunks", 1) > 1
+            ):
+                # pipelined RDV: only this chunk goes out again, not the
+                # whole message — count it for the rdv.* observability lane
+                session.stats["rdv_chunk_retransmits"] += 1
         entry.rail_index = self.select_rail(entry.gate, entry.rail_index)
         driver = entry.gate.rails[entry.rail_index]
         # the payload still sits in the registered region from the first

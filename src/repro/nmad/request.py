@@ -109,6 +109,30 @@ class NmRequest:
         self.completion_event: "ThreadEvent | None" = None
         #: set by PIOMan's blocking detection method while armed
         self.blocking_watch = False
+        #: TX chunk accounting — how many wire chunks this send was split
+        #: into (multirail eager striping or the pipelined RDV data phase)
+        #: and how many are still in flight. 0/0 means "not yet split";
+        #: completion paths treat that as a single implicit chunk.
+        self.tx_chunks_total: int = 0
+        self.tx_chunks_left: int = 0
+
+    # -- TX chunk accounting ------------------------------------------------------
+
+    def init_tx_chunks(self, nchunks: int) -> None:
+        """Declare how many wire chunks must drain before this send is done."""
+        if nchunks < 1:
+            raise RequestError(f"send must have >= 1 chunk, got {nchunks}")
+        if self.tx_chunks_total:
+            return  # already declared (idempotent across per-chunk plans)
+        self.tx_chunks_total = nchunks
+        self.tx_chunks_left = nchunks
+
+    def tx_chunk_done(self) -> bool:
+        """Account one drained chunk; True when the last chunk just drained."""
+        if self.tx_chunks_total == 0:
+            self.init_tx_chunks(1)
+        self.tx_chunks_left -= 1
+        return self.tx_chunks_left <= 0
 
     # -- state ------------------------------------------------------------------
 

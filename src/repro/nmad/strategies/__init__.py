@@ -7,14 +7,16 @@ and decides, at flush time, how pending requests become wire packets.
 """
 
 from .aggreg import AggregationStrategy
-from .base import PacketPlan, SendEntry, Strategy
+from .base import PacketPlan, RailInfo, SendEntry, Strategy, stripe_by_bandwidth
 from .default import DefaultStrategy
 from .split import MultirailSplitStrategy
 
 __all__ = [
     "Strategy",
     "PacketPlan",
+    "RailInfo",
     "SendEntry",
+    "stripe_by_bandwidth",
     "DefaultStrategy",
     "AggregationStrategy",
     "MultirailSplitStrategy",

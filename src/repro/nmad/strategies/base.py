@@ -9,7 +9,7 @@ from typing import Sequence
 from ...errors import ProtocolError
 from ..request import NmRequest
 
-__all__ = ["SendEntry", "PacketPlan", "RailInfo", "Strategy"]
+__all__ = ["SendEntry", "PacketPlan", "RailInfo", "Strategy", "stripe_by_bandwidth"]
 
 
 @dataclass(frozen=True)
@@ -20,6 +20,32 @@ class RailInfo:
     pio_threshold: int
     rdv_threshold: int
     bandwidth: float  # bytes/µs
+    #: driver-suggested pipeline chunk size for the RDV data phase
+    #: (0 = no preference); consumed by :mod:`repro.nmad.rdv`.
+    chunk_hint: int = 0
+
+
+def stripe_by_bandwidth(total: int, rails: Sequence[RailInfo]) -> list[int]:
+    """Split ``total`` bytes across ``rails`` proportionally to bandwidth.
+
+    Returns one share per rail, in rail order; the last rail absorbs the
+    integer-division remainder so the shares always sum to ``total``. Shares
+    may be zero (a rail with negligible relative bandwidth) — callers that
+    cannot use empty shares filter them out. This is the splitting rule the
+    multirail eager strategy has always used; the RDV planner stripes its
+    data phase with the same arithmetic so both paths divide identically.
+    """
+    total_bw = sum(r.bandwidth for r in rails) or 1.0
+    shares: list[int] = []
+    consumed = 0
+    for i, rail in enumerate(rails):
+        if i == len(rails) - 1:
+            length = total - consumed  # last rail absorbs remainder
+        else:
+            length = int(total * rail.bandwidth / total_bw)
+        shares.append(length)
+        consumed += length
+    return shares
 
 
 @dataclass

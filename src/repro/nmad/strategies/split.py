@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import Sequence
 
 from ...errors import ConfigError
-from .base import PacketPlan, RailInfo, SendEntry, Strategy
+from .base import PacketPlan, RailInfo, SendEntry, Strategy, stripe_by_bandwidth
 
 __all__ = ["MultirailSplitStrategy"]
 
@@ -29,7 +29,6 @@ class MultirailSplitStrategy(Strategy):
 
     def take_plans(self, rails: Sequence[RailInfo]) -> list[PacketPlan]:
         plans: list[PacketPlan] = []
-        total_bw = sum(r.bandwidth for r in rails)
         for req in self._drain():
             if len(rails) < 2 or req.size < self.split_threshold:
                 rail = rails[0]
@@ -42,11 +41,7 @@ class MultirailSplitStrategy(Strategy):
             self.split_messages += 1
             nchunks = len(rails)
             offset = 0
-            for i, rail in enumerate(rails):
-                if i == nchunks - 1:
-                    length = req.size - offset
-                else:
-                    length = int(req.size * rail.bandwidth / total_bw)
+            for rail, length in zip(rails, stripe_by_bandwidth(req.size, rails)):
                 plans.append(
                     PacketPlan(
                         rail.index,

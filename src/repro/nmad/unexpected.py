@@ -19,7 +19,35 @@ from typing import Any, Optional
 
 from ..errors import MatchingError
 
-__all__ = ["UnexpectedEager", "UnexpectedRts", "UnexpectedStore"]
+__all__ = ["ProbeInfo", "UnexpectedEager", "UnexpectedRts", "UnexpectedStore"]
+
+
+@dataclass(frozen=True)
+class ProbeInfo:
+    """Typed result of a successful ``probe``/``iprobe``.
+
+    ``rdv`` is True when the matched arrival is a rendezvous handshake
+    (no payload buffered yet), False for a buffered eager payload.
+
+    For one release this also answers ``info["source"]``-style mapping
+    access, so callers written against the old dict result keep working;
+    new code should use the attributes.
+    """
+
+    source: int
+    tag: int
+    size: int
+    rdv: bool
+
+    _FIELDS = ("source", "tag", "size", "rdv")
+
+    def __getitem__(self, key: str) -> Any:
+        if key in self._FIELDS:
+            return getattr(self, key)
+        raise KeyError(key)
+
+    def keys(self):  # mapping-compat: dict(info) round-trips
+        return iter(self._FIELDS)
 
 
 @dataclass

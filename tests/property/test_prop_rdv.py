@@ -1,0 +1,116 @@
+"""Property tests for the pipelined/striped rendezvous data phase.
+
+The invariant under test: whatever the chunk size, rail count, and
+injected chunk loss, a rendezvous payload arrives byte-identical — and the
+planner always produces an exact disjoint partition of ``[0, size)``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.config import EngineKind, RdvConfig, TimingModel
+from repro.faults import FaultAction, FaultPlan, FaultRule
+from repro.harness.runner import ClusterRuntime
+from repro.network.message import PacketKind
+from repro.nmad.rdv import RdvPlanner
+from repro.nmad.strategies.base import RailInfo
+from repro.units import KiB
+
+pytestmark = [pytest.mark.rdv, pytest.mark.faults]
+
+
+def _payload(n: int) -> bytes:
+    return bytes((i * 131 + (i >> 7) * 17 + 3) % 256 for i in range(n))
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    size=st.integers(min_value=1, max_value=KiB(512)),
+    chunk_bytes=st.integers(min_value=1024, max_value=KiB(128)),
+    bandwidths=st.lists(
+        st.floats(min_value=10.0, max_value=5000.0), min_size=1, max_size=4
+    ),
+    max_chunks=st.integers(min_value=1, max_value=32),
+)
+def test_plan_is_exact_disjoint_partition(size, chunk_bytes, bandwidths, max_chunks):
+    cfg = RdvConfig(chunk_bytes=chunk_bytes, max_chunks_per_rail=max_chunks)
+    rails = [RailInfo(i, 128, KiB(32), bandwidth=bw) for i, bw in enumerate(bandwidths)]
+    chunks = RdvPlanner(cfg).plan(size, rails)
+    assert all(c.length > 0 for c in chunks)
+    assert [c.index for c in chunks] == list(range(len(chunks)))
+    assert len(chunks) <= max_chunks * len(rails)
+    spans = sorted((c.offset, c.length) for c in chunks)
+    edge = 0
+    for offset, length in spans:
+        assert offset == edge, "gap or overlap in chunk plan"
+        edge += length
+    assert edge == size
+    assert {c.rail_index for c in chunks} <= {r.index for r in rails}
+
+
+@settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    chunk_kib=st.sampled_from([16, 48, 64, 96]),
+    rails=st.integers(min_value=1, max_value=3),
+    size_kib=st.integers(min_value=33, max_value=144),
+    drop_one=st.booleans(),
+    engine=st.sampled_from([EngineKind.SEQUENTIAL, EngineKind.PIOMAN]),
+)
+def test_rdv_payload_reassembles_byte_identical(
+    chunk_kib, rails, size_kib, drop_one, engine
+):
+    size = KiB(size_kib)
+    payload = _payload(size)
+    faults = None
+    timing = None
+    if drop_one:
+        faults = FaultPlan(
+            rules=[
+                FaultRule(
+                    FaultAction.DROP,
+                    every_nth=1,
+                    kinds=(PacketKind.DATA,),
+                    max_count=1,
+                )
+            ],
+            seed=7,
+        )
+        timing = TimingModel()
+        timing = dataclasses.replace(
+            timing,
+            faults=dataclasses.replace(
+                timing.faults, enabled=True, ack_timeout_us=2000.0
+            ),
+        )
+    rt = ClusterRuntime.build(
+        engine=engine,
+        rails=rails,
+        rdv=RdvConfig(chunk_bytes=KiB(chunk_kib)),
+        faults=faults,
+        recover=drop_one,
+        timing=timing,
+        metrics=False,
+    )
+    got = {}
+
+    def sender(ctx):
+        nm = ctx.env["nm"]
+        yield from nm.send(ctx, 1, 4, payload=payload, buffer_id="tx")
+        yield from nm.drain(ctx)
+
+    def receiver(ctx):
+        nm = ctx.env["nm"]
+        req = yield from nm.recv(ctx, 0, 4, size)
+        got["data"] = req.data
+        yield from nm.drain(ctx)
+
+    rt.spawn(0, sender, name="S")
+    rt.spawn(1, receiver, name="R")
+    rt.run()
+    rt.close()
+    assert got["data"] == payload
