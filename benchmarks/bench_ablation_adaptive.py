@@ -20,6 +20,7 @@ from __future__ import annotations
 import pytest
 
 from repro.config import EngineKind
+from repro.harness.parallel import run_grid
 from repro.harness.report import format_table
 from repro.harness.runner import ClusterRuntime
 from repro.units import KiB, fmt_size
@@ -84,18 +85,27 @@ def _one_way_latency(size: int, policy: str) -> float:
     return out["latency"]
 
 
+def _policy_rows(fn) -> list[dict]:
+    """size × policy grid, fanned out over $REPRO_BENCH_WORKERS."""
+    tasks = [{"size": s, "policy": p} for s in SIZES for p in POLICIES]
+    times = run_grid(fn, tasks, workers=None)
+    return [
+        {
+            "size": s,
+            **{p: times[i * len(POLICIES) + j] for j, p in enumerate(POLICIES)},
+        }
+        for i, s in enumerate(SIZES)
+    ]
+
+
 @pytest.fixture(scope="module")
 def overlap_rows():
-    return [
-        {"size": s, **{p: _overlap_time(s, p) for p in POLICIES}} for s in SIZES
-    ]
+    return _policy_rows(_overlap_time)
 
 
 @pytest.fixture(scope="module")
 def latency_rows():
-    return [
-        {"size": s, **{p: _one_way_latency(s, p) for p in POLICIES}} for s in SIZES
-    ]
+    return _policy_rows(_one_way_latency)
 
 
 def _table(rows, title):

@@ -19,6 +19,7 @@ import dataclasses
 import pytest
 
 from repro.config import EngineKind, PiomanConfig, TimingModel
+from repro.harness.parallel import run_grid
 from repro.harness.runner import ClusterRuntime
 from repro.harness.report import format_table
 from repro.units import KiB
@@ -58,14 +59,21 @@ def _run(busy_threads: int, allow_blocking: bool) -> float:
     return done["recv_at"]
 
 
+BUSY_LEVELS = (0, 4, 7)
+
+
 @pytest.fixture(scope="module")
 def detection_table():
-    rows = []
-    for busy in (0, 4, 7):
-        with_block = _run(busy, allow_blocking=True)
-        without = _run(busy, allow_blocking=False)
-        rows.append((busy, with_block, without))
-    return rows
+    # busy × blocking grid, fanned out over $REPRO_BENCH_WORKERS
+    tasks = [
+        {"busy_threads": busy, "allow_blocking": blocking}
+        for busy in BUSY_LEVELS
+        for blocking in (True, False)
+    ]
+    times = run_grid(_run, tasks, workers=None)
+    return [
+        (busy, times[2 * i], times[2 * i + 1]) for i, busy in enumerate(BUSY_LEVELS)
+    ]
 
 
 def test_detection_methods_report(detection_table, print_report):

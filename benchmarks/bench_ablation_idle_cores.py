@@ -12,6 +12,7 @@ from __future__ import annotations
 import pytest
 
 from repro.config import EngineKind
+from repro.harness.parallel import run_grid
 from repro.harness.report import format_table
 from repro.harness.runner import ClusterRuntime
 from repro.units import KiB
@@ -19,6 +20,7 @@ from repro.units import KiB
 MSG = KiB(16)
 COMPUTE_US = 30.0
 ITERS = 10
+BUSY_LEVELS = (0, 3, 5, 7)
 
 
 def _run(engine: str, busy_threads: int) -> float:
@@ -55,12 +57,17 @@ def _run(engine: str, busy_threads: int) -> float:
 
 @pytest.fixture(scope="module")
 def idle_core_rows():
-    rows = []
-    for busy in (0, 3, 5, 7):
-        seq = _run(EngineKind.SEQUENTIAL, busy)
-        pio = _run(EngineKind.PIOMAN, busy)
-        rows.append({"busy": busy, "idle": 7 - busy, "sequential": seq, "pioman": pio})
-    return rows
+    # grid points are independent runs: fan out over $REPRO_BENCH_WORKERS
+    tasks = [
+        {"engine": engine, "busy_threads": busy}
+        for busy in BUSY_LEVELS
+        for engine in (EngineKind.SEQUENTIAL, EngineKind.PIOMAN)
+    ]
+    times = run_grid(_run, tasks, workers=None)
+    return [
+        {"busy": busy, "idle": 7 - busy, "sequential": times[2 * i], "pioman": times[2 * i + 1]}
+        for i, busy in enumerate(BUSY_LEVELS)
+    ]
 
 
 def test_idle_cores_report(idle_core_rows, print_report):

@@ -19,6 +19,7 @@ from __future__ import annotations
 import pytest
 
 from repro.config import EngineKind
+from repro.harness.parallel import run_grid
 from repro.harness.report import format_table
 from repro.harness.runner import ClusterRuntime
 from repro.units import KiB
@@ -54,10 +55,17 @@ def _run(engine: str, offload_policy=None) -> float:
 
 @pytest.fixture(scope="module")
 def locking_rows():
+    # independent configurations: fan out over $REPRO_BENCH_WORKERS
+    tasks = [
+        {"engine": EngineKind.SEQUENTIAL, "offload_policy": None},
+        {"engine": EngineKind.PIOMAN, "offload_policy": "never"},
+        {"engine": EngineKind.PIOMAN, "offload_policy": "always"},
+    ]
+    times = run_grid(_run, tasks, workers=None)
     return {
-        "big lock + inline (baseline)": _run(EngineKind.SEQUENTIAL),
-        "event locks + inline": _run(EngineKind.PIOMAN, offload_policy="never"),
-        "event locks + offload (pioman)": _run(EngineKind.PIOMAN, offload_policy="always"),
+        "big lock + inline (baseline)": times[0],
+        "event locks + inline": times[1],
+        "event locks + offload (pioman)": times[2],
     }
 
 

@@ -18,6 +18,7 @@ import pytest
 
 from repro.config import TimingModel
 from repro.harness.experiments import experiment_fig5
+from repro.harness.parallel import run_grid
 from repro.harness.report import format_table
 from repro.units import KiB
 
@@ -39,7 +40,13 @@ def _crossover_overhead(tasklet_remote_us: float) -> float:
 
 @pytest.fixture(scope="module")
 def overhead_rows():
-    return [(c, _crossover_overhead(c)) for c in REMOTE_COSTS]
+    # one fig5 regeneration per cost point: fan out over $REPRO_BENCH_WORKERS
+    overheads = run_grid(
+        _crossover_overhead,
+        [{"tasklet_remote_us": c} for c in REMOTE_COSTS],
+        workers=None,
+    )
+    return list(zip(REMOTE_COSTS, overheads))
 
 
 def test_overhead_report(overhead_rows, print_report):

@@ -35,7 +35,13 @@ def _transfer_time(size: int, threshold: int) -> dict:
 
 @pytest.fixture(scope="module")
 def threshold_sweep():
-    return sweep(_transfer_time, {"size": list(SIZES), "threshold": list(THRESHOLDS)})
+    # workers=None honours $REPRO_BENCH_WORKERS: the 20-point grid fans out
+    # over a process pool with rows byte-identical to the serial run
+    return sweep(
+        _transfer_time,
+        {"size": list(SIZES), "threshold": list(THRESHOLDS)},
+        workers=None,
+    )
 
 
 def test_threshold_report(threshold_sweep, print_report):

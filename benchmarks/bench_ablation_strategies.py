@@ -17,6 +17,7 @@ from __future__ import annotations
 import pytest
 
 from repro.config import EngineKind
+from repro.harness.parallel import run_grid
 from repro.harness.report import format_table
 from repro.harness.runner import ClusterRuntime
 from repro.units import KiB
@@ -60,12 +61,17 @@ def _burst_run(engine: str, strategy: str, rails: int = 1, msg: int = MSG, burst
 
 @pytest.fixture(scope="module")
 def strategy_rows():
-    rows = []
-    for engine in (EngineKind.SEQUENTIAL, EngineKind.PIOMAN):
-        for strategy in ("default", "aggreg"):
-            elapsed, packets = _burst_run(engine, strategy)
-            rows.append({"engine": engine, "strategy": strategy, "elapsed": elapsed, "packets": packets})
-    return rows
+    # engine × strategy grid, fanned out over $REPRO_BENCH_WORKERS
+    tasks = [
+        {"engine": engine, "strategy": strategy}
+        for engine in (EngineKind.SEQUENTIAL, EngineKind.PIOMAN)
+        for strategy in ("default", "aggreg")
+    ]
+    results = run_grid(_burst_run, tasks, workers=None)
+    return [
+        {**task, "elapsed": elapsed, "packets": packets}
+        for task, (elapsed, packets) in zip(tasks, results)
+    ]
 
 
 def test_strategy_report(strategy_rows, print_report):

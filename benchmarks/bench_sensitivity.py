@@ -16,6 +16,7 @@ import pytest
 
 from repro.apps.overlap import OverlapConfig, run_overlap
 from repro.config import EngineKind, TimingModel
+from repro.harness.parallel import run_grid
 from repro.harness.report import format_table
 from repro.units import GiB_per_s, KiB
 
@@ -41,13 +42,20 @@ def _triple(timing: TimingModel) -> tuple[float, float, float]:
     return ref, base, piom
 
 
+def _cell(memcpy_gib: float, wire_gib: float) -> tuple[float, float, float]:
+    """One calibration cell (top-level so parallel workers can import it)."""
+    return _triple(_timing(memcpy_gib, wire_gib))
+
+
 @pytest.fixture(scope="module")
 def grid():
-    out = {}
-    for m in MEMCPY_BWS:
-        for w in WIRE_BWS:
-            out[(m, w)] = _triple(_timing(m, w))
-    return out
+    # calibration grid, fanned out over $REPRO_BENCH_WORKERS
+    cells = [{"memcpy_gib": m, "wire_gib": w} for m in MEMCPY_BWS for w in WIRE_BWS]
+    triples = run_grid(_cell, cells, workers=None)
+    return {
+        (cell["memcpy_gib"], cell["wire_gib"]): triple
+        for cell, triple in zip(cells, triples)
+    }
 
 
 def test_sensitivity_report(grid, print_report):

@@ -26,7 +26,7 @@ __all__ = ["main"]
 def _cmd_fig5(args: argparse.Namespace) -> int:
     from .harness.experiments import experiment_fig5
 
-    result = experiment_fig5(iterations=args.iterations)
+    result = experiment_fig5(iterations=args.iterations, workers=args.workers)
     print(result.format(plot=not args.no_plot))
     cross = result.crossover_size()
     if cross:
@@ -37,7 +37,7 @@ def _cmd_fig5(args: argparse.Namespace) -> int:
 def _cmd_fig6(args: argparse.Namespace) -> int:
     from .harness.experiments import experiment_fig6
 
-    result = experiment_fig6(iterations=args.iterations)
+    result = experiment_fig6(iterations=args.iterations, workers=args.workers)
     print(result.format(plot=not args.no_plot))
     return 0
 
@@ -45,7 +45,7 @@ def _cmd_fig6(args: argparse.Namespace) -> int:
 def _cmd_table1(args: argparse.Namespace) -> int:
     from .harness.experiments import experiment_table1
 
-    print(experiment_table1().format())
+    print(experiment_table1(workers=args.workers).format())
     print("\npaper: 441→382µs (14%) and 1183→1031µs (13%)")
     return 0
 
@@ -54,7 +54,7 @@ def _cmd_all(args: argparse.Namespace) -> int:
     if getattr(args, "json", None):
         from .harness.experiments import run_all_experiments, save_results_json
 
-        results = run_all_experiments(iterations=args.iterations)
+        results = run_all_experiments(iterations=args.iterations, workers=args.workers)
         save_results_json(results, args.json)
         print(f"wrote machine-readable results to {args.json}")
     rc = _cmd_fig5(args)
@@ -272,6 +272,13 @@ def build_parser() -> argparse.ArgumentParser:
         if name in ("fig5", "fig6", "all"):
             p.add_argument("--iterations", type=int, default=20, help="benchmark iterations per point")
             p.add_argument("--no-plot", action="store_true", help="table only, no ASCII plot")
+        if name in ("fig5", "fig6", "table1", "all"):
+            p.add_argument(
+                "--workers", type=int, default=None, metavar="N",
+                help="run experiment grid points on N worker processes "
+                "(0 = all CPUs; default: $REPRO_BENCH_WORKERS or serial); "
+                "results are identical to a serial run",
+            )
         if name == "all":
             p.add_argument("--json", default=None, help="also save machine-readable results to this path")
         if name in ("gantt", "trace", "demo", "metrics"):

@@ -7,8 +7,11 @@
   Fig. 6, Table 1) as parameterized functions returning structured results.
 * :mod:`repro.harness.report` — table/series formatting and ASCII plots.
 * :mod:`repro.harness.sweep` — generic parameter sweeps for ablations.
+* :mod:`repro.harness.parallel` — multicore fan-out for sweeps and
+  replications (``run_grid``/``run_many``, ``REPRO_BENCH_WORKERS``).
 """
 
+from .parallel import derive_task_seeds, resolve_workers, run_grid, run_many, task_pool
 from .report import ascii_plot, format_series_table, format_table
 from .runner import ClusterRuntime, NodeRuntime
 from .stats import LatencyCollector, LatencySummary
@@ -53,6 +56,11 @@ __all__ = [
     "TABLE1_CONFIGS",
     "sweep",
     "SweepResult",
+    "run_grid",
+    "run_many",
+    "task_pool",
+    "resolve_workers",
+    "derive_task_seeds",
     "LatencyCollector",
     "LatencySummary",
     "node_utilization",

@@ -12,6 +12,7 @@ are calibrated workloads — the reproduced quantities are the execution-time
 
 from __future__ import annotations
 
+from concurrent.futures import Executor
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
@@ -19,6 +20,7 @@ from ..apps.convolution import ConvolutionConfig, run_convolution
 from ..apps.overlap import OverlapConfig, run_overlap
 from ..config import EngineKind, TimingModel
 from ..units import KiB
+from .parallel import run_grid
 from .report import ascii_plot, format_series_table, format_table
 
 __all__ = [
@@ -113,25 +115,42 @@ class Table1Result:
         raise KeyError(label)
 
 
+def _overlap_point(
+    engine: str,
+    size: int,
+    compute_us: float,
+    iterations: int,
+    timing: Optional[TimingModel],
+) -> float:
+    """One overlap grid point (top-level so parallel workers can import it)."""
+    return run_overlap(
+        OverlapConfig(
+            engine=engine, size=size, compute_us=compute_us,
+            iterations=iterations, timing=timing,
+        )
+    ).per_iteration_us
+
+
 def _overlap_series(
     sizes: Sequence[int],
     compute_us: float,
     iterations: int,
     timing: Optional[TimingModel],
+    workers: Optional[int] = None,
+    executor: Optional[Executor] = None,
 ) -> tuple[list[float], list[float], list[float]]:
-    ref, base, piom = [], [], []
-    for size in sizes:
-        common = dict(size=size, iterations=iterations, timing=timing)
-        ref.append(
-            run_overlap(OverlapConfig(engine=EngineKind.SEQUENTIAL, compute_us=0.0, **common)).per_iteration_us
+    tasks = [
+        dict(engine=engine, size=size, compute_us=c, iterations=iterations, timing=timing)
+        for engine, c in (
+            (EngineKind.SEQUENTIAL, 0.0),
+            (EngineKind.SEQUENTIAL, compute_us),
+            (EngineKind.PIOMAN, compute_us),
         )
-        base.append(
-            run_overlap(OverlapConfig(engine=EngineKind.SEQUENTIAL, compute_us=compute_us, **common)).per_iteration_us
-        )
-        piom.append(
-            run_overlap(OverlapConfig(engine=EngineKind.PIOMAN, compute_us=compute_us, **common)).per_iteration_us
-        )
-    return ref, base, piom
+        for size in sizes
+    ]
+    times = run_grid(_overlap_point, tasks, workers=workers, executor=executor)
+    n = len(sizes)
+    return times[:n], times[n : 2 * n], times[2 * n :]
 
 
 def experiment_fig5(
@@ -139,15 +158,18 @@ def experiment_fig5(
     compute_us: float = 20.0,
     iterations: int = 20,
     timing: Optional[TimingModel] = None,
+    workers: Optional[int] = None,
+    executor: Optional[Executor] = None,
 ) -> FigureResult:
     """§4.1 / Fig. 5 — small-message submission offloading.
 
     Series: *No computation (reference)*, *No copy offloading* (sequential
     baseline), *copy offloading* (PIOMan). Expected shapes: baseline =
     reference + compute; PIOMan = max(reference, compute) (+≈2 µs at the
-    crossover).
+    crossover). ``workers`` runs the grid points on a process pool
+    (results identical to serial — see :mod:`repro.harness.parallel`).
     """
-    ref, base, piom = _overlap_series(sizes, compute_us, iterations, timing)
+    ref, base, piom = _overlap_series(sizes, compute_us, iterations, timing, workers, executor)
     return FigureResult(
         name="fig5",
         title="Figure 5. Small messages offloading results.",
@@ -166,6 +188,8 @@ def experiment_fig6(
     compute_us: float = 100.0,
     iterations: int = 20,
     timing: Optional[TimingModel] = None,
+    workers: Optional[int] = None,
+    executor: Optional[Executor] = None,
 ) -> FigureResult:
     """§4.2 / Fig. 6 — rendezvous handshake progression.
 
@@ -173,7 +197,7 @@ def experiment_fig6(
     (PIOMan), *No computation (reference)*. Expected: baseline =
     sum(compute, comm), PIOMan = max(compute, comm).
     """
-    ref, base, piom = _overlap_series(sizes, compute_us, iterations, timing)
+    ref, base, piom = _overlap_series(sizes, compute_us, iterations, timing, workers, executor)
     return FigureResult(
         name="fig6",
         title="Figure 6. Offloading of rendezvous progression results.",
@@ -187,31 +211,54 @@ def experiment_fig6(
     )
 
 
+def _convolution_point(
+    engine: str,
+    grid_rows: int,
+    grid_cols: int,
+    msg_size: int,
+    frontier_compute_us: float,
+    interior_compute_us: float,
+    iterations: int,
+    timing: Optional[TimingModel],
+) -> float:
+    """One Table 1 cell (top-level so parallel workers can import it)."""
+    return run_convolution(
+        ConvolutionConfig(
+            engine=engine,
+            grid_rows=grid_rows,
+            grid_cols=grid_cols,
+            msg_size=msg_size,
+            frontier_compute_us=frontier_compute_us,
+            interior_compute_us=interior_compute_us,
+            iterations=iterations,
+            timing=timing,
+        )
+    ).per_iteration_us
+
+
 def experiment_table1(
     configs=TABLE1_CONFIGS,
     iterations: int = 1,
     timing: Optional[TimingModel] = None,
+    workers: Optional[int] = None,
+    executor: Optional[Executor] = None,
 ) -> Table1Result:
     """§4.3 / Table 1 — convolution meta-application, offloading on/off."""
+    engines = (EngineKind.SEQUENTIAL, EngineKind.PIOMAN)
+    tasks = [
+        dict(
+            engine=engine, grid_rows=rows, grid_cols=cols, msg_size=msg,
+            frontier_compute_us=frontier, interior_compute_us=interior,
+            iterations=iterations, timing=timing,
+        )
+        for _label, (rows, cols), msg, frontier, interior in configs
+        for engine in engines
+    ]
+    times = run_grid(_convolution_point, tasks, workers=workers, executor=executor)
     result = Table1Result()
-    for label, (rows, cols), msg, frontier, interior in configs:
-        times = {}
-        for engine in (EngineKind.SEQUENTIAL, EngineKind.PIOMAN):
-            res = run_convolution(
-                ConvolutionConfig(
-                    engine=engine,
-                    grid_rows=rows,
-                    grid_cols=cols,
-                    msg_size=msg,
-                    frontier_compute_us=frontier,
-                    interior_compute_us=interior,
-                    iterations=iterations,
-                    timing=timing,
-                )
-            )
-            times[engine] = res.per_iteration_us
-        base = times[EngineKind.SEQUENTIAL]
-        piom = times[EngineKind.PIOMAN]
+    for i, (label, *_rest) in enumerate(configs):
+        base = times[i * len(engines)]
+        piom = times[i * len(engines) + 1]
         result.rows.append(
             {
                 "label": label,
@@ -224,13 +271,15 @@ def experiment_table1(
 
 
 def run_all_experiments(
-    iterations: int = 20, timing: Optional[TimingModel] = None
+    iterations: int = 20,
+    timing: Optional[TimingModel] = None,
+    workers: Optional[int] = None,
 ) -> dict[str, "FigureResult | Table1Result"]:
     """Run the paper's full evaluation; returns results keyed by name."""
     return {
-        "fig5": experiment_fig5(iterations=iterations, timing=timing),
-        "fig6": experiment_fig6(iterations=iterations, timing=timing),
-        "table1": experiment_table1(timing=timing),
+        "fig5": experiment_fig5(iterations=iterations, timing=timing, workers=workers),
+        "fig6": experiment_fig6(iterations=iterations, timing=timing, workers=workers),
+        "table1": experiment_table1(timing=timing, workers=workers),
     }
 
 

@@ -1,0 +1,249 @@
+"""Multicore execution of independent simulation tasks.
+
+The paper's whole argument is about exploiting idle cores — this module
+applies the same idea to the reproduction's own measurement harness. A
+parameter sweep or a replication study is embarrassingly parallel: every
+grid point builds its own :class:`~repro.harness.runner.ClusterRuntime`,
+runs it, and returns scalar metrics. :func:`run_grid` fans those tasks out
+over a ``ProcessPoolExecutor`` while preserving the exact semantics of the
+serial loop.
+
+Determinism contract
+--------------------
+``workers=N`` produces **byte-identical** results to ``workers=1``:
+
+* every task is a pure function of its parameters (each builds a private
+  simulator seeded from the run config, never from global state);
+* results are collected in submission order, not completion order;
+* per-task seeds are derived with :meth:`repro.sim.rng.RngStreams.derive_seed`
+  from the root seed and the task index, so the seed a task sees does not
+  depend on how many workers run it.
+
+Spawn safety
+------------
+Workers are started with the ``spawn`` multiprocessing context (the only
+start method that is safe and portable everywhere), so task functions are
+pickled *by reference*: they must be importable module-level functions —
+not lambdas, not closures, not methods of local classes. :func:`run_grid`
+raises :class:`~repro.errors.HarnessError` with a pointed message when
+handed a non-spawnable callable, instead of the cryptic pickling error the
+executor would produce.
+
+Worker count resolution: an explicit ``workers=`` argument wins; ``None``
+falls back to the ``REPRO_BENCH_WORKERS`` environment variable (how the
+benchmark suite and CI opt whole runs in), and finally to ``1`` (serial,
+in-process — no executor is created at all). ``workers=0`` means one
+worker per available CPU.
+"""
+
+from __future__ import annotations
+
+import inspect
+import os
+from concurrent.futures import Executor, ProcessPoolExecutor
+from multiprocessing import get_context
+from typing import Any, Callable, Iterable, Mapping, Optional, Sequence
+
+from ..errors import HarnessError
+from ..sim.rng import RngStreams
+
+__all__ = [
+    "WORKERS_ENV",
+    "resolve_workers",
+    "task_pool",
+    "run_grid",
+    "run_many",
+    "derive_task_seeds",
+]
+
+#: environment variable consulted when ``workers=None`` — lets CI and the
+#: benchmark suite switch every sweep to multicore without touching code
+WORKERS_ENV = "REPRO_BENCH_WORKERS"
+
+
+def resolve_workers(workers: Optional[int] = None) -> int:
+    """Resolve a worker count: explicit arg > ``REPRO_BENCH_WORKERS`` > 1.
+
+    ``0`` (from either source) means "one worker per available CPU".
+    """
+    if workers is None:
+        raw = os.environ.get(WORKERS_ENV, "").strip()
+        if not raw:
+            return 1
+        try:
+            workers = int(raw)
+        except ValueError:
+            raise HarnessError(
+                f"{WORKERS_ENV} must be an integer, got {raw!r}"
+            ) from None
+    if workers == 0:
+        return os.cpu_count() or 1
+    if workers < 1:
+        raise HarnessError(f"workers must be >= 1 (or 0 = all CPUs), got {workers}")
+    return workers
+
+
+def task_pool(workers: Optional[int] = None) -> ProcessPoolExecutor:
+    """A spawn-context pool for reuse across several grid/replication calls.
+
+    Pool start-up dominates small parallel runs (each worker boots a fresh
+    interpreter and imports numpy); callers running many small grids —
+    the property tests, notably — create one pool and pass it as the
+    ``executor=`` argument of :func:`run_grid` / :func:`run_many` /
+    :func:`~repro.harness.sweep.sweep`. The caller owns shutdown (use it
+    as a context manager).
+    """
+    return ProcessPoolExecutor(
+        max_workers=resolve_workers(workers), mp_context=get_context("spawn")
+    )
+
+
+def derive_task_seeds(root_seed: int, n: int, name: str = "task") -> list[int]:
+    """``n`` independent per-task seeds derived from ``root_seed``.
+
+    Uses the same BLAKE2 derivation as :class:`~repro.sim.rng.RngStreams`
+    substreams, keyed by task index — so seeds depend only on
+    ``(root_seed, index)``, never on worker count or scheduling order, and
+    adding tasks at the end never perturbs earlier ones.
+    """
+    if n < 0:
+        raise HarnessError(f"need n >= 0 seeds, got {n}")
+    rng = RngStreams(root_seed)
+    # % 2**63 keeps each value usable as another RngStreams root (>= 0)
+    return [rng.derive_seed(f"{name}:{i}") % (2**63) for i in range(n)]
+
+
+# -- internal fan-out core -----------------------------------------------------
+
+
+def _check_spawnable(fn: Callable[..., Any]) -> None:
+    """Reject callables that cannot be pickled by reference under spawn."""
+    qualname = getattr(fn, "__qualname__", None)
+    module = getattr(fn, "__module__", None)
+    name = qualname or repr(fn)
+    if (
+        qualname is None
+        or module is None
+        or "<lambda>" in qualname
+        or "<locals>" in qualname
+    ):
+        raise HarnessError(
+            f"task function {name} is not spawn-safe: parallel workers import "
+            "it by module path, so it must be a top-level function of an "
+            "importable module (not a lambda, closure, or locally defined "
+            "function). Define it at module level, or run with workers=1."
+        )
+
+
+def _invoke_kwargs(fn: Callable[..., Any], kwargs: dict[str, Any]) -> Any:
+    """Worker-side trampoline for :func:`run_grid` (must be top-level)."""
+    return fn(**kwargs)
+
+
+def _invoke_config_seed(
+    fn: Callable[..., Any], task: tuple[Any, int, bool]
+) -> Any:
+    """Worker-side trampoline for :func:`run_many` (must be top-level)."""
+    config, seed, pass_seed = task
+    if pass_seed:
+        return fn(config, seed=seed)
+    return fn(config)
+
+
+def _fan_out(
+    invoke: Callable[[Callable[..., Any], Any], Any],
+    fn: Callable[..., Any],
+    tasks: Sequence[Any],
+    workers: Optional[int],
+    executor: Optional[Executor],
+) -> list[Any]:
+    """Run ``invoke(fn, task)`` for every task, preserving task order."""
+    if executor is not None:
+        _check_spawnable(fn)
+        futures = [executor.submit(invoke, fn, task) for task in tasks]
+        return [f.result() for f in futures]
+    n_workers = resolve_workers(workers)
+    if n_workers == 1 or len(tasks) <= 1:
+        return [invoke(fn, task) for task in tasks]
+    _check_spawnable(fn)
+    with ProcessPoolExecutor(
+        max_workers=min(n_workers, len(tasks)), mp_context=get_context("spawn")
+    ) as pool:
+        futures = [pool.submit(invoke, fn, task) for task in tasks]
+        # collect in submission order — identical row order to the serial loop
+        return [f.result() for f in futures]
+
+
+# -- public entry points -------------------------------------------------------
+
+
+def run_grid(
+    fn: Callable[..., Any],
+    tasks: Sequence[Mapping[str, Any]],
+    *,
+    workers: Optional[int] = None,
+    executor: Optional[Executor] = None,
+) -> list[Any]:
+    """Run ``fn(**task)`` for every kwargs-mapping in ``tasks``.
+
+    Returns one result per task, **in task order**, regardless of worker
+    count or completion order. With ``workers`` resolving to 1 (the
+    default without ``REPRO_BENCH_WORKERS``) this is a plain in-process
+    loop — no executor, no pickling, zero overhead over writing the loop
+    yourself. Pass ``executor=`` (see :func:`task_pool`) to amortize pool
+    start-up over several calls; the executor's own worker count then
+    applies and ``workers`` is ignored.
+    """
+    task_list = [dict(t) for t in tasks]
+    return _fan_out(_invoke_kwargs, fn, task_list, workers, executor)
+
+
+def run_many(
+    fn: Callable[..., Any],
+    configs: Iterable[Any],
+    *,
+    seeds: Optional[Sequence[int]] = None,
+    seed: int = 0,
+    workers: Optional[int] = None,
+    executor: Optional[Executor] = None,
+) -> list[Any]:
+    """Run ``fn(config)`` (or ``fn(config, seed=...)``) per config.
+
+    The replication counterpart of :func:`run_grid`: one task per config —
+    e.g. one :class:`~repro.apps.overlap.OverlapConfig` per grid point, or
+    the same config replicated across seeds. When ``fn`` accepts a ``seed``
+    keyword it receives a per-task seed: ``seeds[i]`` when given
+    explicitly, else derived from ``seed`` (the root) and the task index
+    via :func:`derive_task_seeds` — identical whether the task runs
+    in-process or on any worker.
+
+    Results come back in config order; ``workers``/``executor`` behave as
+    in :func:`run_grid`.
+    """
+    config_list = list(configs)
+    if seeds is None:
+        seed_list = derive_task_seeds(seed, len(config_list), name="run_many")
+    else:
+        seed_list = [int(s) for s in seeds]
+        if len(seed_list) != len(config_list):
+            raise HarnessError(
+                f"run_many got {len(config_list)} configs but {len(seed_list)} seeds"
+            )
+    pass_seed = _accepts_seed(fn)
+    tasks = [
+        (config, task_seed, pass_seed)
+        for config, task_seed in zip(config_list, seed_list)
+    ]
+    return _fan_out(_invoke_config_seed, fn, tasks, workers, executor)
+
+
+def _accepts_seed(fn: Callable[..., Any]) -> bool:
+    """True when ``fn`` can be called with a ``seed`` keyword."""
+    try:
+        sig = inspect.signature(fn)
+    except (TypeError, ValueError):  # builtins without introspectable signatures
+        return False
+    for param in sig.parameters.values():
+        if param.kind is inspect.Parameter.VAR_KEYWORD or param.name == "seed":
+            return True
+    return False

@@ -2,15 +2,20 @@
 
 A sweep runs a callable over a parameter grid and collects scalar metrics;
 the ablation benchmarks use it for threshold/strategy/core-count studies.
+With ``workers > 1`` the grid points run on a process pool (see
+:mod:`repro.harness.parallel`) — rows come back byte-identical to the
+serial run, in the same Cartesian-product order.
 """
 
 from __future__ import annotations
 
 import itertools
+from concurrent.futures import Executor
 from dataclasses import dataclass, field
-from typing import Any, Callable, Mapping, Sequence
+from typing import Any, Callable, Mapping, Optional, Sequence
 
 from ..errors import HarnessError
+from .parallel import run_grid
 from .report import format_table
 
 __all__ = ["SweepResult", "sweep"]
@@ -51,21 +56,43 @@ class SweepResult:
 def sweep(
     fn: Callable[..., Mapping[str, Any]],
     grid: Mapping[str, Sequence[Any]],
+    *,
+    workers: Optional[int] = None,
+    executor: Optional[Executor] = None,
 ) -> SweepResult:
     """Run ``fn(**params)`` for every combination in ``grid``.
 
     ``fn`` returns a mapping of scalar metrics; the result holds one row
-    per combination with parameters and metrics merged.
+    per combination with parameters and metrics merged. Every combination
+    must return the same metric keys — a combo that drops or invents a
+    metric raises :class:`HarnessError` naming it, instead of surfacing
+    later as a bare ``KeyError`` in :meth:`SweepResult.format`.
+
+    ``workers`` fans the grid out over a process pool (``None`` = honour
+    ``REPRO_BENCH_WORKERS``, default serial; ``fn`` must then be a
+    module-level function — see :mod:`repro.harness.parallel`). Row order
+    and content are identical at any worker count. ``executor`` reuses an
+    existing pool (:func:`repro.harness.parallel.task_pool`).
     """
     if not grid:
         raise HarnessError("sweep needs at least one parameter")
     names = list(grid.keys())
+    combos = [
+        dict(zip(names, values))
+        for values in itertools.product(*(grid[n] for n in names))
+    ]
+    metric_rows = run_grid(fn, combos, workers=workers, executor=executor)
     result: SweepResult | None = None
-    for combo in itertools.product(*(grid[n] for n in names)):
-        params = dict(zip(names, combo))
-        metrics = dict(fn(**params))
+    for params, metrics in zip(combos, metric_rows):
+        metrics = dict(metrics)
         if result is None:
             result = SweepResult(param_names=names, metric_names=list(metrics.keys()))
+        elif set(metrics.keys()) != set(result.metric_names):
+            raise HarnessError(
+                f"sweep metrics mismatch at {params}: got {sorted(metrics)}, "
+                f"expected {sorted(result.metric_names)} (every grid point "
+                "must return the same metric keys)"
+            )
         result.rows.append({**params, **metrics})
     assert result is not None
     return result

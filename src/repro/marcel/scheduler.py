@@ -49,6 +49,11 @@ __all__ = ["CoreRuntime", "MarcelScheduler"]
 
 _EPS = 1e-9
 
+
+def _trace_noop(category: str, where: str, label: str, **data: Any) -> None:
+    """Instance-level `_trace` replacement for untraced schedulers."""
+    return None
+
 #: guard against threads that yield an infinite stream of zero-duration
 #: effects — after this many instantaneous steps without consuming virtual
 #: time, the scheduler aborts with a diagnostic instead of hanging.
@@ -101,6 +106,10 @@ class MarcelScheduler:
         self.timing = timing or TimingModel()
         self.cfg: MarcelConfig = self.timing.marcel
         self.tracer = tracer
+        if tracer is None:
+            # hoist the `tracer is None` branch out of the per-event path:
+            # untraced runs dispatch straight to a no-op
+            self._trace = _trace_noop  # type: ignore[method-assign]
         self.cores: list[CoreRuntime] = [
             CoreRuntime(core.core_index, core.name) for core in node.cores
         ]
@@ -534,8 +543,8 @@ class MarcelScheduler:
         core.timeline.add(self.sim.now, self.sim.now + duration, kind)
 
     def _trace(self, category: str, where: str, label: str, **data: Any) -> None:
-        if self.tracer is not None:
-            self.tracer.record(self.sim.now, category, where, label, **data)
+        # instances built without a tracer rebind this to `_trace_noop`
+        self.tracer.record(self.sim.now, category, where, label, **data)
 
     def _liveness_probe(self) -> Iterable[str]:
         return [

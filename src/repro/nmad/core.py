@@ -48,6 +48,11 @@ from .unexpected import ProbeInfo, UnexpectedEager, UnexpectedRts, UnexpectedSto
 __all__ = ["Gate", "NmSession"]
 
 
+def _trace_noop(*_args: Any, **_kw: Any) -> None:
+    """Instance-level `_trace`/`_trace_raw` replacement for untraced sessions."""
+    return None
+
+
 class Gate:
     """Connection from this session to one peer node."""
 
@@ -132,6 +137,11 @@ class NmSession:
         self.timing = timing or TimingModel()
         self.numa = numa
         self.tracer = tracer
+        if tracer is None:
+            # hoist the `tracer is None` branch out of the per-event path:
+            # untraced sessions dispatch straight to no-ops
+            self._trace = _trace_noop  # type: ignore[method-assign]
+            self._trace_raw = _trace_noop  # type: ignore[method-assign]
         self.gates: dict[int, Gate] = {}
         self.drivers: list[Driver] = []
         self.registry = MemoryRegistry(self.timing.nic)
@@ -846,15 +856,14 @@ class NmSession:
     # ------------------------------------------------------------------- misc
 
     def _trace(self, category: str, req: NmRequest) -> None:
-        if self.tracer is not None:
-            self.tracer.record(
-                self.sim.now, category, f"n{self.node_index}", f"req#{req.req_id}",
-                kind=req.kind, peer=req.peer, tag=req.tag, size=req.size, state=req.state,
-            )
+        # sessions built without a tracer rebind this to `_trace_noop`
+        self.tracer.record(
+            self.sim.now, category, f"n{self.node_index}", f"req#{req.req_id}",
+            kind=req.kind, peer=req.peer, tag=req.tag, size=req.size, state=req.state,
+        )
 
     def _trace_raw(self, category: str, where: str, label: str) -> None:
-        if self.tracer is not None:
-            self.tracer.record(self.sim.now, category, where, label)
+        self.tracer.record(self.sim.now, category, where, label)
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"<NmSession n{self.node_index} gates={sorted(self.gates)} ops={len(self.ops)}>"

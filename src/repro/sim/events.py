@@ -35,7 +35,7 @@ class EventHandle:
     surfaces. ``fired`` is True once the callback ran.
     """
 
-    __slots__ = ("time", "priority", "seq", "_fn", "_args", "cancelled", "fired", "label")
+    __slots__ = ("time", "priority", "seq", "_key", "_fn", "_args", "cancelled", "fired", "label")
 
     def __init__(
         self,
@@ -49,6 +49,12 @@ class EventHandle:
         self.time = time
         self.priority = priority
         self.seq = seq
+        # The ordering key is precomputed once: ``__lt__`` runs O(log n)
+        # times per heap operation and allocating a fresh tuple on every
+        # comparison dominated the kernel profile. The (time, priority,
+        # seq) fields never change after construction, so the cache is
+        # always coherent.
+        self._key = (time, priority, seq)
         self._fn = fn
         self._args = args
         self.cancelled = False
@@ -72,10 +78,10 @@ class EventHandle:
         self._args = ()
 
     def sort_key(self) -> tuple[float, int, int]:
-        return (self.time, self.priority, self.seq)
+        return self._key
 
     def __lt__(self, other: "EventHandle") -> bool:
-        return self.sort_key() < other.sort_key()
+        return self._key < other._key
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "cancelled" if self.cancelled else ("fired" if self.fired else "pending")

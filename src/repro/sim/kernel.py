@@ -29,9 +29,11 @@ class Simulator:
     Parameters
     ----------
     trace:
-        Optional :class:`repro.sim.tracing.Tracer`; when set, the kernel
-        emits ``kernel`` records for diagnostics (off by default because the
-        volume is high).
+        Optional :class:`repro.sim.tracing.Tracer`, carried here so every
+        layer built on the simulator can reach the run's tracer. The
+        kernel itself never consults it in the per-event path — trace
+        emission lives in the layers (scheduler, sessions), which bind a
+        no-op helper when no tracer is attached.
     """
 
     def __init__(self, trace: Any = None) -> None:
@@ -88,7 +90,9 @@ class Simulator:
                 f"cannot schedule at t={time} before now={self._now}"
             )
         self._seq += 1
-        handle = EventHandle(time, priority, self._seq, fn, tuple(args), label)
+        # ``args`` is already a tuple (built by the ``*args`` packing);
+        # re-wrapping it was a per-event allocation for nothing.
+        handle = EventHandle(time, priority, self._seq, fn, args, label)
         heapq.heappush(self._heap, handle)
         return handle
 
@@ -176,24 +180,42 @@ class Simulator:
         Returns the final virtual time. Raises :class:`DeadlockError` if the
         queue drains while liveness probes report blocked entities (only
         when ``until`` is None — bounded runs may legitimately stop early).
+
+        This is the hot loop of every benchmark: it inlines :meth:`step`
+        (one cancelled-event sweep per iteration instead of two), binds the
+        heap and ``heapq.heappop`` locally, and touches the observer list
+        only when one is registered. Behaviour is identical to driving the
+        simulation through :meth:`step` — ``tests/sim/test_kernel_fastpath``
+        pins that equivalence.
         """
         if self._running:
             raise SimulationError("Simulator.run is not reentrant")
         self._running = True
         self._stopped = False
         fired = 0
+        heap = self._heap
+        heappop = heapq.heappop
         try:
             while not self._stopped:
-                self._drop_dead()
-                if not self._heap:
+                while heap and heap[0].cancelled:
+                    heappop(heap)
+                if not heap:
                     if until is None:
                         self._check_liveness()
                     break
-                nxt = self._heap[0].time
-                if until is not None and nxt > until:
+                if until is not None and heap[0].time > until:
                     self._now = until
                     break
-                self.step()
+                handle = heappop(heap)
+                self._now = handle.time
+                handle._fire()
+                self.events_fired += 1
+                # observers may detach themselves mid-run, so iterate a
+                # snapshot — but only pay for the copy when any exist
+                observers = self._observers
+                if observers:
+                    for ob in tuple(observers):
+                        ob(self._now)
                 fired += 1
                 if max_events is not None and fired >= max_events:
                     raise SimulationError(

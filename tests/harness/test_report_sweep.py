@@ -74,6 +74,25 @@ class TestSweep:
         with pytest.raises(HarnessError):
             sweep(lambda: {"y": 1}, {})
 
+    def test_inconsistent_metric_keys_rejected(self):
+        """Every row must return the same metric keys; the error names the
+        offending parameter combination (previously metric_names was taken
+        from the first row and later rows silently diverged)."""
+
+        def fn(a):
+            return {"y": a} if a < 2 else {"y": a, "extra": 1}
+
+        with pytest.raises(HarnessError, match=r"'a': 2") as exc:
+            sweep(fn, {"a": [0, 1, 2]})
+        assert "extra" in str(exc.value)
+
+    def test_missing_metric_key_rejected(self):
+        def fn(a):
+            return {"y": a, "z": a} if a == 0 else {"y": a}
+
+        with pytest.raises(HarnessError, match="mismatch"):
+            sweep(fn, {"a": [0, 1]})
+
     def test_format(self):
         res = sweep(lambda a: {"y": a * 1.5}, {"a": [1, 2]})
         out = res.format(title="S")

@@ -1,0 +1,174 @@
+"""The inlined ``Simulator.run`` fast path is behaviourally identical to
+driving the simulation one :meth:`Simulator.step` at a time.
+
+``run()`` no longer delegates to ``step()`` (it inlines the pop/fire loop,
+binds heap ops locally, and sweeps cancelled events once per iteration),
+so this file pins the equivalence the docstring promises: same firing
+order, same times, same ``events_fired``, same observer callbacks, same
+trace signatures on full traced workloads.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import EngineKind
+from repro.errors import SimulationError
+from repro.harness.runner import ClusterRuntime
+from repro.sim.events import Priority
+from repro.sim.kernel import Simulator
+from repro.sim.tracing import Tracer
+from repro.units import KiB
+
+
+def _storm(sim: Simulator, log: list, n_events: int = 400) -> None:
+    """Mixed-priority self-rearming chains with lazy cancellations."""
+    counter = [0]
+
+    def tick(chain: int) -> None:
+        counter[0] += 1
+        log.append((sim.now, chain, counter[0]))
+        if counter[0] < n_events:
+            sim.schedule(1.0, tick, chain, priority=chain % 3)
+            if counter[0] % 5 == 0:
+                sim.schedule(2.0, tick, chain).cancel()
+
+    for c in range(4):
+        sim.schedule(float(c) * 0.25, tick, c)
+
+
+def _run_with_run(n_events: int = 400):
+    sim, log = Simulator(), []
+    _storm(sim, log, n_events)
+    end = sim.run()
+    return end, sim.events_fired, log
+
+
+def _run_with_step(n_events: int = 400):
+    sim, log = Simulator(), []
+    _storm(sim, log, n_events)
+    while sim.step():
+        pass
+    return sim.now, sim.events_fired, log
+
+
+def test_run_matches_step_driven_execution():
+    assert _run_with_run() == _run_with_step()
+
+
+def test_events_fired_counter_identical():
+    _, fired_run, _ = _run_with_run(1_000)
+    _, fired_step, _ = _run_with_step(1_000)
+    assert fired_run == fired_step > 1_000  # chains + their rearms
+
+
+def test_observers_fire_identically_in_both_loops():
+    samples = {}
+    for mode in ("run", "step"):
+        sim, log = Simulator(), []
+        seen: list[float] = []
+        sim.add_observer(seen.append)
+        _storm(sim, log, 100)
+        if mode == "run":
+            sim.run()
+        else:
+            while sim.step():
+                pass
+        samples[mode] = seen
+    assert samples["run"] == samples["step"]
+    assert len(samples["run"]) > 100
+
+
+def test_observer_can_detach_itself_mid_run():
+    sim = Simulator()
+    seen: list[float] = []
+
+    def once(now: float) -> None:
+        seen.append(now)
+        sim.remove_observer(once)
+
+    sim.add_observer(once)
+    for i in range(5):
+        sim.schedule(float(i), lambda: None)
+    sim.run()
+    assert len(seen) == 1
+
+
+def test_until_and_stop_still_honoured():
+    sim = Simulator()
+    fired: list[float] = []
+    for i in range(10):
+        sim.schedule(float(i), fired.append, float(i))
+    assert sim.run(until=4.5) == 4.5
+    assert fired == [0.0, 1.0, 2.0, 3.0, 4.0]
+    sim.schedule(0.0, sim.stop)  # at t=4.5, before the 5.0..9.0 events
+    sim.run()
+    assert fired == [0.0, 1.0, 2.0, 3.0, 4.0]
+    sim.run()
+    assert fired == [0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0]
+
+
+def test_max_events_guard_still_raises():
+    sim = Simulator()
+
+    def rearm() -> None:
+        sim.schedule(1.0, rearm)
+
+    sim.schedule(0.0, rearm)
+    with pytest.raises(SimulationError, match="max_events"):
+        sim.run(max_events=50)
+
+
+def test_cancelled_events_never_fire_in_fast_loop():
+    sim = Simulator()
+    fired: list[str] = []
+    keep = sim.schedule(1.0, fired.append, "keep")
+    dead = sim.schedule(1.0, fired.append, "dead", priority=Priority.TASKLET)
+    dead.cancel()
+    sim.schedule(2.0, fired.append, "late").cancel()
+    sim.run()
+    assert fired == ["keep"]
+    assert keep.fired and not dead.fired
+
+
+def test_priority_order_preserved_at_equal_time():
+    sim = Simulator()
+    fired: list[str] = []
+    sim.schedule(1.0, fired.append, "normal", priority=Priority.NORMAL)
+    sim.schedule(1.0, fired.append, "tasklet", priority=Priority.TASKLET)
+    sim.schedule(1.0, fired.append, "low", priority=Priority.LOW)
+    sim.run()
+    assert fired == ["tasklet", "normal", "low"]
+
+
+def _traced_signature(engine: str) -> tuple[float, list]:
+    """A full traced communication workload, as in test_determinism."""
+    tracer = Tracer()
+    rt = ClusterRuntime.build(engine=engine, tracer=tracer)
+
+    def sender(ctx):
+        nm = ctx.env["nm"]
+        reqs = []
+        for i in range(3):
+            r = yield from nm.isend(ctx, 1, i, KiB(4) * (i + 1), payload=i)
+            reqs.append(r)
+            yield ctx.compute(10.0)
+        yield from nm.wait_all(ctx, reqs)
+
+    def receiver(ctx):
+        nm = ctx.env["nm"]
+        for i in range(3):
+            yield from nm.recv(ctx, 0, i, KiB(16))
+
+    rt.spawn(0, sender, name="S")
+    rt.spawn(1, receiver, name="R")
+    end = rt.run()
+    shape = [(t, c, w) for t, c, w, _label in tracer.signature()]
+    return end, shape
+
+
+@pytest.mark.parametrize("engine", [EngineKind.SEQUENTIAL, EngineKind.PIOMAN])
+def test_traced_workload_signature_stable(engine):
+    """The fast loop must not perturb full traced runs: two executions of
+    the same workload produce identical trace shapes and end times."""
+    assert _traced_signature(engine) == _traced_signature(engine)
