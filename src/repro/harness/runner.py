@@ -34,6 +34,7 @@ from ..nmad.drivers.shm import ShmDriver
 from ..nmad.drivers.tcp import TcpDriver, tcp_nic_model
 from ..nmad.interface import NmInterface
 from ..nmad.progress import SequentialEngine
+from ..nmad.rdv import RDV_STAT_KEYS
 from ..nmad.reliability import ReliabilityLayer
 from ..nmad.strategies import make_strategy
 from ..obs import MetricsRegistry, TimeSeriesSampler
@@ -275,7 +276,7 @@ class ClusterRuntime:
         if self.fault_injector is not None:
             reg.register_collector("faults", self.fault_injector.stats)
         rel_keys = frozenset(ReliabilityLayer.STAT_KEYS)
-        rdv_keys = frozenset(NmSession.RDV_STAT_KEYS)
+        rdv_keys = frozenset(RDV_STAT_KEYS)
         for nrt in self.nodes:
             n = f"n{nrt.index}"
             session = nrt.session
@@ -295,9 +296,12 @@ class ClusterRuntime:
                 f"{n}.rdv",
                 lambda s=session: {
                     k.removeprefix("rdv_"): s.stats.get(k, 0)
-                    for k in NmSession.RDV_STAT_KEYS
+                    for k in RDV_STAT_KEYS
                 },
             )
+            # unified completion-queue lane: live depth gauge plus lifetime
+            # push/consume counters (n{i}.cq.depth etc.)
+            reg.register_collector(f"{n}.cq", lambda s=session: s.cq.stats())
             reg.register_collector(
                 f"{n}.scheduler",
                 lambda sch=nrt.scheduler: self._scheduler_metrics(sch),

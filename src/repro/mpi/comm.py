@@ -5,11 +5,10 @@ from __future__ import annotations
 import pickle
 from typing import Any, Generator, Optional
 
-import numpy as np
-
 from ..errors import MpiError
 from ..harness.runner import ClusterRuntime
 from ..marcel.thread import MarcelThread, ThreadContext
+from ..nmad.interface import payload_nbytes as _nm_payload_nbytes
 from ..nmad.request import NmRequest
 from ..nmad.tags import ANY
 from ..nmad.unexpected import ProbeInfo
@@ -24,13 +23,17 @@ MAX_USER_TAG = 1 << 20
 
 
 def payload_nbytes(obj: Any) -> int:
-    """Estimate the wire size of a Python object (numpy fast path)."""
+    """Estimate the wire size of a Python object.
+
+    Delegates the bytes/numpy fast paths to the nmad facade's sizing rule
+    (:func:`repro.nmad.interface.payload_nbytes`) and adds the MPI-only
+    pickle fallback for arbitrary objects.
+    """
     if obj is None:
         return 0
-    if isinstance(obj, np.ndarray):
-        return int(obj.nbytes)
-    if isinstance(obj, (bytes, bytearray, memoryview)):
-        return len(obj)
+    sized = _nm_payload_nbytes(obj)
+    if sized is not None:
+        return int(sized)
     try:
         return len(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
     except Exception as exc:  # pragma: no cover - unpicklable payloads

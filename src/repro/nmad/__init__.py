@@ -14,6 +14,11 @@ Three-layer architecture (Fig. 3 of the paper):
 
 Protocols: PIO (very small), eager copy+DMA (≤ rendezvous threshold), and
 the zero-copy rendezvous (RTS/CTS/DATA) for large messages (§2.2, §2.3).
+Each protocol lives in its own engine module — :mod:`repro.nmad.eager`
+and :mod:`repro.nmad.rdv` — registered against the
+:class:`~repro.nmad.core.SessionCore` dispatch tables, exchanging the
+typed wire frames of :mod:`repro.nmad.wire` and completing through the
+unified :class:`~repro.nmad.progress.CompletionQueue`.
 
 Progression is pluggable: :class:`repro.nmad.progress.SequentialEngine`
 reproduces the original non-multithreaded NewMadeleine (progress only on
@@ -21,17 +26,40 @@ the application thread), while :class:`repro.pioman.engine.PiomanEngine`
 is the paper's contribution.
 """
 
-from .core import Gate, NmSession
-from .interface import NmInterface
-from .progress import EngineBase, SequentialEngine
+from .core import Gate, NmSession, SessionCore
+from .eager import EagerEngine
+from .interface import NmInterface, payload_nbytes
+from .progress import (
+    CompletionQueue,
+    EngineBase,
+    RecoveryCompletion,
+    RequestCompletion,
+    SequentialEngine,
+    WireCompletion,
+)
+from .rdv import RdvEngine
 from .request import NmRequest, ReqState
+from .wire import AckFrame, CtsFrame, DataChunkFrame, EagerFrame, RtsFrame
 
 __all__ = [
     "NmSession",
+    "SessionCore",
     "Gate",
     "NmRequest",
     "ReqState",
     "NmInterface",
+    "payload_nbytes",
     "EngineBase",
     "SequentialEngine",
+    "CompletionQueue",
+    "WireCompletion",
+    "RequestCompletion",
+    "RecoveryCompletion",
+    "EagerEngine",
+    "RdvEngine",
+    "EagerFrame",
+    "RtsFrame",
+    "CtsFrame",
+    "DataChunkFrame",
+    "AckFrame",
 ]

@@ -1,19 +1,17 @@
-"""NewMadeleine session: gates, protocol state machines, progression.
+"""NewMadeleine session core: protocol-agnostic state and dispatch.
 
-One :class:`NmSession` lives on each node (the paper's "one MPI process per
-node"). It owns:
-
-* **gates** to peer nodes (and to itself, through the shared-memory
-  channel), each with its rails (drivers) and its optimizer strategy;
-* the **matching machinery** — posted-receive table, per-flow sequence
-  tracker with reorder buffer, unexpected store, multirail reassembly;
-* the **work list** (``ops``) — deferred operations (packet flushes,
-  rendezvous handshakes, unexpected copy-outs). *Who* executes ops and
-  *when* is the progression engine's business: the sequential baseline
-  drains them on the application thread inside library calls; PIOMan
-  drains them from idle cores/tasklets (§2.1, Fig. 1);
-* the **completion handling** — polling driver completion queues and
-  advancing the eager / rendezvous state machines.
+One :class:`NmSession` lives on each node (the paper's "one MPI process
+per node"). Since the layered refactor it is a thin composition shell: the
+protocol state machines live in :class:`repro.nmad.eager.EagerEngine` and
+:class:`repro.nmad.rdv.RdvEngine`, while :class:`SessionCore` keeps the
+gates (:mod:`repro.nmad.gate`), the matching machinery (posted-receive
+table, sequence tracker, unexpected store), the deferred-op work list the
+progression engines drain (§2.1, Fig. 1), the **dispatch tables** the
+protocol engines register their handlers against (send paths by
+``Protocol``, receive handlers by ``PacketKind``, ordered delivery by
+frame type, unexpected matches by item type), and the **unified
+completion queue** (:class:`repro.nmad.progress.CompletionQueue`) that
+wire completions drain through and finished requests are published to.
 
 All CPU costs are charged to the execution context passed in (see
 :mod:`repro.nmad.drivers.base`), so the same protocol code is priced
@@ -27,7 +25,7 @@ from collections import deque
 from typing import Any, Callable, Optional
 
 from ..config import TimingModel
-from ..errors import ProtocolError, RequestError
+from ..errors import ProtocolError
 from ..marcel.scheduler import MarcelScheduler
 from ..marcel.sync import ThreadEvent, ThreadFlag
 from ..network.message import Packet, PacketKind
@@ -36,16 +34,29 @@ from ..sim.kernel import Simulator
 from ..sim.tracing import Tracer
 from ..topology.machine import Node
 from ..topology.numa import NumaModel
-from .drivers.base import Driver
-from .rdv import PayloadAssembler, RdvChunk, RdvPlanner, classify_payload, slice_raw
+from .drivers.base import Driver, ExecContext
+from .gate import Gate
+from .progress import CompletionQueue, RequestCompletion, WireCompletion
 from .reliability import ReliabilityLayer
 from .request import NmRequest, Protocol, ReqState
-from .strategies import DefaultStrategy, Strategy
-from .strategies.base import RailInfo
+from .strategies import Strategy
 from .tags import ANY, MatchTable, SequenceTracker
-from .unexpected import ProbeInfo, UnexpectedEager, UnexpectedRts, UnexpectedStore
+from .rdv import RDV_STAT_KEYS
+from .unexpected import ProbeInfo, UnexpectedStore
+from .wire import tx_req_ids, wire_seq_of
 
-__all__ = ["Gate", "NmSession"]
+__all__ = ["Gate", "SessionCore", "NmSession"]
+
+#: a deferred operation body: runs under an execution context, returns nothing
+OpFn = Callable[[ExecContext], None]
+#: a registered send path: (request, gate) -> queue the protocol's work
+SendPath = Callable[[NmRequest, "Gate"], None]
+#: a registered receive handler: (ctx, driver, packet) -> advance the protocol
+RxHandler = Callable[[ExecContext, Driver, Packet], None]
+#: a registered ordered-delivery handler: (ctx, driver, frame)
+OrderHandler = Callable[[ExecContext, Driver, Any], None]
+#: a registered unexpected-match path: (recv request, store item)
+UnexpectedPath = Callable[[NmRequest, Any], None]
 
 
 def _trace_noop(*_args: Any, **_kw: Any) -> None:
@@ -53,73 +64,17 @@ def _trace_noop(*_args: Any, **_kw: Any) -> None:
     return None
 
 
-class Gate:
-    """Connection from this session to one peer node."""
+class SessionCore:
+    """Protocol-agnostic per-node session state and dispatch.
 
-    def __init__(self, peer: int, rails: list[Driver], strategy: Strategy | None = None) -> None:
-        if not rails:
-            raise ProtocolError(f"gate to n{peer} needs at least one rail")
-        self.peer = peer
-        self.rails = rails
-        self.strategy = strategy or DefaultStrategy()
-        self._send_seq: dict[int, int] = {}
-        #: True while a flush op for this gate sits in the session work list
-        self.flush_pending = False
-        #: packet plans already formed by the strategy, awaiting submission
-        #: (one wire packet is submitted per flush-op execution — §2.1:
-        #: "the messages are submitted once at a time")
-        self.pending_plans: deque = deque()
+    Protocol engines (constructed by :class:`NmSession`) register their
+    handlers against the four dispatch tables; the core never inspects
+    protocol frames itself.
+    """
 
-    def next_seq(self, tag: int) -> int:
-        seq = self._send_seq.get(tag, 0)
-        self._send_seq[tag] = seq + 1
-        return seq
-
-    def rail_infos(self) -> list[RailInfo]:
-        return [
-            RailInfo(
-                index=i,
-                pio_threshold=r.pio_threshold(),
-                rdv_threshold=r.rdv_threshold(),
-                bandwidth=r.wire_bandwidth(),
-                chunk_hint=r.rdv_chunk_bytes(),
-            )
-            for i, r in enumerate(self.rails)
-        ]
-
-    def effective_thresholds(self, infos: list[RailInfo] | None = None) -> tuple[int, int]:
-        """Gate-wide protocol thresholds: the (pio, rdv) cutoffs that are
-        safe on *every* given rail.
-
-        Protocol choice happens before rail choice — reliability rerouting
-        or RDV striping may carry the message on any rail — so the session
-        picks the protocol a message qualifies for on all of them (the
-        minimum of each threshold). Identical to ``rails[0]`` for
-        single-rail and homogeneous gates.
-        """
-        if infos is None:
-            infos = self.rail_infos()
-        return (
-            min(r.pio_threshold for r in infos),
-            min(r.rdv_threshold for r in infos),
-        )
-
-    def __repr__(self) -> str:  # pragma: no cover
-        return f"<Gate ->n{self.peer} rails={[r.name for r in self.rails]}>"
-
-
-class NmSession:
-    """Per-node communication session."""
-
-    #: rendezvous data-phase counters (exported as ``n{i}.rdv.*`` through
-    #: the observability registry — see ``harness/runner.py``)
-    RDV_STAT_KEYS = (
-        "rdv_chunks_sent",
-        "rdv_chunks_received",
-        "rdv_chunked_sends",
-        "rdv_striped_sends",
-        "rdv_chunk_retransmits",
-    )
+    #: rendezvous data-phase counters (owned by :mod:`repro.nmad.rdv`,
+    #: re-exported here for the ``n{i}.rdv.*`` observability lane)
+    RDV_STAT_KEYS = RDV_STAT_KEYS
 
     def __init__(
         self,
@@ -148,17 +103,16 @@ class NmSession:
         self.match_table = MatchTable()
         self.seq_tracker = SequenceTracker()
         self.unexpected = UnexpectedStore()
-        self.ops: deque[tuple[str, Callable[[Any], None]]] = deque()
+        self.ops: deque[tuple[str, OpFn]] = deque()
+        #: unified completion queue: wire lane + published request records
+        self.cq = CompletionQueue()
         #: in-flight sends by req_id (tx completion / CTS lookup)
         self._sends: dict[int, NmRequest] = {}
-        #: rendezvous receives waiting for DATA, by recv req_id
-        self._rdv_recvs: dict[int, NmRequest] = {}
-        #: chunked rendezvous reassembly state, by recv req_id
-        self._rdv_assembly: dict[int, PayloadAssembler] = {}
-        #: rendezvous data-phase chunk/stripe planner
-        self._rdv_planner = RdvPlanner(self.timing.rdv)
-        #: multirail reassembly: (src, send_req_id) -> accumulated state
-        self._reassembly: dict[tuple[int, int], dict[str, Any]] = {}
+        # dispatch tables, filled by the protocol engines' constructors
+        self._send_paths: dict[Protocol, SendPath] = {}
+        self._rx_handlers: dict[str, RxHandler] = {}
+        self._order_handlers: dict[type, OrderHandler] = {}
+        self._unexpected_paths: dict[type, UnexpectedPath] = {}
         #: level-triggered flag set on any driver activity (baseline waits)
         self.activity_flag = ThreadFlag(scheduler, name=f"n{self.node_index}.nm.activity")
         #: callbacks fired when ops are enqueued (PIOMan wakes idle cores)
@@ -194,6 +148,32 @@ class NmSession:
         self.reliability: Optional[ReliabilityLayer] = (
             ReliabilityLayer(self) if self.timing.faults.enabled else None
         )
+
+    # ------------------------------------------------------- engine registration
+
+    def register_send_path(self, protocol: Protocol, path: SendPath) -> None:
+        """Claim the send path for ``protocol`` (one engine per protocol)."""
+        if protocol in self._send_paths:
+            raise ProtocolError(f"send path for {protocol} registered twice")
+        self._send_paths[protocol] = path
+
+    def register_rx_handler(self, kind: str, handler: RxHandler) -> None:
+        """Claim receive dispatch for packets of ``kind``."""
+        if kind in self._rx_handlers:
+            raise ProtocolError(f"rx handler for {kind} registered twice")
+        self._rx_handlers[kind] = handler
+
+    def register_order_handler(self, frame_type: type, handler: OrderHandler) -> None:
+        """Claim sequence-ordered delivery of ``frame_type`` descriptors."""
+        if frame_type in self._order_handlers:
+            raise ProtocolError(f"order handler for {frame_type.__name__} registered twice")
+        self._order_handlers[frame_type] = handler
+
+    def register_unexpected_path(self, item_type: type, path: UnexpectedPath) -> None:
+        """Claim recv-matching of ``item_type`` unexpected-store items."""
+        if item_type in self._unexpected_paths:
+            raise ProtocolError(f"unexpected path for {item_type.__name__} registered twice")
+        self._unexpected_paths[item_type] = path
 
     # ------------------------------------------------------------------ wiring
 
@@ -254,9 +234,9 @@ class NmSession:
     # --------------------------------------------------------------- post paths
 
     def post_send(self, req: NmRequest) -> None:
-        """Register a send: choose protocol, queue work. No CPU charged here
-        — the caller (engine) charges the registration cost and decides when
-        the queued work runs."""
+        """Register a send: choose protocol, hand to its engine. No CPU
+        charged here — the caller (engine) charges the registration cost and
+        decides when the queued work runs."""
         gate = self.gate_to(req.peer)
         infos = gate.rail_infos()
         if self.reliability is not None:
@@ -275,13 +255,10 @@ class NmSession:
             self.stats["rdv_sends"] += 1
         req.transition(ReqState.QUEUED)
         self._sends[req.req_id] = req
-        if req.protocol == Protocol.RDV:
-            self._enqueue_op(f"send_rts#{req.req_id}", lambda ctx, r=req: self._op_send_rts(ctx, r))
-        else:
-            gate.strategy.push(req)
-            if not gate.flush_pending:
-                gate.flush_pending = True
-                self._enqueue_op(f"flush->n{gate.peer}", lambda ctx, g=gate: self._op_flush_gate(ctx, g))
+        path = self._send_paths.get(req.protocol)
+        if path is None:  # pragma: no cover - engines cover every protocol
+            raise ProtocolError(f"no engine registered for protocol {req.protocol}")
+        path(req, gate)
         self._trace("nmad.post_send", req)
 
     def post_recv(self, req: NmRequest) -> None:
@@ -292,42 +269,20 @@ class NmSession:
             self.match_table.post(req)
             self._trace("nmad.post_recv", req)
             return
-        if isinstance(item, UnexpectedEager):
-            self._enqueue_op(
-                f"copy_out#{req.req_id}",
-                lambda ctx, r=req, it=item: self._op_copy_out(ctx, r, it),
-            )
-        elif isinstance(item, UnexpectedRts):
-            self._enqueue_op(
-                f"answer_rts#{req.req_id}",
-                lambda ctx, r=req, it=item: self._op_answer_rts(ctx, r, it.source, it.send_req_id, it.size),
-            )
-        else:  # pragma: no cover - store only holds the two kinds
+        path = self._unexpected_paths.get(type(item))
+        if path is None:  # pragma: no cover - store only holds registered kinds
             raise ProtocolError(f"unknown unexpected item {item!r}")
+        path(req, item)
         self._trace("nmad.post_recv_unexpected", req)
 
     def probe_unexpected(self, source: int, tag: int) -> Optional[ProbeInfo]:
-        """Non-destructive probe of the unexpected store.
-
-        Returns a :class:`repro.nmad.unexpected.ProbeInfo` for the oldest
-        arrival a recv posted with ``(source, tag)`` would match, or None.
-        The item stays in the store (MPI_Probe semantics).
-        """
-        for item in self.unexpected._items:
-            src_ok = source == ANY or item.source == source
-            tag_ok = tag == ANY or item.tag == tag
-            if src_ok and tag_ok:
-                return ProbeInfo(
-                    source=item.source,
-                    tag=item.tag,
-                    size=item.size,
-                    rdv=isinstance(item, UnexpectedRts),
-                )
-        return None
+        """Non-destructive probe of the unexpected store (MPI_Probe
+        semantics: the matched item stays buffered)."""
+        return self.unexpected.probe(source, tag, ANY)
 
     # ------------------------------------------------------------------- ops
 
-    def _enqueue_op(self, name: str, fn: Callable[[Any], None]) -> None:
+    def _enqueue_op(self, name: str, fn: OpFn) -> None:
         self.ops.append((name, fn))
         for cb in self.on_ops_enqueued:
             cb()
@@ -344,12 +299,12 @@ class NmSession:
         return bool(self.ops)
 
     def has_completions(self) -> bool:
-        return any(d.has_completions() for d in self.drivers)
+        return self.cq.depth > 0 or any(d.has_completions() for d in self.drivers)
 
     def has_work(self) -> bool:
         return self.has_pending_ops() or self.has_completions()
 
-    def progress(self, ctx, max_ops: Optional[int] = None, poll: bool = True) -> bool:
+    def progress(self, ctx: ExecContext, max_ops: Optional[int] = None, poll: bool = True) -> bool:
         """Execute deferred ops, then poll completion queues.
 
         Charges all CPU to ``ctx``. Returns True if anything was done.
@@ -366,206 +321,56 @@ class NmSession:
             did |= self.poll_completions(ctx)
         return did
 
-    def poll_completions(self, ctx, max_events: int = 16) -> bool:
-        """Poll every driver once; handle what surfaced."""
+    def poll_completions(self, ctx: ExecContext, max_events: int = 16) -> bool:
+        """Poll every driver once; dispatch what surfaced.
+
+        Each driver's harvest goes through the unified completion queue's
+        wire lane — pushed, then drained straight through the receive
+        dispatch table. Push-then-drain per driver keeps the handling order
+        identical to dispatching each record inline (handlers never produce
+        wire completions synchronously), while giving observability and
+        backpressure a single queue to watch.
+        """
         did = False
         for driver in self.drivers:
-            ctx.charge(driver.poll_cpu_us())
-            for rec in driver.poll(max_events):
-                self._handle_completion(ctx, driver, rec)
+            driver.poll_into(ctx, self.cq, max_events)
+            while True:
+                wc = self.cq.pop_wire()
+                if wc is None:
+                    break
+                self._dispatch_wire(ctx, wc)
                 self.stats["completions_handled"] += 1
                 did = True
         return did
 
-    # ----------------------------------------------------------- op bodies (TX)
-
-    def _numa_factor(self, ctx, producer_core: Optional[int]) -> float:
-        if self.numa is None or producer_core is None:
-            return 1.0
-        executor = self._core_by_index.get(getattr(ctx, "core_index", None))
-        producer = self._core_by_index.get(producer_core)
-        if executor is None or producer is None:
-            return 1.0
-        return self.numa.copy_factor(producer, executor)
-
-    def _op_flush_gate(self, ctx, gate: Gate) -> None:
-        """Submit ONE wire packet; requeue if the gate still has more.
-
-        Draining the strategy happens up front (so aggregation sees the
-        whole burst), but submissions are one-per-event: concurrent idle
-        cores and waiting threads interleave on the remaining packets
-        instead of one executor hogging an entire burst.
-        """
-        gate.flush_pending = False
-        if not gate.pending_plans:
-            infos = gate.rail_infos()
-            if self.reliability is not None:
-                infos = self.reliability.filter_rails(gate, infos)
-            gate.pending_plans.extend(gate.strategy.take_plans(infos))
-        if not gate.pending_plans:
-            return
-        plans = [gate.pending_plans.popleft()]
-        # sends pushed while earlier plans were queued are still in the
-        # strategy — the requeue must cover them too, or they are lost
-        if (gate.pending_plans or gate.strategy.pending_count() > 0) and not gate.flush_pending:
-            gate.flush_pending = True
-            self._enqueue_op(
-                f"flush->n{gate.peer}", lambda c, g=gate: self._op_flush_gate(c, g)
-            )
-        for plan in plans:
-            driver = gate.rails[plan.rail_index]
-            entries_hdr = []
-            tx_reqs = []
-            for e in plan.entries:
-                entries_hdr.append(
-                    {
-                        "req_id": e.req.req_id,
-                        "src": self.node_index,
-                        "tag": e.req.tag,
-                        "seq": e.req.seq,
-                        "size": e.req.size,
-                        "offset": e.offset,
-                        "length": e.length,
-                        "nchunks": e.nchunks,
-                        "payload": e.req.payload,
-                    }
-                )
-                tx_reqs.append(e.req.req_id)
-                e.req.init_tx_chunks(e.nchunks)
-            packet = Packet(
-                kind=PacketKind.PIO if plan.mode == "pio" else PacketKind.EAGER,
-                src_node=self.node_index,
-                dst_node=gate.peer,
-                payload_size=plan.payload_size(),
-                headers={"entries": entries_hdr, "tx_reqs": tx_reqs},
-            )
-            factor = max(
-                (self._numa_factor(ctx, e.req.producer_core) for e in plan.entries),
-                default=1.0,
-            )
-            for e in plan.entries:
-                if e.req.state == ReqState.QUEUED:
-                    e.req.transition(ReqState.SUBMITTED)
-                    e.req.submitted_at = ctx.end
-            if self.reliability is not None:
-                self.reliability.track(gate, packet, plan.mode, plan.rail_index)
-            if plan.mode == "pio":
-                driver.submit_pio(ctx, packet)
-            else:
-                self.stats["copies_bytes"] += plan.payload_size()
-                driver.submit_eager(ctx, packet, plan.payload_size(), factor)
-            if self.reliability is not None:
-                self.reliability.arm(ctx, packet)
-            # Both PIO and eager are *buffered* sends: the request completes
-            # as soon as the CPU pushed/copied the payload (MX semantics —
-            # the application buffer is reusable immediately). Only the
-            # zero-copy rendezvous DATA completes at DMA drain.
-            for e in plan.entries:
-                ctx.schedule_after(0.0, self._complete_send_chunk, e.req)
-            self._trace_raw("nmad.submit", f"gate->n{gate.peer}", f"{plan.mode} {plan.payload_size()}B")
-
-    def _op_send_rts(self, ctx, req: NmRequest) -> None:
-        gate = self.gate_to(req.peer)
-        rail_index = 0
-        if self.reliability is not None:
-            rail_index = self.reliability.select_rail(gate, 0)
-        driver = gate.rails[rail_index]
-        if not driver.supports_zero_copy:
-            # rendezvous without zero-copy support still bounds unexpected
-            # buffering; the DATA leg will be a copy send (TCP driver).
-            pass
-        packet = Packet(
-            kind=PacketKind.RTS,
-            src_node=self.node_index,
-            dst_node=req.peer,
-            payload_size=0,
-            headers={
-                "send_req_id": req.req_id,
-                "src": self.node_index,
-                "tag": req.tag,
-                "seq": req.seq,
-                "size": req.size,
-            },
-        )
-        req.transition(ReqState.RTS_SENT)
-        req.submitted_at = ctx.end
-        if self.reliability is not None:
-            self.reliability.track(gate, packet, "control", rail_index)
-        driver.submit_control(ctx, packet)
-        if self.reliability is not None:
-            self.reliability.arm(ctx, packet)
-        self._trace("nmad.rts", req)
-
-    def _op_copy_out(self, ctx, req: NmRequest, item: UnexpectedEager) -> None:
-        """Second copy of the unexpected path: unexpected buffer → app."""
-        ctx.charge(self.timing.host.memcpy_us(item.size))
-        self.stats["copies_bytes"] += item.size
-        req.data = item.payload
-        req.received_size = item.size
-        req.source = item.source
-        ctx.schedule_after(0.0, self._complete_req, req)
-        self._trace("nmad.copy_out", req)
-
-    def _op_answer_rts(self, ctx, recv_req: NmRequest, source: int, send_req_id: int, size: int) -> None:
-        """Answer a rendezvous handshake: register the application buffer
-        and send the CTS (§2.3 operations (b)/(c))."""
-        gate = self.gate_to(source)
-        rail_index = 0
-        if self.reliability is not None:
-            rail_index = self.reliability.select_rail(gate, 0)
-        driver = gate.rails[rail_index]
-        if driver.supports_zero_copy:
-            ctx.charge(self.registry.register(recv_req.buffer_id, size))
-        packet = Packet(
-            kind=PacketKind.CTS,
-            src_node=self.node_index,
-            dst_node=source,
-            payload_size=0,
-            headers={"send_req_id": send_req_id, "recv_req_id": recv_req.req_id},
-        )
-        recv_req.transition(ReqState.DATA_WAIT)
-        recv_req.received_size = size
-        recv_req.source = source
-        self._rdv_recvs[recv_req.req_id] = recv_req
-        if self.reliability is not None:
-            self.reliability.track(gate, packet, "control", rail_index)
-        driver.submit_control(ctx, packet)
-        if self.reliability is not None:
-            self.reliability.arm(ctx, packet)
-        self._trace("nmad.cts", recv_req)
-
     # ------------------------------------------------------ completion handling
 
-    def _handle_completion(self, ctx, driver: Driver, rec) -> None:
-        packet: Packet = rec.packet
-        if rec.event == "tx_done":
+    def _dispatch_wire(self, ctx: ExecContext, wc: WireCompletion) -> None:
+        """Route one wire completion: TX drains complete sends; arrived
+        packets pass the reliability filter, then the kind dispatch table."""
+        packet = wc.packet
+        if wc.event == "tx_done":
             self._on_tx_done(ctx, packet)
             return
-        if self.reliability is not None and not self.reliability.on_rx(ctx, driver, packet):
+        if self.reliability is not None and not self.reliability.on_rx(ctx, wc.driver, packet):
             return  # consumed at the wire level: ACK, corrupted, or duplicate
-        if packet.kind in (PacketKind.EAGER, PacketKind.PIO):
-            self._on_rx_eager(ctx, driver, packet)
-        elif packet.kind == PacketKind.RTS:
-            self._on_rx_rts(ctx, driver, packet)
-        elif packet.kind == PacketKind.CTS:
-            self._on_rx_cts(ctx, driver, packet)
-        elif packet.kind == PacketKind.DATA:
-            self._on_rx_data(ctx, driver, packet)
-        else:  # pragma: no cover - ACKs are consumed by the reliability layer
+        handler = self._rx_handlers.get(packet.kind)
+        if handler is None:  # pragma: no cover - ACKs are consumed above
             raise ProtocolError(f"unhandled packet kind {packet.kind}")
+        handler(ctx, wc.driver, packet)
 
-    def _on_tx_done(self, ctx, packet: Packet) -> None:
+    def _on_tx_done(self, ctx: ExecContext, packet: Packet) -> None:
         # Only the rendezvous DATA leg completes on DMA drain: the
         # application buffer is involved until the NIC has read it all.
         # PIO/eager completed at submission; control frames complete nothing.
         if packet.kind != PacketKind.DATA:
             return
-        if self.reliability is not None and "wire_seq" in packet.headers:
+        if self.reliability is not None and wire_seq_of(packet) is not None:
             # recovery pins the application buffer until the peer
             # acknowledges (it is the retransmission source): the send
             # completes on ACK — or on give-up — not at DMA drain
             return
-        for req_id in packet.headers.get("tx_reqs", ()):
+        for req_id in tx_req_ids(packet):
             req = self._sends.get(req_id)
             if req is None:
                 continue
@@ -579,264 +384,27 @@ class NmSession:
         if req.state != ReqState.COMPLETED:
             self._complete_req(req)
 
-    def _deliver_in_order(self, ctx, driver: Driver, item: dict[str, Any]) -> None:
+    def deliver_in_order(self, ctx: ExecContext, driver: Driver, item: Any) -> None:
         """Route a sequence-ordered descriptor to its protocol handler.
 
-        The reorder buffer interleaves eager and RTS descriptors of one
-        flow, so each drained item must be re-dispatched by kind.
+        The reorder buffer interleaves eager and RTS frames of one flow, so
+        each drained item is re-dispatched by frame type.
         """
-        if item.get("rts"):
-            self._deliver_rts(ctx, driver, item)
-        else:
-            self._deliver_eager(ctx, driver, item)
+        handler = self._order_handlers.get(type(item))
+        if handler is None:  # pragma: no cover - engines cover every frame
+            raise ProtocolError(f"no ordered-delivery handler for {item!r}")
+        handler(ctx, driver, item)
 
-    def _on_rx_eager(self, ctx, driver: Driver, packet: Packet) -> None:
-        for entry in packet.headers["entries"]:
-            descriptor = entry
-            if entry["nchunks"] > 1:
-                descriptor = self._reassemble(entry)
-                if descriptor is None:
-                    continue
-            for item in self.seq_tracker.submit(
-                descriptor["src"], descriptor["tag"], descriptor["seq"], descriptor
-            ):
-                self._deliver_in_order(ctx, driver, item)
+    # ----------------------------------------------------------------- helpers
 
-    def _reassemble(self, entry: dict[str, Any]) -> Optional[dict[str, Any]]:
-        key = (entry["src"], entry["req_id"])
-        state = self._reassembly.setdefault(key, {"received": 0})
-        state["received"] += entry["length"]
-        if entry["offset"] == 0:
-            state["payload"] = entry["payload"]
-        if state["received"] < entry["size"]:
-            return None
-        if state["received"] > entry["size"]:
-            raise ProtocolError(
-                f"reassembly overflow for send#{entry['req_id']}: "
-                f"{state['received']} > {entry['size']}"
-            )
-        self._reassembly.pop(key)
-        return {
-            "src": entry["src"],
-            "tag": entry["tag"],
-            "seq": entry["seq"],
-            "size": entry["size"],
-            "length": entry["size"],
-            "payload": state.get("payload"),
-            "req_id": entry["req_id"],
-            "nchunks": 1,
-            "offset": 0,
-        }
-
-    def _deliver_eager(self, ctx, driver: Driver, d: dict[str, Any]) -> None:
-        req = self.match_table.match(d["src"], d["tag"])
-        ctx.charge(driver.rx_consume_us())
-        if req is not None:
-            # expected: the NIC placed the data straight into the app buffer
-            self.stats["expected_eager"] += 1
-            if d["size"] > req.size:
-                raise RequestError(
-                    f"message of {d['size']}B overflows posted recv of {req.size}B"
-                )
-            req.data = d["payload"]
-            req.received_size = d["size"]
-            req.source = d["src"]
-            ctx.schedule_after(0.0, self._complete_req, req)
-            self._trace("nmad.recv_expected", req)
-        else:
-            # unexpected: pay the copy into the unexpected buffer now
-            self.stats["unexpected_eager"] += 1
-            ctx.charge(self.timing.host.memcpy_us(d["size"]))
-            self.stats["copies_bytes"] += d["size"]
-            self.unexpected.add(
-                UnexpectedEager(
-                    source=d["src"],
-                    tag=d["tag"],
-                    seq=d["seq"],
-                    size=d["size"],
-                    payload=d["payload"],
-                    arrived_at=self.sim.now,
-                )
-            )
-
-    def _on_rx_rts(self, ctx, driver: Driver, packet: Packet) -> None:
-        h = packet.headers
-        descriptor = {
-            "src": h["src"],
-            "tag": h["tag"],
-            "seq": h["seq"],
-            "size": h["size"],
-            "send_req_id": h["send_req_id"],
-            "rts": True,
-        }
-        for item in self.seq_tracker.submit(h["src"], h["tag"], h["seq"], descriptor):
-            self._deliver_in_order(ctx, driver, item)
-
-    def _deliver_rts(self, ctx, driver: Driver, d: dict[str, Any]) -> None:
-        req = self.match_table.match(d["src"], d["tag"])
-        ctx.charge(driver.rx_consume_us())
-        if req is not None:
-            self._op_answer_rts(ctx, req, d["src"], d["send_req_id"], d["size"])
-        else:
-            self.stats["unexpected_rts"] += 1
-            self.unexpected.add(
-                UnexpectedRts(
-                    source=d["src"],
-                    tag=d["tag"],
-                    seq=d["seq"],
-                    size=d["size"],
-                    send_req_id=d["send_req_id"],
-                    arrived_at=self.sim.now,
-                )
-            )
-
-    def _on_rx_cts(self, ctx, driver: Driver, packet: Packet) -> None:
-        """Sender side: the receiver is ready — send the data zero-copy
-        (§2.3 operation (d)).
-
-        With chunking configured (``TimingModel.rdv``), the data phase is
-        planned as pipeline chunks striped across the gate's healthy rails:
-        chunk 0 goes out here (as the one-shot DATA always did), the rest
-        are queued as ops so idle cores register+submit chunk *k+1* while
-        the NIC drains chunk *k*. With the default config the plan is one
-        chunk on one rail — byte-identical to the seed's behaviour.
-        """
-        req = self._sends.get(packet.headers["send_req_id"])
-        if req is None or req.state != ReqState.RTS_SENT:
-            if self.reliability is not None:
-                # stale CTS (the wire-seq dedup normally filters these, but
-                # stay tolerant): the rendezvous already moved on
-                return
-            raise ProtocolError(f"CTS for unknown send #{packet.headers['send_req_id']}")
-        gate = self.gate_to(req.peer)
-        infos = gate.rail_infos()
-        if self.reliability is not None:
-            infos = self.reliability.filter_rails(gate, infos)
-        chunks = self._rdv_planner.plan(req.size, infos)
-        nchunks = len(chunks)
-        recv_req_id = packet.headers["recv_req_id"]
-        req.transition(ReqState.DATA_SENDING)
-        req.init_tx_chunks(nchunks)
-        mode, raw, meta = ("none", None, None)
-        if nchunks > 1:
-            self.stats["rdv_chunked_sends"] += 1
-            if len({c.rail_index for c in chunks}) > 1:
-                self.stats["rdv_striped_sends"] += 1
-            mode, raw, meta = classify_payload(req.payload, req.size)
-        # chunk 0 is charged to the CTS handler, like the one-shot DATA was
-        self._op_send_rdv_chunk(ctx, req, recv_req_id, chunks[0], nchunks, mode, raw, meta)
-        for chunk in chunks[1:]:
-            self._enqueue_op(
-                f"rdv_chunk#{req.req_id}.{chunk.index}",
-                lambda c, r=req, rid=recv_req_id, ch=chunk, n=nchunks, m=mode, rw=raw, mt=meta: (
-                    self._op_send_rdv_chunk(c, r, rid, ch, n, m, rw, mt)
-                ),
-            )
-        self._trace("nmad.data_send", req)
-
-    def _op_send_rdv_chunk(
-        self,
-        ctx,
-        req: NmRequest,
-        recv_req_id: int,
-        chunk: RdvChunk,
-        nchunks: int,
-        mode: str,
-        raw: Any,
-        meta: Optional[dict],
-    ) -> None:
-        """Register and submit one DATA chunk of a rendezvous data phase.
-
-        Registration is per-chunk (``register_range``) so the pinning cost
-        of the next chunk overlaps the wire drain of the previous one. Each
-        chunk is its own tracked packet in the reliability layer, so a lost
-        chunk retransmits alone.
-        """
-        gate = self.gate_to(req.peer)
-        rail_index = chunk.rail_index
-        if self.reliability is not None:
-            rail_index = self.reliability.select_rail(gate, rail_index)
-        out_driver = gate.rails[rail_index]
-        if out_driver.supports_zero_copy:
-            if nchunks == 1:
-                ctx.charge(self.registry.register(req.buffer_id, req.size))
-            else:
-                ctx.charge(
-                    self.registry.register_range(req.buffer_id, chunk.offset, chunk.length)
-                )
-        headers: dict[str, Any] = {
-            "tx_reqs": [req.req_id],
-            "recv_req_id": recv_req_id,
-        }
-        if nchunks == 1:
-            headers["payload"] = req.payload
-        else:
-            headers.update(
-                payload=slice_raw(mode, raw, chunk.offset, chunk.length, chunk.index),
-                payload_mode=mode,
-                payload_meta=meta if chunk.index == 0 else None,
-                chunk_index=chunk.index,
-                offset=chunk.offset,
-                length=chunk.length,
-                size=req.size,
-                nchunks=nchunks,
-            )
-        data = Packet(
-            kind=PacketKind.DATA,
-            src_node=self.node_index,
-            dst_node=req.peer,
-            payload_size=chunk.length,
-            headers=headers,
-        )
-        if self.reliability is not None:
-            track_mode = "zero_copy" if out_driver.supports_zero_copy else "eager"
-            self.reliability.track(gate, data, track_mode, rail_index)
-        if out_driver.supports_zero_copy:
-            out_driver.submit_zero_copy(ctx, data)
-        else:
-            self.stats["copies_bytes"] += chunk.length
-            out_driver.submit_eager(
-                ctx, data, chunk.length, self._numa_factor(ctx, req.producer_core)
-            )
-        if self.reliability is not None:
-            self.reliability.arm(ctx, data)
-        if nchunks > 1:
-            self.stats["rdv_chunks_sent"] += 1
-
-    def _on_rx_data(self, ctx, driver: Driver, packet: Packet) -> None:
-        recv_id = packet.headers["recv_req_id"]
-        nchunks = packet.headers.get("nchunks", 1)
-        if nchunks <= 1:
-            req = self._rdv_recvs.pop(recv_id, None)
-            if req is None:
-                if self.reliability is not None:
-                    return  # duplicate DATA already satisfied this recv
-                raise ProtocolError(f"DATA for unknown rendezvous recv #{recv_id}")
-            ctx.charge(driver.rx_consume_us())
-            req.data = packet.headers.get("payload")
-            ctx.schedule_after(0.0, self._complete_req, req)
-            self._trace("nmad.data_recv", req)
-            return
-        # chunked data phase: accumulate until every chunk has landed
-        req = self._rdv_recvs.get(recv_id)
-        if req is None:
-            if self.reliability is not None:
-                return  # duplicate chunk of an already-completed recv
-            raise ProtocolError(f"DATA chunk for unknown rendezvous recv #{recv_id}")
-        ctx.charge(driver.rx_consume_us())
-        assembler = self._rdv_assembly.get(recv_id)
-        if assembler is None:
-            assembler = self._rdv_assembly[recv_id] = PayloadAssembler(
-                packet.headers["size"], nchunks
-            )
-        self.stats["rdv_chunks_received"] += 1
-        if not assembler.add(packet.headers):
-            return
-        self._rdv_recvs.pop(recv_id, None)
-        self._rdv_assembly.pop(recv_id, None)
-        req.data = assembler.payload()
-        ctx.schedule_after(0.0, self._complete_req, req)
-        self._trace("nmad.data_recv", req)
+    def _numa_factor(self, ctx: ExecContext, producer_core: Optional[int]) -> float:
+        if self.numa is None or producer_core is None:
+            return 1.0
+        executor = self._core_by_index.get(getattr(ctx, "core_index", None))
+        producer = self._core_by_index.get(producer_core)
+        if executor is None or producer is None:
+            return 1.0
+        return self.numa.copy_factor(producer, executor)
 
     # -------------------------------------------------------------- completion
 
@@ -846,6 +414,7 @@ class NmSession:
         if req.kind == "send":
             self._sends.pop(req.req_id, None)
         req.complete(self.sim.now)
+        self.cq.publish(RequestCompletion(req=req, time=self.sim.now))
         for cb in self.on_request_complete:
             cb(req)
         self._trace("nmad.complete", req)
@@ -857,13 +426,38 @@ class NmSession:
 
     def _trace(self, category: str, req: NmRequest) -> None:
         # sessions built without a tracer rebind this to `_trace_noop`
+        assert self.tracer is not None
         self.tracer.record(
             self.sim.now, category, f"n{self.node_index}", f"req#{req.req_id}",
             kind=req.kind, peer=req.peer, tag=req.tag, size=req.size, state=req.state,
         )
 
     def _trace_raw(self, category: str, where: str, label: str) -> None:
+        assert self.tracer is not None
         self.tracer.record(self.sim.now, category, where, label)
 
     def __repr__(self) -> str:  # pragma: no cover
-        return f"<NmSession n{self.node_index} gates={sorted(self.gates)} ops={len(self.ops)}>"
+        return f"<{type(self).__name__} n{self.node_index} gates={sorted(self.gates)} ops={len(self.ops)}>"
+
+
+class NmSession(SessionCore):
+    """Per-node communication session: the core plus its protocol engines."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        scheduler: MarcelScheduler,
+        node: Node,
+        timing: TimingModel | None = None,
+        numa: NumaModel | None = None,
+        tracer: Tracer | None = None,
+    ) -> None:
+        super().__init__(sim, scheduler, node, timing=timing, numa=numa, tracer=tracer)
+        # engine construction registers the dispatch-table entries
+        from .eager import EagerEngine
+        from .rdv import RdvEngine
+
+        #: eager/PIO protocol engine (small buffered sends)
+        self.eager = EagerEngine(self)
+        #: rendezvous protocol engine (RTS/CTS handshake + data phase)
+        self.rdv = RdvEngine(self)

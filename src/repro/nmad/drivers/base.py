@@ -1,7 +1,8 @@
 """Driver interface.
 
-Every method that consumes CPU takes an execution context ``ctx`` exposing
-``charge(us)`` / ``schedule_after(extra, fn, *args)`` / ``end``
+Every method that consumes CPU takes an execution context ``ctx``
+satisfying :class:`ExecContext` — ``charge(us)`` /
+``schedule_after(extra, fn, *args)`` / ``end``
 (:class:`repro.marcel.tasklet.TaskletContext` instances are used both for
 tasklet execution and for inline execution on application threads). The
 driver charges the CPU cost of the operation to ``ctx`` and schedules the
@@ -13,17 +14,36 @@ after).
 from __future__ import annotations
 
 import itertools
-from typing import Callable
+from typing import Any, Callable, Protocol, runtime_checkable
 
 from ...errors import NetworkError
 from ...network.message import CompletionRecord, Packet
+from ..progress import CompletionQueue, WireCompletion
 
-__all__ = ["Driver"]
+__all__ = ["ExecContext", "Driver"]
 
 #: process-wide monotonic driver numbering — serials are never reused, so
 #: they are safe identity keys across engine rebuilds (unlike ``id()``,
 #: which the allocator recycles after garbage collection)
 _driver_serials = itertools.count(1)
+
+
+@runtime_checkable
+class ExecContext(Protocol):
+    """What drivers and protocol engines need from an execution context."""
+
+    #: CPU already charged to this context (µs)
+    cpu_us: float
+
+    @property
+    def end(self) -> float:
+        """Virtual time at which the charged work completes."""
+
+    def charge(self, us: float) -> None:
+        """Account ``us`` microseconds of CPU work to this context."""
+
+    def schedule_after(self, extra: float, fn: Callable[..., Any], *args: Any) -> Any:
+        """Schedule ``fn(*args)`` ``extra`` µs after the charged work ends."""
 
 
 class Driver:
@@ -56,7 +76,7 @@ class Driver:
     polls = 0
     rx_completions = 0
 
-    def stats(self) -> dict:
+    def stats(self) -> dict[str, int]:
         """Flat submit/poll/rx counters (consumed by ``repro.obs``)."""
         return {key: getattr(self, key) for key in self._STAT_ATTRS}
 
@@ -70,7 +90,7 @@ class Driver:
 
     def serial(self) -> int:
         """Monotonic process-unique identity of this driver instance."""
-        s = getattr(self, "_serial", None)
+        s: int | None = getattr(self, "_serial", None)
         if s is None:
             s = self._serial = next(_driver_serials)
         return s
@@ -87,19 +107,21 @@ class Driver:
 
     # -- TX ----------------------------------------------------------------------
 
-    def submit_pio(self, ctx, packet: Packet) -> None:
+    def submit_pio(self, ctx: ExecContext, packet: Packet) -> None:
         """CPU-driven submission of a tiny packet."""
         raise NotImplementedError
 
-    def submit_eager(self, ctx, packet: Packet, copy_bytes: int, numa_factor: float = 1.0) -> None:
+    def submit_eager(
+        self, ctx: ExecContext, packet: Packet, copy_bytes: int, numa_factor: float = 1.0
+    ) -> None:
         """Copy ``copy_bytes`` into the registered region and DMA out."""
         raise NotImplementedError
 
-    def submit_control(self, ctx, packet: Packet) -> None:
+    def submit_control(self, ctx: ExecContext, packet: Packet) -> None:
         """Send a small control frame (RTS/CTS/ACK)."""
         raise NotImplementedError
 
-    def submit_zero_copy(self, ctx, packet: Packet) -> None:
+    def submit_zero_copy(self, ctx: ExecContext, packet: Packet) -> None:
         """DMA directly from a (pre-registered) application buffer."""
         raise NotImplementedError(f"driver {self.name} does not support zero-copy")
 
@@ -111,6 +133,24 @@ class Driver:
 
     def poll(self, max_events: int = 16) -> list[CompletionRecord]:
         raise NotImplementedError
+
+    def poll_into(self, ctx: ExecContext, cq: CompletionQueue, max_events: int = 16) -> int:
+        """Poll once and push each harvested record into the session's
+        unified completion queue as a typed
+        :class:`repro.nmad.progress.WireCompletion`.
+
+        Charges the poll cost unconditionally (polling an empty queue is
+        not free) and returns the number of records pushed. The session
+        core drains the queue through its dispatch table right after.
+        """
+        ctx.charge(self.poll_cpu_us())
+        count = 0
+        for rec in self.poll(max_events):
+            cq.push_wire(
+                WireCompletion(driver=self, event=rec.event, packet=rec.packet, time=rec.time)
+            )
+            count += 1
+        return count
 
     def has_completions(self) -> bool:
         raise NotImplementedError
@@ -145,7 +185,7 @@ class Driver:
     # -- common validation ----------------------------------------------------------
 
     @staticmethod
-    def _check_ctx(ctx) -> None:
+    def _check_ctx(ctx: object) -> None:
         if not hasattr(ctx, "charge") or not hasattr(ctx, "schedule_after"):
             raise NetworkError(
                 f"driver operation needs an execution context, got {type(ctx).__name__}"

@@ -24,7 +24,7 @@ from ...config import HostModel, NicModel
 from ...network.message import CompletionRecord, Packet, PacketKind
 from ...network.nic import Nic
 from ...units import GiB_per_s, KiB
-from .base import Driver
+from .base import Driver, ExecContext
 
 __all__ = ["IbDriver", "ib_nic_model"]
 
@@ -76,14 +76,14 @@ class IbDriver(Driver):
     def rdv_threshold(self) -> int:
         return self.model.rdv_threshold
 
-    def submit_pio(self, ctx, packet: Packet) -> None:
+    def submit_pio(self, ctx: ExecContext, packet: Packet) -> None:
         """Inline send: payload embedded in the WQE."""
         self._check_ctx(ctx)
         ctx.charge(self.nic.pio_cpu_us(packet))
         self.inline_sends += 1
         ctx.schedule_after(0.0, self.nic.submit_pio, packet)
 
-    def submit_eager(self, ctx, packet: Packet, copy_bytes: int, numa_factor: float = 1.0) -> None:
+    def submit_eager(self, ctx: ExecContext, packet: Packet, copy_bytes: int, numa_factor: float = 1.0) -> None:
         """Copy through a pre-registered bounce buffer, then post_send."""
         self._check_ctx(ctx)
         cost = (
@@ -95,7 +95,7 @@ class IbDriver(Driver):
         self.eager_sends += 1
         ctx.schedule_after(0.0, self.nic.submit_dma, packet)
 
-    def submit_control(self, ctx, packet: Packet) -> None:
+    def submit_control(self, ctx: ExecContext, packet: Packet) -> None:
         self._check_ctx(ctx)
         if packet.kind not in (PacketKind.RTS, PacketKind.CTS, PacketKind.ACK):
             raise ValueError(f"not a control packet: {packet!r}")
@@ -103,7 +103,7 @@ class IbDriver(Driver):
         self.control_sends += 1
         ctx.schedule_after(0.0, self.nic.submit_pio, packet)
 
-    def submit_zero_copy(self, ctx, packet: Packet) -> None:
+    def submit_zero_copy(self, ctx: ExecContext, packet: Packet) -> None:
         """RDMA write from the (registered) application buffer."""
         self._check_ctx(ctx)
         ctx.charge(self.model.tx_setup_us + self.model.dma_setup_us)

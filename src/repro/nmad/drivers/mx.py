@@ -20,7 +20,7 @@ from typing import Callable
 from ...config import HostModel, NicModel
 from ...network.message import CompletionRecord, Packet, PacketKind
 from ...network.nic import Nic
-from .base import Driver
+from .base import Driver, ExecContext
 
 __all__ = ["MxDriver"]
 
@@ -49,13 +49,13 @@ class MxDriver(Driver):
 
     # -- TX ----------------------------------------------------------------------
 
-    def submit_pio(self, ctx, packet: Packet) -> None:
+    def submit_pio(self, ctx: ExecContext, packet: Packet) -> None:
         self._check_ctx(ctx)
         ctx.charge(self.nic.pio_cpu_us(packet))
         self.pio_sends += 1
         ctx.schedule_after(0.0, self.nic.submit_pio, packet)
 
-    def submit_eager(self, ctx, packet: Packet, copy_bytes: int, numa_factor: float = 1.0) -> None:
+    def submit_eager(self, ctx: ExecContext, packet: Packet, copy_bytes: int, numa_factor: float = 1.0) -> None:
         self._check_ctx(ctx)
         cost = (
             self.model.tx_setup_us
@@ -66,7 +66,7 @@ class MxDriver(Driver):
         self.eager_sends += 1
         ctx.schedule_after(0.0, self.nic.submit_dma, packet)
 
-    def submit_control(self, ctx, packet: Packet) -> None:
+    def submit_control(self, ctx: ExecContext, packet: Packet) -> None:
         self._check_ctx(ctx)
         if packet.kind not in (PacketKind.RTS, PacketKind.CTS, PacketKind.ACK):
             # control path is for control frames only
@@ -75,7 +75,7 @@ class MxDriver(Driver):
         self.control_sends += 1
         ctx.schedule_after(0.0, self.nic.submit_pio, packet)
 
-    def submit_zero_copy(self, ctx, packet: Packet) -> None:
+    def submit_zero_copy(self, ctx: ExecContext, packet: Packet) -> None:
         self._check_ctx(ctx)
         ctx.charge(self.model.tx_setup_us + self.model.dma_setup_us)
         self.zero_copy_sends += 1

@@ -14,7 +14,7 @@ from typing import Callable
 from ...config import HostModel, ShmModel
 from ...network.message import CompletionRecord, Packet
 from ...network.shm import ShmChannel
-from .base import Driver
+from .base import Driver, ExecContext
 
 __all__ = ["ShmDriver"]
 
@@ -38,17 +38,17 @@ class ShmDriver(Driver):
         # everything is "eager" through the shared segment
         return 1 << 62
 
-    def submit_pio(self, ctx, packet: Packet) -> None:  # pragma: no cover - unused path
+    def submit_pio(self, ctx: ExecContext, packet: Packet) -> None:  # pragma: no cover - unused path
         self.submit_eager(ctx, packet, packet.payload_size)
 
-    def submit_eager(self, ctx, packet: Packet, copy_bytes: int, numa_factor: float = 1.0) -> None:
+    def submit_eager(self, ctx: ExecContext, packet: Packet, copy_bytes: int, numa_factor: float = 1.0) -> None:
         self._check_ctx(ctx)
         cost = self.model.ring_op_us + self.host.memcpy_us(copy_bytes) * numa_factor
         ctx.charge(cost)
         self.eager_sends += 1
         ctx.schedule_after(0.0, self.channel.submit, packet, 0.0)
 
-    def submit_control(self, ctx, packet: Packet) -> None:
+    def submit_control(self, ctx: ExecContext, packet: Packet) -> None:
         self._check_ctx(ctx)
         ctx.charge(self.model.ring_op_us)
         self.control_sends += 1

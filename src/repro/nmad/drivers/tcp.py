@@ -14,7 +14,7 @@ from typing import Callable
 from ...config import HostModel, NicModel
 from ...network.message import CompletionRecord, Packet
 from ...network.nic import Nic
-from .base import Driver
+from .base import Driver, ExecContext
 
 __all__ = ["TcpDriver", "tcp_nic_model"]
 
@@ -59,10 +59,10 @@ class TcpDriver(Driver):
     def rdv_threshold(self) -> int:
         return self.model.rdv_threshold
 
-    def submit_pio(self, ctx, packet: Packet) -> None:  # pragma: no cover - no PIO on TCP
+    def submit_pio(self, ctx: ExecContext, packet: Packet) -> None:  # pragma: no cover - no PIO on TCP
         self.submit_eager(ctx, packet, packet.payload_size)
 
-    def submit_eager(self, ctx, packet: Packet, copy_bytes: int, numa_factor: float = 1.0) -> None:
+    def submit_eager(self, ctx: ExecContext, packet: Packet, copy_bytes: int, numa_factor: float = 1.0) -> None:
         self._check_ctx(ctx)
         cost = (
             self.host.syscall_us
@@ -73,13 +73,13 @@ class TcpDriver(Driver):
         self.eager_sends += 1
         ctx.schedule_after(0.0, self.nic.submit_dma, packet)
 
-    def submit_control(self, ctx, packet: Packet) -> None:
+    def submit_control(self, ctx: ExecContext, packet: Packet) -> None:
         self._check_ctx(ctx)
         ctx.charge(self.host.syscall_us + self.model.tx_setup_us)
         self.control_sends += 1
         ctx.schedule_after(0.0, self.nic.submit_dma, packet)
 
-    def submit_zero_copy(self, ctx, packet: Packet) -> None:
+    def submit_zero_copy(self, ctx: ExecContext, packet: Packet) -> None:
         # TCP cannot DMA from user buffers: the "zero-copy" leg of the
         # rendezvous degenerates to a kernel-buffer copy send.
         self.submit_eager(ctx, packet, packet.payload_size)

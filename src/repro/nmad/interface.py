@@ -30,11 +30,16 @@ from .request import NmRequest
 from .tags import ANY
 from .unexpected import ProbeInfo
 
-__all__ = ["NmInterface"]
+__all__ = ["NmInterface", "payload_nbytes"]
 
 
-def _payload_nbytes(payload: Any) -> Optional[int]:
-    """Wire size of a payload, or None when it has no obvious byte length."""
+def payload_nbytes(payload: Any) -> Optional[int]:
+    """Wire size of a payload, or None when it has no obvious byte length.
+
+    The single sizing rule for every layer: the nmad facade derives send
+    sizes from it directly, and :mod:`repro.mpi.comm` layers its pickle
+    fallback on top for objects with no byte image.
+    """
     if isinstance(payload, (bytes, bytearray)):
         return len(payload)
     if isinstance(payload, memoryview):
@@ -71,7 +76,7 @@ class NmInterface:
                 f"size must be an integer, got {type(size).__name__}; "
                 "pass data via payload=..."
             )
-        derived = _payload_nbytes(payload)
+        derived = payload_nbytes(payload)
         if size is None:
             if derived is None:
                 raise RequestError(

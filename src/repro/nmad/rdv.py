@@ -1,17 +1,21 @@
-"""Rendezvous data-phase planner: pipeline chunking + multirail striping.
+"""Rendezvous protocol engine: RTS/CTS handshake, pipelined data phase.
 
 The paper's §2.3 ships the rendezvous payload as one zero-copy DATA
-transfer on one rail once the CTS arrives. This module plans a *pipelined*
-data phase instead:
+transfer on one rail once the CTS arrives. This module holds the whole
+rendezvous protocol:
 
-* the payload is first **striped** across the gate's healthy rails
-  proportionally to rail bandwidth (the same arithmetic
+* :class:`RdvEngine` — the handler module registered against the
+  :class:`repro.nmad.core.SessionCore` dispatch tables: RTS emission and
+  answering, CTS handling, the DATA phase (whole or pipelined), and the
+  receiver-side rendezvous request/assembly state;
+* :class:`RdvPlanner` — plans a *pipelined* data phase: the payload is
+  first **striped** across the gate's healthy rails proportionally to rail
+  bandwidth (the same arithmetic
   :func:`repro.nmad.strategies.base.stripe_by_bandwidth` applies to large
-  eager sends), then
-* each rail's share is cut into **pipeline chunks** — either a fixed
-  ``RdvConfig.chunk_bytes``, or (adaptive mode) whatever that rail drains
-  in ``adaptive_chunk_us``, so registration of chunk *k+1* overlaps the
-  DMA drain of chunk *k* on every rail.
+  eager sends), then each rail's share is cut into **pipeline chunks** —
+  either a fixed ``RdvConfig.chunk_bytes``, or (adaptive mode) whatever
+  that rail drains in ``adaptive_chunk_us``, so registration of chunk
+  *k+1* overlaps the DMA drain of chunk *k* on every rail.
 
 The planner is pure: it maps ``(size, rails)`` to a chunk list and never
 touches the simulator, so it is deterministic by construction. The payload
@@ -24,19 +28,39 @@ from __future__ import annotations
 import math
 import sys
 from dataclasses import dataclass
-from typing import Any, Optional, Sequence
+from typing import TYPE_CHECKING, Any, Optional, Sequence
 
 from ..config import RdvConfig
 from ..errors import ProtocolError
+from ..network.message import Packet, PacketKind
+from .drivers.base import Driver, ExecContext
+from .request import NmRequest, Protocol, ReqState
 from .strategies.base import RailInfo, stripe_by_bandwidth
+from .unexpected import UnexpectedRts
+from .wire import CtsFrame, DataChunkFrame, NdarrayMeta, RtsFrame, data_frame, from_packet
+
+if TYPE_CHECKING:  # pragma: no cover - engines are owned by the session
+    from .core import SessionCore
 
 __all__ = [
+    "RDV_STAT_KEYS",
     "RdvChunk",
     "RdvPlanner",
+    "RdvEngine",
     "classify_payload",
     "slice_raw",
     "PayloadAssembler",
 ]
+
+#: rendezvous data-phase session counters (surfaced as ``n{i}.rdv.*``
+#: through the observability registry — see ``harness/runner.py``)
+RDV_STAT_KEYS = (
+    "rdv_chunks_sent",
+    "rdv_chunks_received",
+    "rdv_chunked_sends",
+    "rdv_striped_sends",
+    "rdv_chunk_retransmits",
+)
 
 
 @dataclass(frozen=True)
@@ -107,7 +131,7 @@ class RdvPlanner:
 # --------------------------------------------------------------- payload codec
 
 
-def classify_payload(payload: Any, size: int) -> tuple[str, Any, Optional[dict]]:
+def classify_payload(payload: Any, size: int) -> tuple[str, Any, Optional[NdarrayMeta]]:
     """Classify a send payload for chunked transport.
 
     Returns ``(mode, raw, meta)``:
@@ -116,8 +140,9 @@ def classify_payload(payload: Any, size: int) -> tuple[str, Any, Optional[dict]]
     * ``("bytes", raw, None)`` — bytes-like of exactly ``size`` bytes,
       sliceable per chunk and reassembled byte-identical;
     * ``("ndarray", raw, meta)`` — numpy array whose buffer is exactly
-      ``size`` bytes; ``raw`` is its byte image, ``meta`` carries
-      dtype/shape for reconstruction;
+      ``size`` bytes; ``raw`` is its byte image, ``meta`` is the
+      :class:`repro.nmad.wire.NdarrayMeta` (dtype/shape) for
+      reconstruction;
     * ``("opaque", payload, None)`` — anything else (or a length mismatch):
       the object rides chunk 0 whole, as the eager reassembly does.
     """
@@ -131,7 +156,7 @@ def classify_payload(payload: Any, size: int) -> tuple[str, Any, Optional[dict]]
     np = sys.modules.get("numpy")
     if np is not None and isinstance(payload, np.ndarray):
         if payload.nbytes == size:
-            meta = {"dtype": str(payload.dtype), "shape": tuple(payload.shape)}
+            meta = NdarrayMeta(dtype=str(payload.dtype), shape=tuple(payload.shape))
             return "ndarray", payload.tobytes(), meta
         return "opaque", payload, None
     return "opaque", payload, None
@@ -157,32 +182,28 @@ class PayloadAssembler:
         self._seen_offsets: set[int] = set()
         self._buf = bytearray(size)
         self._mode: Optional[str] = None
-        self._meta: Optional[dict] = None
+        self._meta: Optional[NdarrayMeta] = None
         self._opaque: Any = None
 
-    def add(self, headers: dict) -> bool:
-        """Fold one DATA chunk in; True once every chunk has landed."""
-        offset = headers["offset"]
-        length = headers["length"]
-        if offset in self._seen_offsets:
+    def add(self, frame: DataChunkFrame) -> bool:
+        """Fold one DATA chunk frame in; True once every chunk has landed."""
+        if frame.offset in self._seen_offsets:
             return False  # duplicate delivery of a retransmitted chunk
-        self._seen_offsets.add(offset)
-        self.received += length
+        self._seen_offsets.add(frame.offset)
+        self.received += frame.length
         self.chunks_seen += 1
         if self.received > self.size:
             raise ProtocolError(
                 f"RDV reassembly overflow: {self.received} > {self.size}"
             )
-        mode = headers.get("payload_mode", "none")
         if self._mode is None or self._mode == "none":
-            self._mode = mode
-        if headers.get("payload_meta") is not None:
-            self._meta = headers["payload_meta"]
-        data = headers.get("payload")
-        if mode in ("bytes", "ndarray") and data is not None:
-            self._buf[offset : offset + length] = data
-        elif mode == "opaque" and headers.get("chunk_index", 0) == 0:
-            self._opaque = data
+            self._mode = frame.mode
+        if frame.meta is not None:
+            self._meta = frame.meta
+        if frame.mode in ("bytes", "ndarray") and frame.payload is not None:
+            self._buf[frame.offset : frame.offset + frame.length] = frame.payload
+        elif frame.mode == "opaque" and frame.chunk_index == 0:
+            self._opaque = frame.payload
         return self.chunks_seen >= self.nchunks
 
     def payload(self) -> Any:
@@ -194,12 +215,285 @@ class PayloadAssembler:
             np = sys.modules.get("numpy")
             if np is None:  # pragma: no cover - meta only exists with numpy
                 return bytes(self._buf)
-            meta = self._meta or {}
-            arr = np.frombuffer(bytes(self._buf), dtype=meta.get("dtype", "u1"))
-            shape = meta.get("shape")
-            if shape is not None:
-                arr = arr.reshape(shape)
+            meta = self._meta
+            arr = np.frombuffer(bytes(self._buf), dtype=meta.dtype if meta else "u1")
+            if meta is not None:
+                arr = arr.reshape(meta.shape)
             return arr.copy()
         if self._mode == "opaque":
             return self._opaque
         return None
+
+
+# -------------------------------------------------------------- protocol engine
+
+
+class RdvEngine:
+    """Protocol engine for the RTS/CTS/DATA rendezvous state machine."""
+
+    def __init__(self, session: "SessionCore") -> None:
+        self.session = session
+        #: rendezvous receives waiting for DATA, by recv req_id
+        self._recvs: dict[int, NmRequest] = {}
+        #: chunked rendezvous reassembly state, by recv req_id
+        self._assembly: dict[int, PayloadAssembler] = {}
+        #: rendezvous data-phase chunk/stripe planner
+        self.planner = RdvPlanner(session.timing.rdv)
+        session.register_send_path(Protocol.RDV, self.start_send)
+        session.register_rx_handler(PacketKind.RTS, self.on_rx_rts)
+        session.register_rx_handler(PacketKind.CTS, self.on_rx_cts)
+        session.register_rx_handler(PacketKind.DATA, self.on_rx_data)
+        session.register_order_handler(RtsFrame, self.deliver_rts)
+        session.register_unexpected_path(UnexpectedRts, self.match_unexpected)
+
+    # ---------------------------------------------------------------- TX side
+
+    def start_send(self, req: NmRequest, gate: object) -> None:
+        """A send chose the rendezvous protocol: queue the RTS op."""
+        self.session._enqueue_op(
+            f"send_rts#{req.req_id}", lambda ctx, r=req: self.op_send_rts(ctx, r)
+        )
+
+    def op_send_rts(self, ctx: ExecContext, req: NmRequest) -> None:
+        """Emit the request-to-send handshake frame (§2.3 operation (a))."""
+        session = self.session
+        gate = session.gate_to(req.peer)
+        rail_index = 0
+        if session.reliability is not None:
+            rail_index = session.reliability.select_rail(gate, 0)
+        driver = gate.rails[rail_index]
+        if not driver.supports_zero_copy:
+            # rendezvous without zero-copy support still bounds unexpected
+            # buffering; the DATA leg will be a copy send (TCP driver).
+            pass
+        packet = RtsFrame(
+            send_req_id=req.req_id,
+            src=session.node_index,
+            tag=req.tag,
+            seq=req.seq,
+            size=req.size,
+        ).to_packet(req.peer)
+        req.transition(ReqState.RTS_SENT)
+        req.submitted_at = ctx.end
+        if session.reliability is not None:
+            session.reliability.track(gate, packet, "control", rail_index)
+        driver.submit_control(ctx, packet)
+        if session.reliability is not None:
+            session.reliability.arm(ctx, packet)
+        session._trace("nmad.rts", req)
+
+    def on_rx_cts(self, ctx: ExecContext, driver: Driver, packet: Packet) -> None:
+        """Sender side: the receiver is ready — send the data zero-copy
+        (§2.3 operation (d)).
+
+        With chunking configured (``TimingModel.rdv``), the data phase is
+        planned as pipeline chunks striped across the gate's healthy rails:
+        chunk 0 goes out here (as the one-shot DATA always did), the rest
+        are queued as ops so idle cores register+submit chunk *k+1* while
+        the NIC drains chunk *k*. With the default config the plan is one
+        chunk on one rail — byte-identical to the seed's behaviour.
+        """
+        session = self.session
+        frame = from_packet(packet)
+        assert isinstance(frame, CtsFrame)  # from_packet checked the kind
+        req = session._sends.get(frame.send_req_id)
+        if req is None or req.state != ReqState.RTS_SENT:
+            if session.reliability is not None:
+                # stale CTS (the wire-seq dedup normally filters these, but
+                # stay tolerant): the rendezvous already moved on
+                return
+            raise ProtocolError(f"CTS for unknown send #{frame.send_req_id}")
+        gate = session.gate_to(req.peer)
+        infos = gate.rail_infos()
+        if session.reliability is not None:
+            infos = session.reliability.filter_rails(gate, infos)
+        chunks = self.planner.plan(req.size, infos)
+        nchunks = len(chunks)
+        recv_req_id = frame.recv_req_id
+        req.transition(ReqState.DATA_SENDING)
+        req.init_tx_chunks(nchunks)
+        mode: str
+        raw: Any
+        meta: Optional[NdarrayMeta]
+        mode, raw, meta = ("none", None, None)
+        if nchunks > 1:
+            session.stats["rdv_chunked_sends"] += 1
+            if len({c.rail_index for c in chunks}) > 1:
+                session.stats["rdv_striped_sends"] += 1
+            mode, raw, meta = classify_payload(req.payload, req.size)
+        # chunk 0 is charged to the CTS handler, like the one-shot DATA was
+        self.op_send_chunk(ctx, req, recv_req_id, chunks[0], nchunks, mode, raw, meta)
+        for chunk in chunks[1:]:
+            session._enqueue_op(
+                f"rdv_chunk#{req.req_id}.{chunk.index}",
+                lambda c, r=req, rid=recv_req_id, ch=chunk, n=nchunks, m=mode, rw=raw, mt=meta: (
+                    self.op_send_chunk(c, r, rid, ch, n, m, rw, mt)
+                ),
+            )
+        session._trace("nmad.data_send", req)
+
+    def op_send_chunk(
+        self,
+        ctx: ExecContext,
+        req: NmRequest,
+        recv_req_id: int,
+        chunk: RdvChunk,
+        nchunks: int,
+        mode: str,
+        raw: Any,
+        meta: Optional[NdarrayMeta],
+    ) -> None:
+        """Register and submit one DATA chunk of a rendezvous data phase.
+
+        Registration is per-chunk (``register_range``) so the pinning cost
+        of the next chunk overlaps the wire drain of the previous one. Each
+        chunk is its own tracked packet in the reliability layer, so a lost
+        chunk retransmits alone.
+        """
+        session = self.session
+        gate = session.gate_to(req.peer)
+        rail_index = chunk.rail_index
+        if session.reliability is not None:
+            rail_index = session.reliability.select_rail(gate, rail_index)
+        out_driver = gate.rails[rail_index]
+        if out_driver.supports_zero_copy:
+            if nchunks == 1:
+                ctx.charge(session.registry.register(req.buffer_id, req.size))
+            else:
+                ctx.charge(
+                    session.registry.register_range(req.buffer_id, chunk.offset, chunk.length)
+                )
+        if nchunks == 1:
+            frame = DataChunkFrame(
+                tx_req_id=req.req_id,
+                recv_req_id=recv_req_id,
+                length=chunk.length,
+                payload=req.payload,
+            )
+        else:
+            frame = DataChunkFrame(
+                tx_req_id=req.req_id,
+                recv_req_id=recv_req_id,
+                length=chunk.length,
+                payload=slice_raw(mode, raw, chunk.offset, chunk.length, chunk.index),
+                mode=mode,
+                meta=meta if chunk.index == 0 else None,
+                chunk_index=chunk.index,
+                offset=chunk.offset,
+                size=req.size,
+                nchunks=nchunks,
+            )
+        data = frame.to_packet(session.node_index, req.peer)
+        if session.reliability is not None:
+            track_mode = "zero_copy" if out_driver.supports_zero_copy else "eager"
+            session.reliability.track(gate, data, track_mode, rail_index)
+        if out_driver.supports_zero_copy:
+            out_driver.submit_zero_copy(ctx, data)
+        else:
+            session.stats["copies_bytes"] += chunk.length
+            out_driver.submit_eager(
+                ctx, data, chunk.length, session._numa_factor(ctx, req.producer_core)
+            )
+        if session.reliability is not None:
+            session.reliability.arm(ctx, data)
+        if nchunks > 1:
+            session.stats["rdv_chunks_sent"] += 1
+
+    # ---------------------------------------------------------------- RX side
+
+    def on_rx_rts(self, ctx: ExecContext, driver: Driver, packet: Packet) -> None:
+        """Dispatch-table entry for an arrived RTS: sequence-order the
+        handshake against the eager flow of the same (src, tag)."""
+        session = self.session
+        frame = from_packet(packet)
+        assert isinstance(frame, RtsFrame)  # from_packet checked the kind
+        for ordered in session.seq_tracker.submit(frame.src, frame.tag, frame.seq, frame):
+            session.deliver_in_order(ctx, driver, ordered)
+
+    def deliver_rts(self, ctx: ExecContext, driver: Driver, frame: RtsFrame) -> None:
+        """Sequence-ordered delivery of one RTS descriptor."""
+        session = self.session
+        req = session.match_table.match(frame.src, frame.tag)
+        ctx.charge(driver.rx_consume_us())
+        if req is not None:
+            self.op_answer_rts(ctx, req, frame.src, frame.send_req_id, frame.size)
+        else:
+            session.stats["unexpected_rts"] += 1
+            session.unexpected.add(UnexpectedRts.from_frame(frame, arrived_at=session.sim.now))
+
+    def match_unexpected(self, req: NmRequest, item: UnexpectedRts) -> None:
+        """A posted recv matched a buffered RTS: queue the CTS answer op."""
+        self.session._enqueue_op(
+            f"answer_rts#{req.req_id}",
+            lambda ctx, r=req, it=item: self.op_answer_rts(
+                ctx, r, it.source, it.send_req_id, it.size
+            ),
+        )
+
+    def op_answer_rts(
+        self, ctx: ExecContext, recv_req: NmRequest, source: int, send_req_id: int, size: int
+    ) -> None:
+        """Answer a rendezvous handshake: register the application buffer
+        and send the CTS (§2.3 operations (b)/(c))."""
+        session = self.session
+        gate = session.gate_to(source)
+        rail_index = 0
+        if session.reliability is not None:
+            rail_index = session.reliability.select_rail(gate, 0)
+        driver = gate.rails[rail_index]
+        if driver.supports_zero_copy:
+            ctx.charge(session.registry.register(recv_req.buffer_id, size))
+        packet = CtsFrame(send_req_id=send_req_id, recv_req_id=recv_req.req_id).to_packet(
+            session.node_index, source
+        )
+        recv_req.transition(ReqState.DATA_WAIT)
+        recv_req.received_size = size
+        recv_req.source = source
+        self._recvs[recv_req.req_id] = recv_req
+        if session.reliability is not None:
+            session.reliability.track(gate, packet, "control", rail_index)
+        driver.submit_control(ctx, packet)
+        if session.reliability is not None:
+            session.reliability.arm(ctx, packet)
+        session._trace("nmad.cts", recv_req)
+
+    def on_rx_data(self, ctx: ExecContext, driver: Driver, packet: Packet) -> None:
+        """Dispatch-table entry for an arrived rendezvous DATA transfer."""
+        session = self.session
+        frame = data_frame(packet)
+        recv_id = frame.recv_req_id
+        if frame.nchunks <= 1:
+            req = self._recvs.pop(recv_id, None)
+            if req is None:
+                if session.reliability is not None:
+                    return  # duplicate DATA already satisfied this recv
+                raise ProtocolError(f"DATA for unknown rendezvous recv #{recv_id}")
+            ctx.charge(driver.rx_consume_us())
+            req.data = frame.payload
+            ctx.schedule_after(0.0, session._complete_req, req)
+            session._trace("nmad.data_recv", req)
+            return
+        # chunked data phase: accumulate until every chunk has landed
+        pending = self._recvs.get(recv_id)
+        if pending is None:
+            if session.reliability is not None:
+                return  # duplicate chunk of an already-completed recv
+            raise ProtocolError(f"DATA chunk for unknown rendezvous recv #{recv_id}")
+        ctx.charge(driver.rx_consume_us())
+        assembler = self._assembly.get(recv_id)
+        if assembler is None:
+            assembler = self._assembly[recv_id] = PayloadAssembler(frame.size, frame.nchunks)
+        session.stats["rdv_chunks_received"] += 1
+        if not assembler.add(frame):
+            return
+        self._recvs.pop(recv_id, None)
+        self._assembly.pop(recv_id, None)
+        pending.data = assembler.payload()
+        ctx.schedule_after(0.0, session._complete_req, pending)
+        session._trace("nmad.data_recv", pending)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"<RdvEngine n{self.session.node_index} recvs={len(self._recvs)} "
+            f"assembling={len(self._assembly)}>"
+        )

@@ -38,14 +38,25 @@ runs the op, identically to any other deferred operation.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Optional
 
 from ..network.message import Packet, PacketKind
+from .progress import RecoveryCompletion
 from .strategies.base import RailInfo
+from .wire import (
+    AckFrame,
+    data_frame,
+    from_packet,
+    is_corrupted,
+    mark_wire_seq,
+    tx_req_ids,
+    wire_seq_of,
+)
 
 if TYPE_CHECKING:  # pragma: no cover
-    from .core import Gate, NmSession
-    from .drivers.base import Driver
+    from ..sim.events import EventHandle
+    from .core import Gate, SessionCore
+    from .drivers.base import Driver, ExecContext
 
 __all__ = ["DegradedLink", "ReliabilityLayer"]
 
@@ -68,18 +79,20 @@ class _Pending:
 
     __slots__ = ("key", "gate", "packet", "mode", "attempts", "timer", "rail_index")
 
-    def __init__(self, key, gate, packet, mode, rail_index) -> None:
+    def __init__(
+        self, key: tuple[int, int], gate: "Gate", packet: Packet, mode: str, rail_index: int
+    ) -> None:
         self.key = key
         self.gate = gate
         self.packet = packet
         self.mode = mode  # "pio" | "eager" | "control" | "zero_copy"
         self.attempts = 0
-        self.timer = None
+        self.timer: Optional[EventHandle] = None
         self.rail_index = rail_index
 
 
 class ReliabilityLayer:
-    """Per-session reliability state machine (one per :class:`NmSession`)."""
+    """Per-session reliability state machine (one per session core)."""
 
     #: session.stats keys owned by this layer
     STAT_KEYS = (
@@ -94,7 +107,7 @@ class ReliabilityLayer:
         "degraded_events",
     )
 
-    def __init__(self, session: "NmSession") -> None:
+    def __init__(self, session: "SessionCore") -> None:
         self.session = session
         self.sim = session.sim
         self.cfg = session.timing.faults
@@ -120,15 +133,17 @@ class ReliabilityLayer:
         peer = packet.dst_node
         seq = self._next_seq.get(peer, 0)
         self._next_seq[peer] = seq + 1
-        packet.headers["wire_seq"] = seq
+        mark_wire_seq(packet, seq)
         key = (peer, seq)
         self._pending[key] = _Pending(key, gate, packet, mode, rail_index)
 
-    def arm(self, ctx, packet: Packet) -> None:
+    def arm(self, ctx: "ExecContext", packet: Packet) -> None:
         """Start (or restart) the ack timeout for a tracked packet, anchored
         at the instant the charged submission work completes."""
-        key = (packet.dst_node, packet.headers.get("wire_seq"))
-        entry = self._pending.get(key)
+        seq = wire_seq_of(packet)
+        if seq is None:
+            return  # untracked traffic (shm loopback)
+        entry = self._pending.get((packet.dst_node, seq))
         if entry is None:
             return
         base = (
@@ -142,7 +157,7 @@ class ReliabilityLayer:
         base += 2.0 * packet.wire_size() / rail.wire_bandwidth()
         timeout = base * (self.cfg.backoff_factor ** entry.attempts)
         entry.timer = self.sim.schedule_at(
-            ctx.end + timeout, self._on_timeout, key, label=f"rel.timeout#{key[1]}"
+            ctx.end + timeout, self._on_timeout, entry.key, label=f"rel.timeout#{seq}"
         )
 
     def select_rail(self, gate: "Gate", preferred: int) -> int:
@@ -187,6 +202,11 @@ class ReliabilityLayer:
             # max_retries deliveries the frame almost certainly arrived and
             # only the ACKs were lost, e.g. a peer that stopped polling)
             self._complete_data_reqs(None, entry)
+            session.cq.publish(
+                RecoveryCompletion(
+                    outcome="gave_up", peer=key[0], wire_seq=key[1], time=self.sim.now
+                )
+            )
             session.activity_flag.set()
             session._trace_raw(
                 "rel.gave_up", f"n{session.node_index}", f"wire_seq={key[1]} ->n{key[0]}"
@@ -200,7 +220,7 @@ class ReliabilityLayer:
         # engines re-arm their detection paths (idle kick / blocking server)
         session._notify_retransmit()
 
-    def _op_retransmit(self, ctx, key: tuple[int, int]) -> None:
+    def _op_retransmit(self, ctx: "ExecContext", key: tuple[int, int]) -> None:
         """Session op: resubmit one unacked packet (charged to ``ctx``)."""
         entry = self._pending.get(key)
         if entry is None:
@@ -212,7 +232,7 @@ class ReliabilityLayer:
             session.stats["retransmits"] += 1
             if (
                 entry.packet.kind == PacketKind.DATA
-                and entry.packet.headers.get("nchunks", 1) > 1
+                and data_frame(entry.packet).nchunks > 1
             ):
                 # pipelined RDV: only this chunk goes out again, not the
                 # whole message — count it for the rdv.* observability lane
@@ -293,12 +313,12 @@ class ReliabilityLayer:
 
     # ---------------------------------------------------------- receive side
 
-    def on_rx(self, ctx, driver: "Driver", packet: Packet) -> bool:
+    def on_rx(self, ctx: "ExecContext", driver: "Driver", packet: Packet) -> bool:
         """Filter one arrived packet. Returns False when the packet was
         consumed here (ACK, corrupted, or duplicate) and must not reach the
         protocol handlers."""
         session = self.session
-        if packet.headers.get("corrupted"):
+        if is_corrupted(packet):
             # bad checksum: discard silently, whatever the frame claims to
             # be — a corrupted ACK must not cancel retransmission. No ACK
             # means the sender's timeout turns corruption into loss and
@@ -310,45 +330,46 @@ class ReliabilityLayer:
             ctx.charge(driver.rx_consume_us())
             self._on_ack(ctx, packet)
             return False
-        wire_seq = packet.headers.get("wire_seq")
+        wire_seq = wire_seq_of(packet)
         if wire_seq is None:
             return True  # unreliable traffic (shm loopback, legacy frames)
         if self._rx_mark_seen(packet.src_node, wire_seq):
-            self._send_ack(ctx, driver, packet)
+            self._send_ack(ctx, driver, packet.src_node, wire_seq)
             return True
         # duplicate: our ACK may have been the lost frame — acknowledge again
         session.stats["dup_drops"] += 1
-        self._send_ack(ctx, driver, packet)
+        self._send_ack(ctx, driver, packet.src_node, wire_seq)
         return False
 
-    def _send_ack(self, ctx, driver: "Driver", packet: Packet) -> None:
-        ack = Packet(
-            kind=PacketKind.ACK,
-            src_node=self.session.node_index,
-            dst_node=packet.src_node,
-            payload_size=0,
-            headers={"ack_seq": packet.headers["wire_seq"]},
-        )
+    def _send_ack(self, ctx: "ExecContext", driver: "Driver", src: int, wire_seq: int) -> None:
+        ack = AckFrame(ack_seq=wire_seq).to_packet(self.session.node_index, src)
         driver.submit_control(ctx, ack)
         self.session.stats["acks_sent"] += 1
 
-    def _on_ack(self, ctx, packet: Packet) -> None:
-        key = (packet.src_node, packet.headers["ack_seq"])
+    def _on_ack(self, ctx: "ExecContext", packet: Packet) -> None:
+        frame = from_packet(packet)
+        assert isinstance(frame, AckFrame)  # from_packet checked the kind
+        key = (packet.src_node, frame.ack_seq)
         entry = self._pending.pop(key, None)
         if entry is None:
             return  # duplicate ACK for an already-settled packet
         self.session.stats["acks_received"] += 1
+        self.session.cq.publish(
+            RecoveryCompletion(
+                outcome="acked", peer=key[0], wire_seq=key[1], time=self.sim.now
+            )
+        )
         self._acked(entry)
         self._complete_data_reqs(ctx, entry)
 
-    def _complete_data_reqs(self, ctx, entry: _Pending) -> None:
+    def _complete_data_reqs(self, ctx: "Optional[ExecContext]", entry: _Pending) -> None:
         """The peer acknowledged a DATA frame (or the transport gave up on
         it): the pinned application buffer is released and the rendezvous
         send completes."""
         if entry.packet.kind != PacketKind.DATA:
             return
         session = self.session
-        for req_id in entry.packet.headers.get("tx_reqs", ()):
+        for req_id in tx_req_ids(entry.packet):
             req = session._sends.get(req_id)
             if req is None:
                 continue

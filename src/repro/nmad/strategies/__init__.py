@@ -6,6 +6,8 @@ distribution" (§3.1, [2]). A strategy owns one gate's pending-send list
 and decides, at flush time, how pending requests become wire packets.
 """
 
+from typing import Any
+
 from .aggreg import AggregationStrategy
 from .base import PacketPlan, RailInfo, SendEntry, Strategy, stripe_by_bandwidth
 from .default import DefaultStrategy
@@ -24,9 +26,9 @@ __all__ = [
 ]
 
 
-def make_strategy(name: str, **kwargs) -> Strategy:
+def make_strategy(name: str, **kwargs: Any) -> Strategy:
     """Factory: ``default``, ``aggreg``, ``split``."""
-    table = {
+    table: dict[str, type[Strategy]] = {
         "default": DefaultStrategy,
         "aggreg": AggregationStrategy,
         "split": MultirailSplitStrategy,

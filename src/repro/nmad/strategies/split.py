@@ -4,7 +4,7 @@ When a gate has more than one rail (e.g. two MX NICs), messages above
 ``split_threshold`` are divided into per-rail chunks proportional to rail
 bandwidth ([2] calls this "multirail distribution"). The receive side
 reassembles chunks before matching (see
-:meth:`repro.nmad.core.NmSession._on_rx_eager`).
+:meth:`repro.nmad.eager.EagerEngine.on_rx`).
 """
 
 from __future__ import annotations

@@ -8,9 +8,9 @@ from repro.config import TimingModel
 from repro.errors import ProtocolError, RequestError
 from repro.marcel.scheduler import MarcelScheduler
 from repro.marcel.tasklet import TaskletContext
-from repro.network.message import Packet, PacketKind
 from repro.nmad.core import Gate, NmSession
 from repro.nmad.drivers.shm import ShmDriver
+from repro.nmad.wire import CtsFrame, DataChunkFrame, EagerFrame
 from repro.network.shm import ShmChannel
 from repro.units import KiB
 
@@ -59,39 +59,38 @@ class TestGate:
 class TestErrorPaths:
     def test_cts_for_unknown_send(self, sim, wired_session):
         session, drv = wired_session
-        bogus = Packet(
-            PacketKind.CTS, 0, 0, 0, headers={"send_req_id": 424242, "recv_req_id": 1}
-        )
+        bogus = CtsFrame(send_req_id=424242, recv_req_id=1).to_packet(0, 0)
         with pytest.raises(ProtocolError, match="unknown send"):
-            session._on_rx_cts(_ctx(sim), drv, bogus)
+            session.rdv.on_rx_cts(_ctx(sim), drv, bogus)
 
     def test_data_for_unknown_recv(self, sim, wired_session):
         session, drv = wired_session
-        bogus = Packet(PacketKind.DATA, 0, 0, 100, headers={"recv_req_id": 99})
+        bogus = DataChunkFrame(tx_req_id=1, recv_req_id=99, length=100).to_packet(0, 0)
         with pytest.raises(ProtocolError, match="unknown rendezvous recv"):
-            session._on_rx_data(_ctx(sim), drv, bogus)
+            session.rdv.on_rx_data(_ctx(sim), drv, bogus)
 
     def test_reassembly_overflow_detected(self, sim, wired_session):
         session, _ = wired_session
-        entry = {
-            "src": 0, "req_id": 1, "tag": 0, "seq": 0, "size": 100,
-            "offset": 0, "length": 80, "nchunks": 2, "payload": None,
-        }
-        assert session._reassemble(dict(entry)) is None
-        entry2 = dict(entry, offset=80, length=40)  # 80+40 > 100
+        frame = EagerFrame(
+            req_id=1, src=0, tag=0, seq=0, size=100, offset=0, length=80, nchunks=2
+        )
+        assert session.eager._reassemble(frame) is None
+        frame2 = EagerFrame(
+            req_id=1, src=0, tag=0, seq=0, size=100, offset=80, length=40, nchunks=2
+        )  # 80+40 > 100
         with pytest.raises(ProtocolError, match="overflow"):
-            session._reassemble(entry2)
+            session.eager._reassemble(frame2)
 
     def test_message_overflows_posted_recv(self, sim, wired_session):
         session, drv = wired_session
         recv = session.make_recv(0, 0, size=10)
         session.post_recv(recv)
-        descriptor = {
-            "src": 0, "tag": 0, "seq": 0, "size": 100, "length": 100,
-            "payload": "too-big", "req_id": 5, "nchunks": 1, "offset": 0,
-        }
+        frame = EagerFrame(
+            req_id=5, src=0, tag=0, seq=0, size=100, offset=0, length=100,
+            nchunks=1, payload="too-big",
+        )
         with pytest.raises(RequestError, match="overflows"):
-            session._deliver_eager(_ctx(sim), drv, descriptor)
+            session.eager.deliver(_ctx(sim), drv, frame)
 
 
 class TestProgressBudget:

@@ -20,6 +20,7 @@ from repro.faults import FaultAction, FaultPlan, FaultRule
 from repro.harness.runner import ClusterRuntime
 from repro.network.message import PacketKind
 from repro.nmad.rdv import PayloadAssembler, RdvPlanner, classify_payload, slice_raw
+from repro.nmad.wire import DataChunkFrame
 from repro.nmad.request import Protocol
 from repro.nmad.strategies.base import RailInfo, stripe_by_bandwidth
 from repro.sim.tracing import Tracer
@@ -110,6 +111,16 @@ class TestPlanner:
 # --------------------------------------------------------------------- codec
 
 
+def _chunk_frame(*, offset, length, chunk_index, payload, mode, meta=None,
+                 size=0, nchunks=2):
+    """A receiver-side DATA chunk frame as op_send_chunk would build it."""
+    return DataChunkFrame(
+        tx_req_id=1, recv_req_id=1, length=length, payload=payload,
+        mode=mode, meta=meta, chunk_index=chunk_index, offset=offset,
+        size=size, nchunks=nchunks,
+    )
+
+
 class TestPayloadCodec:
     def test_bytes_roundtrip(self):
         payload = _pattern(10_000)
@@ -118,14 +129,12 @@ class TestPayloadCodec:
         asm = PayloadAssembler(10_000, 3)
         for i, (off, length) in enumerate([(0, 4000), (4000, 4000), (8000, 2000)]):
             done = asm.add(
-                {
-                    "offset": off,
-                    "length": length,
-                    "chunk_index": i,
-                    "payload": slice_raw(mode, raw, off, length, i),
-                    "payload_mode": mode,
-                    "payload_meta": meta if i == 0 else None,
-                }
+                _chunk_frame(
+                    offset=off, length=length, chunk_index=i,
+                    payload=slice_raw(mode, raw, off, length, i),
+                    mode=mode, meta=meta if i == 0 else None,
+                    size=10_000, nchunks=3,
+                )
             )
         assert done
         assert asm.payload() == payload
@@ -138,14 +147,12 @@ class TestPayloadCodec:
         half = arr.nbytes // 2
         for i, off in enumerate((0, half)):
             asm.add(
-                {
-                    "offset": off,
-                    "length": half,
-                    "chunk_index": i,
-                    "payload": slice_raw(mode, raw, off, half, i),
-                    "payload_mode": mode,
-                    "payload_meta": meta if i == 0 else None,
-                }
+                _chunk_frame(
+                    offset=off, length=half, chunk_index=i,
+                    payload=slice_raw(mode, raw, off, half, i),
+                    mode=mode, meta=meta if i == 0 else None,
+                    size=arr.nbytes,
+                )
             )
         out = asm.payload()
         assert out.dtype == arr.dtype and out.shape == arr.shape
@@ -156,14 +163,12 @@ class TestPayloadCodec:
         mode, raw, meta = classify_payload(obj, 500)
         assert mode == "opaque"
         asm = PayloadAssembler(500, 2)
-        asm.add(
-            {"offset": 0, "length": 250, "chunk_index": 0,
-             "payload": slice_raw(mode, raw, 0, 250, 0), "payload_mode": mode}
-        )
-        asm.add(
-            {"offset": 250, "length": 250, "chunk_index": 1,
-             "payload": slice_raw(mode, raw, 250, 250, 1), "payload_mode": mode}
-        )
+        asm.add(_chunk_frame(offset=0, length=250, chunk_index=0,
+                             payload=slice_raw(mode, raw, 0, 250, 0),
+                             mode=mode, size=500))
+        asm.add(_chunk_frame(offset=250, length=250, chunk_index=1,
+                             payload=slice_raw(mode, raw, 250, 250, 1),
+                             mode=mode, size=500))
         assert asm.payload() is obj
 
     def test_length_mismatch_degrades_to_opaque(self):
@@ -172,19 +177,19 @@ class TestPayloadCodec:
 
     def test_duplicate_chunk_ignored(self):
         asm = PayloadAssembler(100, 2)
-        hdr = {"offset": 0, "length": 50, "chunk_index": 0,
-               "payload": b"x" * 50, "payload_mode": "bytes"}
+        hdr = _chunk_frame(offset=0, length=50, chunk_index=0,
+                           payload=b"x" * 50, mode="bytes", size=100)
         assert asm.add(hdr) is False
         assert asm.add(hdr) is False  # duplicate: no double count
         assert asm.chunks_seen == 1
 
     def test_overflow_raises(self):
         asm = PayloadAssembler(60, 2)
-        asm.add({"offset": 0, "length": 50, "chunk_index": 0,
-                 "payload": b"x" * 50, "payload_mode": "bytes"})
+        asm.add(_chunk_frame(offset=0, length=50, chunk_index=0,
+                             payload=b"x" * 50, mode="bytes", size=60))
         with pytest.raises(ProtocolError):
-            asm.add({"offset": 50, "length": 50, "chunk_index": 1,
-                     "payload": b"y" * 50, "payload_mode": "bytes"})
+            asm.add(_chunk_frame(offset=50, length=50, chunk_index=1,
+                                 payload=b"y" * 50, mode="bytes", size=60))
 
 
 # --------------------------------------------------------------- end-to-end

@@ -1,0 +1,270 @@
+"""Unexpected-message queue semantics (§2.2).
+
+Covers the matching order under wildcard source/tag receives, the
+probe-then-recv contract (what a probe reports is what the recv gets),
+and eager frames arriving *before* the receive is posted — the buffered
+two-copy path — under the typed :class:`repro.nmad.wire.EagerFrame`
+delivery pipeline.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import EngineKind
+from repro.harness.runner import ClusterRuntime
+from repro.nmad.tags import ANY
+from repro.nmad.unexpected import (
+    ProbeInfo,
+    UnexpectedEager,
+    UnexpectedRts,
+    UnexpectedStore,
+)
+from repro.nmad.wire import EagerFrame, RtsFrame
+from repro.units import KiB
+
+pytestmark = pytest.mark.nmad
+
+ENGINES = (EngineKind.SEQUENTIAL, EngineKind.PIOMAN)
+
+
+def _eager_item(source: int, tag: int, seq: int = 0, size: int = 64, payload=b"") -> UnexpectedEager:
+    frame = EagerFrame(
+        req_id=seq + 1, src=source, tag=tag, seq=seq, size=size,
+        offset=0, length=size, nchunks=1, payload=payload,
+    )
+    return UnexpectedEager.from_frame(frame, arrived_at=0.0)
+
+
+def _rts_item(source: int, tag: int, seq: int = 0, size: int = KiB(64)) -> UnexpectedRts:
+    frame = RtsFrame(send_req_id=seq + 100, src=source, tag=tag, seq=seq, size=size)
+    return UnexpectedRts.from_frame(frame, arrived_at=0.0)
+
+
+# --------------------------------------------------------------- store order
+
+
+class TestWildcardMatchingOrder:
+    def test_exact_match_is_fifo_within_source_tag(self):
+        store = UnexpectedStore()
+        first = _eager_item(0, 7, seq=0, payload=b"first")
+        second = _eager_item(0, 7, seq=1, payload=b"second")
+        store.add(first)
+        store.add(second)
+        assert store.match(0, 7) is first
+        assert store.match(0, 7) is second
+        assert store.match(0, 7) is None
+
+    def test_wildcard_source_takes_oldest_across_sources(self):
+        store = UnexpectedStore()
+        from_n2 = _eager_item(2, 7)
+        from_n1 = _eager_item(1, 7)
+        store.add(from_n2)  # arrived first
+        store.add(from_n1)
+        got = store.match(ANY, 7)
+        assert got is from_n2, "ANY_SOURCE must take arrival order, not rank order"
+
+    def test_wildcard_tag_takes_oldest_across_tags(self):
+        store = UnexpectedStore()
+        tag9 = _eager_item(0, 9)
+        tag3 = _eager_item(0, 3)
+        store.add(tag9)
+        store.add(tag3)
+        assert store.match(0, ANY) is tag9
+
+    def test_full_wildcard_spans_eager_and_rts(self):
+        store = UnexpectedStore()
+        rts = _rts_item(1, 5)
+        eager = _eager_item(0, 4)
+        store.add(rts)  # a rendezvous handshake arrived first
+        store.add(eager)
+        assert store.match(ANY, ANY) is rts
+        assert store.match(ANY, ANY) is eager
+
+    def test_wildcard_skips_non_matching_older_items(self):
+        store = UnexpectedStore()
+        other_tag = _eager_item(0, 1)
+        wanted = _eager_item(3, 2)
+        store.add(other_tag)
+        store.add(wanted)
+        assert store.match(ANY, 2) is wanted
+        # the skipped item is untouched and still matchable
+        assert len(store) == 1
+        assert store.match(0, 1) is other_tag
+
+    def test_no_match_leaves_store_intact(self):
+        store = UnexpectedStore()
+        store.add(_eager_item(0, 1, size=32))
+        assert store.match(5, 5) is None
+        assert len(store) == 1
+        assert store.buffered_bytes == 32
+
+    def test_byte_accounting_over_match(self):
+        store = UnexpectedStore()
+        store.add(_eager_item(0, 0, size=100))
+        store.add(_rts_item(0, 1))  # RTS buffers no payload bytes
+        assert store.buffered_bytes == 100
+        assert store.peak_bytes == 100
+        store.match(0, 0)
+        assert store.buffered_bytes == 0
+        assert store.peak_bytes == 100  # peak is sticky
+
+
+# ----------------------------------------------------------- probe-then-recv
+
+
+def _spawn_pair(rt, sender_body, receiver_body):
+    rt.spawn(0, sender_body, name="S")
+    rt.spawn(1, receiver_body, name="R")
+    return rt.run()
+
+
+@pytest.mark.parametrize("engine", ENGINES, ids=["seq", "piom"])
+def test_probe_then_recv_sees_the_same_message(engine):
+    """What a blocking probe reports (source/tag/size/rdv) is exactly what
+    the subsequent recv consumes."""
+    rt = ClusterRuntime.build(engine=engine)
+    payload = bytes(range(256)) * 16  # 4 KiB eager
+    seen: dict = {}
+
+    def sender(ctx):
+        nm = ctx.env["nm"]
+        yield from nm.send(ctx, 1, 42, payload=payload)
+        yield from nm.drain(ctx)
+
+    def receiver(ctx):
+        nm = ctx.env["nm"]
+        info = yield from nm.probe(ctx, ANY, ANY)
+        seen["info"] = info
+        req = yield from nm.recv(ctx, info.source, info.tag, info.size)
+        seen["data"] = req.data
+        seen["source"] = req.source
+        yield from nm.drain(ctx)
+
+    _spawn_pair(rt, sender, receiver)
+    info = seen["info"]
+    assert isinstance(info, ProbeInfo)
+    assert (info.source, info.tag, info.size, info.rdv) == (0, 42, len(payload), False)
+    assert seen["data"] == payload
+    assert seen["source"] == 0
+    rt.close()
+
+
+@pytest.mark.parametrize("engine", ENGINES, ids=["seq", "piom"])
+def test_probe_reports_rdv_handshake(engine):
+    """A buffered rendezvous RTS probes as ``rdv=True`` (no payload is in
+    the unexpected buffer yet) and the recv still completes the transfer."""
+    rt = ClusterRuntime.build(engine=engine)
+    size = KiB(256)
+    seen: dict = {}
+
+    def sender(ctx):
+        nm = ctx.env["nm"]
+        yield from nm.send(ctx, 1, 3, size)
+        yield from nm.drain(ctx)
+
+    def receiver(ctx):
+        nm = ctx.env["nm"]
+        info = yield from nm.probe(ctx, 0, 3)
+        seen["info"] = info
+        req = yield from nm.recv(ctx, 0, 3, size)
+        seen["received"] = req.received_size
+        yield from nm.drain(ctx)
+
+    _spawn_pair(rt, sender, receiver)
+    assert seen["info"].rdv is True
+    assert seen["info"].size == size
+    assert seen["received"] == size
+    rt.close()
+
+
+@pytest.mark.parametrize("engine", ENGINES, ids=["seq", "piom"])
+def test_iprobe_none_until_arrival(engine):
+    """iprobe returns None before anything arrived, a ProbeInfo after."""
+    rt = ClusterRuntime.build(engine=engine)
+    results: list = []
+
+    def sender(ctx):
+        nm = ctx.env["nm"]
+        yield ctx.compute(50.0)  # guarantee the first iprobe runs early
+        yield from nm.send(ctx, 1, 0, payload=b"x" * 512)
+        yield from nm.drain(ctx)
+
+    def receiver(ctx):
+        nm = ctx.env["nm"]
+        first = yield from nm.iprobe(ctx, ANY, ANY)
+        results.append(first)
+        info = yield from nm.probe(ctx, ANY, ANY)
+        results.append(info)
+        yield from nm.recv(ctx, 0, 0, 512)
+        yield from nm.drain(ctx)
+
+    _spawn_pair(rt, sender, receiver)
+    assert results[0] is None
+    assert results[1] is not None and results[1].size == 512
+    rt.close()
+
+
+# ------------------------------------------------------- eager before irecv
+
+
+@pytest.mark.parametrize("engine", ENGINES, ids=["seq", "piom"])
+def test_eager_before_irecv_pays_the_two_copy_path(engine):
+    """An eager frame landing before its receive is posted is buffered
+    (copy one) and copied out on match (copy two), byte-identical."""
+    rt = ClusterRuntime.build(engine=engine)
+    payload = bytes((i * 13) % 256 for i in range(KiB(8)))
+    seen: dict = {}
+
+    def sender(ctx):
+        nm = ctx.env["nm"]
+        yield from nm.send(ctx, 1, 0, payload=payload)
+        yield from nm.drain(ctx)
+
+    def receiver(ctx):
+        nm = ctx.env["nm"]
+        # drive progress with no recv posted: the frame must arrive
+        # unmatched and be buffered (probe returns once it has)
+        yield from nm.probe(ctx, ANY, ANY)
+        req = yield from nm.recv(ctx, 0, 0, len(payload))
+        seen["data"] = req.data
+        yield from nm.drain(ctx)
+
+    _spawn_pair(rt, sender, receiver)
+    assert seen["data"] == payload
+    stats = rt.nodes[1].session.stats
+    assert stats["unexpected_eager"] == 1
+    assert stats["expected_eager"] == 0
+    # buffered arrival + copy-out: two traversals of the payload
+    assert stats["copies_bytes"] == 2 * len(payload)
+    rt.close()
+
+
+@pytest.mark.parametrize("engine", ENGINES, ids=["seq", "piom"])
+def test_unexpected_wildcard_recv_consumes_in_arrival_order(engine):
+    """Two unmatched eager arrivals from the same sender: wildcard recvs
+    drain them oldest-first (tag ordering follows arrival, §2.2)."""
+    rt = ClusterRuntime.build(engine=engine)
+    got: list = []
+
+    def sender(ctx):
+        nm = ctx.env["nm"]
+        yield from nm.send(ctx, 1, 10, payload=b"older" + b"\0" * 59)
+        yield from nm.send(ctx, 1, 20, payload=b"newer" + b"\0" * 59)
+        yield from nm.drain(ctx)
+
+    def receiver(ctx):
+        nm = ctx.env["nm"]
+        # block until the *second* send is buffered: the single-rail FIFO
+        # guarantees the first (tag 10) arrived before it, so both now sit
+        # unmatched in the unexpected store
+        yield from nm.probe(ctx, 0, 20)
+        for _ in range(2):
+            req = yield from nm.recv(ctx, ANY, ANY, 64)
+            got.append(bytes(req.data[:5]))
+        yield from nm.drain(ctx)
+
+    _spawn_pair(rt, sender, receiver)
+    assert got == [b"older", b"newer"]
+    assert rt.nodes[1].session.stats["unexpected_eager"] == 2
+    rt.close()
