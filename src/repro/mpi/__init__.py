@@ -16,6 +16,18 @@ calls are generators for use inside Marcel thread bodies::
         data = yield from comm.bcast(ctx, {"a": 7} if comm.rank == 0 else None, root=0)
 """
 
-from .comm import ANY_SOURCE, ANY_TAG, Communicator, MpiRequest, MpiWorld
+from .comm import ANY_SOURCE, ANY_TAG, MAX_USER_TAG, Communicator, MpiRequest, MpiWorld
+from .nbc import NbcRequest, Schedule
+from .rma import Window
 
-__all__ = ["MpiWorld", "Communicator", "MpiRequest", "ANY_SOURCE", "ANY_TAG"]
+__all__ = [
+    "MpiWorld",
+    "Communicator",
+    "MpiRequest",
+    "NbcRequest",
+    "Schedule",
+    "Window",
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "MAX_USER_TAG",
+]

@@ -4,14 +4,23 @@ Algorithms are the classic small-cluster choices: dissemination barrier,
 binomial-tree bcast/reduce, ring allgather, pairwise alltoall. Every rank
 must call each collective in the same order (SPMD) — tags are derived from
 a per-communicator sequence counter that advances identically on all ranks.
+
+The nonblocking variants (:mod:`repro.mpi.nbc`) compile the *same*
+algorithms into step schedules; the op-id table below spans both so every
+collective kind owns a distinct slice of the tag space (see
+``Communicator._next_coll_tag`` for the bit layout).
 """
 
 from __future__ import annotations
 
 import operator
-from typing import Any, Optional
+from typing import TYPE_CHECKING, Any, Generator, Optional
 
 from ..errors import MpiError
+
+if TYPE_CHECKING:  # pragma: no cover - imported via the Communicator facade
+    from ..marcel.thread import ThreadContext
+    from .comm import Communicator, ReduceOp
 
 __all__ = [
     "barrier",
@@ -26,7 +35,8 @@ __all__ = [
     "reduce_scatter",
 ]
 
-# op ids keep tag spaces of concurrent collectives distinct
+# op ids keep tag spaces of concurrent collectives distinct; the id is a
+# 4-bit field of the collective tag, so 0..15 are the only legal values
 _OP_BARRIER = 0
 _OP_BCAST = 1
 _OP_REDUCE = 2
@@ -37,9 +47,16 @@ _OP_ALLTOALL = 6
 _OP_ALLREDUCE = 7
 _OP_SCAN = 8
 _OP_REDUCE_SCATTER = 9
+# nonblocking variants (repro.mpi.nbc) and one-sided windows (repro.mpi.rma)
+_OP_IBARRIER = 10
+_OP_IBCAST = 11
+_OP_IREDUCE = 12
+_OP_IALLREDUCE = 13
+_OP_IALLGATHER = 14
+_OP_WIN = 15
 
 
-def barrier(comm, tctx):
+def barrier(comm: "Communicator", tctx: "ThreadContext") -> Generator[Any, Any, None]:
     """Dissemination barrier: ⌈log2 p⌉ rounds of pairwise messages."""
     p, me = comm.size, comm.rank
     if p == 1:
@@ -83,7 +100,9 @@ def _binomial_children(me: int, root: int, p: int) -> tuple[Optional[int], list[
     return parent, children
 
 
-def bcast(comm, tctx, obj: Any, root: int = 0):
+def bcast(
+    comm: "Communicator", tctx: "ThreadContext", obj: Any, root: int = 0
+) -> Generator[Any, Any, Any]:
     """Binomial-tree broadcast; returns the object on every rank."""
     p, me = comm.size, comm.rank
     if not (0 <= root < p):
@@ -99,7 +118,13 @@ def bcast(comm, tctx, obj: Any, root: int = 0):
     return obj
 
 
-def reduce(comm, tctx, value: Any, op=None, root: int = 0):
+def reduce(
+    comm: "Communicator",
+    tctx: "ThreadContext",
+    value: Any,
+    op: Optional["ReduceOp"] = None,
+    root: int = 0,
+) -> Generator[Any, Any, Any]:
     """Binomial-tree reduction; result only on ``root`` (None elsewhere)."""
     p, me = comm.size, comm.rank
     if not (0 <= root < p):
@@ -121,14 +146,18 @@ def reduce(comm, tctx, value: Any, op=None, root: int = 0):
     return acc
 
 
-def allreduce(comm, tctx, value: Any, op=None):
+def allreduce(
+    comm: "Communicator", tctx: "ThreadContext", value: Any, op: Optional["ReduceOp"] = None
+) -> Generator[Any, Any, Any]:
     """Reduce-to-0 then broadcast (small-p choice)."""
     acc = yield from reduce(comm, tctx, value, op, root=0)
     result = yield from bcast(comm, tctx, acc, root=0)
     return result
 
 
-def gather(comm, tctx, value: Any, root: int = 0):
+def gather(
+    comm: "Communicator", tctx: "ThreadContext", value: Any, root: int = 0
+) -> Generator[Any, Any, Optional[list[Any]]]:
     """Gather to root: returns the rank-ordered list on root, None elsewhere."""
     p, me = comm.size, comm.rank
     if not (0 <= root < p):
@@ -145,7 +174,12 @@ def gather(comm, tctx, value: Any, root: int = 0):
     return out
 
 
-def scatter(comm, tctx, values: Optional[list], root: int = 0):
+def scatter(
+    comm: "Communicator",
+    tctx: "ThreadContext",
+    values: Optional[list[Any]],
+    root: int = 0,
+) -> Generator[Any, Any, Any]:
     """Scatter from root: returns this rank's element everywhere."""
     p, me = comm.size, comm.rank
     if not (0 <= root < p):
@@ -156,6 +190,7 @@ def scatter(comm, tctx, values: Optional[list], root: int = 0):
         raise MpiError(f"scatter root needs a list of exactly {p} values")
     tag = comm._next_coll_tag(_OP_SCATTER)
     if me == root:
+        assert values is not None  # validated above
         for dst in range(p):
             if dst != root:
                 yield from comm.send(tctx, values[dst], dest=dst, tag=tag, _internal=True)
@@ -164,7 +199,9 @@ def scatter(comm, tctx, values: Optional[list], root: int = 0):
     return item
 
 
-def allgather(comm, tctx, value: Any):
+def allgather(
+    comm: "Communicator", tctx: "ThreadContext", value: Any
+) -> Generator[Any, Any, list[Any]]:
     """Ring allgather: p-1 steps, each passing one more block around."""
     p, me = comm.size, comm.rank
     out: list[Any] = [None] * p
@@ -186,7 +223,9 @@ def allgather(comm, tctx, value: Any):
     return out
 
 
-def alltoall(comm, tctx, values: list):
+def alltoall(
+    comm: "Communicator", tctx: "ThreadContext", values: list[Any]
+) -> Generator[Any, Any, list[Any]]:
     """Pairwise-exchange alltoall; returns the rank-ordered inbox."""
     p, me = comm.size, comm.rank
     if len(values) != p:
@@ -213,7 +252,9 @@ def alltoall(comm, tctx, values: list):
     return out
 
 
-def scan(comm, tctx, value: Any, op=None):
+def scan(
+    comm: "Communicator", tctx: "ThreadContext", value: Any, op: Optional["ReduceOp"] = None
+) -> Generator[Any, Any, Any]:
     """Inclusive prefix reduction (MPI_Scan): rank i gets
     op(v0, v1, …, vi). Linear pipeline: receive the prefix from the left
     neighbour, fold, forward to the right."""
@@ -231,7 +272,12 @@ def scan(comm, tctx, value: Any, op=None):
     return acc
 
 
-def reduce_scatter(comm, tctx, blocks: list, op=None):
+def reduce_scatter(
+    comm: "Communicator",
+    tctx: "ThreadContext",
+    blocks: list[Any],
+    op: Optional["ReduceOp"] = None,
+) -> Generator[Any, Any, Any]:
     """MPI_Reduce_scatter_block: each rank contributes ``p`` blocks;
     rank i returns the reduction of everyone's block i.
 

@@ -287,6 +287,17 @@ class SessionCore:
         for cb in self.on_ops_enqueued:
             cb()
 
+    def defer(self, name: str, fn: OpFn) -> None:
+        """Queue ``fn`` as a deferred op for the progression engines.
+
+        Public entry point for layers above nmad (the MPI nbc schedule
+        progressor, RMA window servicing): the op runs under whichever
+        execution context next drains the queue — an idle core under
+        PIOMan, the calling thread's next library call under the
+        sequential engine — and charges its CPU there.
+        """
+        self._enqueue_op(name, fn)
+
     def _notify_retransmit(self) -> None:
         """Timer (hardware) context: a retransmit op was just queued. Wake
         baseline waiters blocked on the activity flag and give engines a
@@ -407,6 +418,19 @@ class SessionCore:
         return self.numa.copy_factor(producer, executor)
 
     # -------------------------------------------------------------- completion
+
+    def complete_local(self, req: NmRequest) -> None:
+        """Complete a locally-owned request that never touches the wire.
+
+        Higher layers synthesize proxy requests (e.g. one per nbc
+        collective schedule) so multi-step operations plug into the
+        ordinary wait/wait_any/event machinery; this publishes the
+        completion exactly like a wire-backed request. Idempotent-hostile
+        like :meth:`NmRequest.complete`: completing twice is an error.
+        """
+        if req.done:
+            raise ProtocolError(f"request {req.req_id} already completed")
+        self._complete_req(req)
 
     def _complete_req(self, req: NmRequest) -> None:
         if req.done:  # split chunks may race with direct completion paths

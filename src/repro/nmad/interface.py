@@ -167,6 +167,18 @@ class NmInterface:
         result = yield from self.engine.wait_any(tctx, list(reqs))
         return result
 
+    def progress(self, tctx: ThreadContext) -> Generator[Any, Any, bool]:
+        """One non-blocking progression pass on the calling thread.
+
+        Runs the engine's inline step (up to its events-per-pass cap) and
+        returns True when any work was executed. Never blocks: with a quiet
+        session it returns False without charging CPU. This is the hook
+        ``MpiRequest.test`` uses so a pure test-loop still drives the
+        engine (MPI_Test semantics) instead of spinning on stale state.
+        """
+        did = yield from self.engine._progress_step(tctx)
+        return did
+
     def drain(self, tctx: ThreadContext) -> Generator[Any, Any, None]:
         """Quiesce before exiting a thread body (MPI_Finalize semantics):
         progresses until no deferred work remains and every reliable packet

@@ -114,15 +114,32 @@ class CompletionCursor:
     Each published record is delivered to every open cursor exactly once;
     :meth:`drain` hands the accumulated records over. Close the cursor when
     done (``wait_any`` subscribes per call) or the queue keeps feeding it.
+
+    A cursor may instead be opened in **push mode** by passing a
+    ``listener`` callable to :meth:`CompletionQueue.subscribe`: each record
+    is then delivered to the listener at publish time and nothing is
+    buffered (``drain`` stays empty). Push mode is what lets long-lived
+    consumers — the nbc schedule progressor, RMA window servicing — react
+    to individual step completions without a polling thread. Listeners run
+    in whatever context published the completion and must not block or
+    charge CPU; defer real work through the session's op queue.
     """
 
-    __slots__ = ("_queue", "_records")
+    __slots__ = ("_queue", "_records", "_listener")
 
-    def __init__(self, queue: "CompletionQueue") -> None:
+    def __init__(
+        self,
+        queue: "CompletionQueue",
+        listener: Optional[Callable[[CompletionRecordType], None]] = None,
+    ) -> None:
         self._queue: Optional[CompletionQueue] = queue
         self._records: deque[CompletionRecordType] = deque()
+        self._listener = listener
 
     def _push(self, rec: CompletionRecordType) -> None:
+        if self._listener is not None:
+            self._listener(rec)
+            return
         self._records.append(rec)
 
     def pending(self) -> bool:
@@ -186,8 +203,12 @@ class CompletionQueue:
 
     # -- subscription lane (session/reliability -> waiters) --------------------
 
-    def subscribe(self) -> CompletionCursor:
-        cursor = CompletionCursor(self)
+    def subscribe(
+        self, listener: Optional[Callable[[CompletionRecordType], None]] = None
+    ) -> CompletionCursor:
+        """Open a cursor; with ``listener`` the cursor runs in push mode
+        (records delivered at publish time, nothing buffered)."""
+        cursor = CompletionCursor(self, listener)
         self._cursors.append(cursor)
         return cursor
 

@@ -66,6 +66,12 @@ class PiomanEngine(EngineBase):
         self._dispatch_due: dict[int, float | None] = {
             c.index: None for c in self.scheduler.cores
         }
+        #: registered progression hooks (e.g. one per communicator's nbc
+        #: progressor): consulted by the idle trigger *before* the generic
+        #: session queue, so idle cores prefer advancing structured work
+        #: (outstanding collective schedules) over FIFO op draining. A hook
+        #: takes the execution context and returns True when it ran work.
+        self._progress_hooks: list = []
         # statistics
         self.idle_activations = 0
         self.tick_activations = 0
@@ -102,8 +108,30 @@ class PiomanEngine(EngineBase):
         if not self.scheduler.kick_idle():
             self.server.on_hw_activity()
 
+    def register_progress_hook(self, hook) -> None:
+        """Register a progression hook: ``hook(ctx) -> bool``.
+
+        Called from the idle trigger (and the low-priority tick path)
+        before generic op draining; must run at most one bounded unit of
+        work per call and return whether it did anything.
+        """
+        if hook not in self._progress_hooks:
+            self._progress_hooks.append(hook)
+
+    def unregister_progress_hook(self, hook) -> None:
+        """Remove a registered progression hook; idempotent."""
+        self._remove_hook(self._progress_hooks, hook)
+
+    def _run_progress_hooks(self, ctx) -> bool:
+        """Offer the context to each registered hook; True if one ran work."""
+        for hook in self._progress_hooks:
+            if hook(ctx):
+                return True
+        return False
+
     def close(self) -> None:
         """Deregister every scheduler/session/driver hook (idempotent)."""
+        self._progress_hooks.clear()
         self.scheduler.unregister_idle_hook(self._idle_hook)
         self.scheduler.unregister_tick_hook(self._tick_hook)
         self.scheduler.unregister_switch_hook(self._switch_hook)
@@ -147,12 +175,17 @@ class PiomanEngine(EngineBase):
             return cost, 0.0
         self._dispatch_due[core.index] = None
         ctx = self._core_ctx(core.index)
+        #: marks work executed here as stolen by an idle core (nbc metrics)
+        ctx.idle_steal = True
         ctx.charge(self.timing.host.spinlock_us)
         # one op per activation (§2.1: "each event is run under mutual
         # exclusion … the messages are submitted once at a time") — other
         # cores and threads reaching their wait can interleave between
-        # events instead of one core hogging a whole burst
-        self.session.progress(ctx, max_ops=1)
+        # events instead of one core hogging a whole burst; registered
+        # progression hooks (outstanding collective schedules) get first
+        # claim on the idle cycles
+        if not self._run_progress_hooks(ctx):
+            self.session.progress(ctx, max_ops=1)
         if self.session.has_pending_ops():
             # more deferred events: invite another idle core to share them
             self.scheduler.sim.call_soon(self.scheduler.kick_idle)
@@ -174,8 +207,10 @@ class PiomanEngine(EngineBase):
         low_prio = current is not None and current.priority >= Priority.LOW
         if low_prio and self.session.has_pending_ops():
             ctx = self._core_ctx(core.index)
+            ctx.idle_steal = True
             ctx.charge(self.timing.host.spinlock_us + self.timing.host.tasklet_local_us)
-            self.session.progress(ctx, max_ops=1, poll=False)
+            if not self._run_progress_hooks(ctx):
+                self.session.progress(ctx, max_ops=1, poll=False)
             cost += ctx.cpu_us
         if self.session.has_completions():
             self.tick_activations += 1

@@ -101,15 +101,80 @@ class TestPointToPoint:
         runtime.run()
         assert out == {0: "from1", 1: "from0"}
 
+    def test_sendrecv_to_self_eager(self, runtime, world):
+        """Self-sendrecv must not deadlock: the recv is posted before the
+        send, and completion waits on *both* requests via wait_any (the old
+        code waited the send first, which for rendezvous self-sends parked
+        the thread that had to match its own receive)."""
+        out = {}
+
+        def body(ctx):
+            comm = ctx.env["comm"]
+            got = yield from comm.sendrecv(
+                ctx, b"e" * 1024, dest=comm.rank, source=comm.rank, sendtag=3, recvtag=3
+            )
+            out["got"] = got
+
+        world.spawn_rank(0, body)
+        runtime.run()
+        assert out["got"] == b"e" * 1024
+
+    def test_sendrecv_to_self_rendezvous(self, runtime, world):
+        """Same, above the rendezvous threshold (64 KiB)."""
+        out = {}
+
+        def body(ctx):
+            comm = ctx.env["comm"]
+            got = yield from comm.sendrecv(
+                ctx, b"r" * (64 * 1024), dest=comm.rank, source=comm.rank,
+                sendtag=4, recvtag=4,
+            )
+            out["got"] = got
+
+        world.spawn_rank(0, body)
+        runtime.run()
+        assert out["got"] == b"r" * (64 * 1024)
+
+    def test_test_loop_completes_rendezvous_send(self, runtime, world):
+        """Regression: ``test`` must *drive* progress, not just read the
+        flag. A sender polling a large (rendezvous) send in a pure
+        test-loop — never calling wait or yielding otherwise — has to
+        finish the protocol handshake through those polls alone."""
+        out = {}
+        size = 256 * 1024
+
+        def rank0(ctx):
+            comm = ctx.env["comm"]
+            req = yield from comm.isend(ctx, bytes(size), dest=1)
+            spins = 0
+            while True:
+                done = yield from req.test(ctx)
+                if done:
+                    break
+                spins += 1
+                assert spins < 200_000, "test() is not driving progress"
+            out["spins"] = spins
+
+        def rank1(ctx):
+            comm = ctx.env["comm"]
+            data = yield from comm.recv(ctx, source=0)
+            out["nbytes"] = len(data)
+
+        world.spawn_rank(0, rank0)
+        world.spawn_rank(1, rank1)
+        runtime.run()
+        assert out["nbytes"] == size
+        assert out["spins"] > 0  # genuinely polled before completion
+
     def test_request_test_method(self, runtime, world):
         out = {}
 
         def rank0(ctx):
             comm = ctx.env["comm"]
             req = yield from comm.isend(ctx, "x", dest=1)
-            out["test_early"] = req.test()
+            out["test_early"] = yield from req.test(ctx)
             yield from req.wait(ctx)
-            out["test_late"] = req.test()
+            out["test_late"] = yield from req.test(ctx)
 
         def rank1(ctx):
             comm = ctx.env["comm"]

@@ -1,0 +1,209 @@
+"""RMA windows: put/get/accumulate, fence semantics, passive-target progress."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import EngineKind
+from repro.errors import MpiError
+from repro.harness.runner import ClusterRuntime
+from repro.mpi import MpiWorld
+
+pytestmark = pytest.mark.nbc
+
+ENGINES = pytest.mark.parametrize(
+    "engine", [EngineKind.SEQUENTIAL, EngineKind.PIOMAN], ids=["seq", "piom"]
+)
+
+
+def _run_spmd(nodes, body, engine=EngineKind.PIOMAN, metrics=None):
+    rt = ClusterRuntime.build(
+        engine=engine, nodes=nodes, sockets=1, cores_per_socket=2, metrics=metrics
+    )
+    world = MpiWorld(rt)
+    out: dict = {}
+    for rank in range(nodes):
+        world.spawn_rank(rank, lambda ctx: body(ctx, out))
+    rt.run()
+    return rt, out
+
+
+class TestWindowOps:
+    @ENGINES
+    def test_put_get_accumulate_fence(self, engine):
+        nodes = 3
+
+        def body(ctx, out):
+            comm = ctx.env["comm"]
+            win = yield from comm.win_allocate(ctx, nslots=4, init=0)
+            right = (comm.rank + 1) % comm.size
+            # everyone puts their rank into slot 0 of their right neighbour
+            yield from win.put(ctx, right, 0, comm.rank)
+            # and accumulates 1 into slot 1 of rank 0
+            yield from win.accumulate(ctx, 0, 1, 1, op="sum")
+            yield from win.fence(ctx)
+            # after the fence every op is visible: read our own slot locally
+            # and our left neighbour's slot remotely
+            left = (comm.rank - 1) % comm.size
+            got = yield from win.get(ctx, left, 0)
+            remote = yield from got.wait(ctx)
+            out[comm.rank] = (win.local(0), remote, win.local(1))
+            yield from win.fence(ctx)
+            yield from win.free(ctx)
+
+        _, out = _run_spmd(nodes, body, engine=engine)
+        for r in range(nodes):
+            local0, remote, local1 = out[r]
+            left = (r - 1) % nodes
+            left_left = (left - 1) % nodes
+            assert local0 == left  # left neighbour put its rank here
+            assert remote == left_left  # what left received from *its* left
+            assert local1 == (nodes if r == 0 else 0)  # all accumulates hit rank 0
+
+    @ENGINES
+    def test_accumulate_ops(self, engine):
+        def body(ctx, out):
+            comm = ctx.env["comm"]
+            win = yield from comm.win_allocate(ctx, nslots=3, init=10)
+            if comm.rank == 1:
+                yield from win.accumulate(ctx, 0, 0, 5, op="prod")
+                yield from win.accumulate(ctx, 0, 1, 3, op="min")
+                yield from win.accumulate(ctx, 0, 2, 99, op="replace")
+            yield from win.fence(ctx)
+            if comm.rank == 0:
+                out["vals"] = [win.local(i) for i in range(3)]
+            yield from win.free(ctx)
+
+        _, out = _run_spmd(2, body, engine=engine)
+        assert out["vals"] == [50, 3, 99]
+
+    @ENGINES
+    def test_self_rma(self, engine):
+        """Origin == target: served through the same engine path."""
+
+        def body(ctx, out):
+            comm = ctx.env["comm"]
+            win = yield from comm.win_allocate(ctx, nslots=1, init="empty")
+            yield from win.put(ctx, comm.rank, 0, f"self{comm.rank}")
+            yield from win.fence(ctx)
+            got = yield from win.get(ctx, comm.rank, 0)
+            out[comm.rank] = yield from got.wait(ctx)
+            yield from win.free(ctx)
+
+        _, out = _run_spmd(2, body, engine=engine)
+        assert out == {0: "self0", 1: "self1"}
+
+    @ENGINES
+    def test_fence_orders_put_then_get(self, engine):
+        """A get issued after a fence sees the pre-fence put."""
+
+        def body(ctx, out):
+            comm = ctx.env["comm"]
+            win = yield from comm.win_allocate(ctx, nslots=1, init=None)
+            if comm.rank == 0:
+                yield from win.put(ctx, 1, 0, "payload")
+            yield from win.fence(ctx)
+            if comm.rank == 1:
+                out["seen"] = win.local(0)
+            yield from win.free(ctx)
+
+        _, out = _run_spmd(2, body, engine=engine)
+        assert out["seen"] == "payload"
+
+
+class TestPassiveTargetProgress:
+    def test_target_makes_progress_while_computing(self):
+        """The defining property: rank 1 computes for a long stretch and
+        never enters the library, yet rank 0's put+get complete long
+        before that compute ends — PIOMan's idle cores service the window.
+        """
+        compute_us = 5000.0
+
+        def body(ctx, out):
+            comm = ctx.env["comm"]
+            win = yield from comm.win_allocate(ctx, nslots=1, init=0)
+            if comm.rank == 0:
+                yield from win.put(ctx, 1, 0, 42)
+                got = yield from win.get(ctx, 1, 0)
+                out["value"] = yield from got.wait(ctx)
+                out["rma_done_at"] = ctx.now
+                yield ctx.compute(compute_us)  # keep lifetimes aligned
+            else:
+                yield ctx.compute(compute_us)
+                out["target_done_at"] = ctx.now
+            yield from win.fence(ctx)
+            yield from win.free(ctx)
+
+        _, out = _run_spmd(2, body, engine=EngineKind.PIOMAN)
+        assert out["value"] == 42
+        # the RMA round-trips finished while the target was still computing
+        assert out["rma_done_at"] < out["target_done_at"]
+        assert out["rma_done_at"] < compute_us / 2
+
+    def test_served_count_and_metrics(self):
+        def body(ctx, out):
+            comm = ctx.env["comm"]
+            win = yield from comm.win_allocate(ctx, nslots=1, init=0)
+            if comm.rank == 0:
+                for i in range(3):
+                    yield from win.accumulate(ctx, 1, 0, 1, op="sum")
+            yield from win.fence(ctx)
+            out[comm.rank] = dict(win.stats)
+            yield from win.free(ctx)
+
+        rt, out = _run_spmd(2, body, engine=EngineKind.PIOMAN, metrics=True)
+        assert out[0]["accumulates"] == 3
+        assert out[1]["served"] == 3
+        snap = rt.metrics_registry.snapshot()
+        assert snap["n0.rma.w0.accumulates"] == 3
+        assert snap["n1.rma.w0.served"] == 3
+
+
+class TestWindowValidation:
+    def test_bad_slot_and_target(self):
+        def body(ctx, out):
+            comm = ctx.env["comm"]
+            win = yield from comm.win_allocate(ctx, nslots=2, init=0)
+            try:
+                yield from win.put(ctx, 0, 5, "x")
+            except MpiError as e:
+                out["slot_err"] = str(e)
+            try:
+                yield from win.put(ctx, 9, 0, "x")
+            except MpiError as e:
+                out["rank_err"] = str(e)
+            try:
+                yield from win.accumulate(ctx, 0, 0, 1, op="xor")
+            except MpiError as e:
+                out["op_err"] = str(e)
+            yield from win.free(ctx)
+
+        _, out = _run_spmd(1, body, engine=EngineKind.SEQUENTIAL)
+        assert "slot index" in out["slot_err"]
+        assert "out of range" in out["rank_err"]
+        assert "accumulate op" in out["op_err"]
+
+    def test_use_after_free_raises(self):
+        def body(ctx, out):
+            comm = ctx.env["comm"]
+            win = yield from comm.win_allocate(ctx, nslots=1, init=0)
+            yield from win.free(ctx)
+            try:
+                yield from win.put(ctx, 0, 0, 1)
+            except MpiError as e:
+                out["err"] = str(e)
+
+        _, out = _run_spmd(1, body, engine=EngineKind.SEQUENTIAL)
+        assert "freed" in out["err"]
+
+    def test_zero_slots_rejected(self):
+        def body(ctx, out):
+            comm = ctx.env["comm"]
+            try:
+                yield from comm.win_allocate(ctx, nslots=0)
+            except MpiError as e:
+                out["err"] = str(e)
+            yield ctx.compute(0.1)
+
+        _, out = _run_spmd(1, body, engine=EngineKind.SEQUENTIAL)
+        assert "at least one slot" in out["err"]

@@ -1,0 +1,141 @@
+"""Collective tag-space layout: regression tests for the p>16 collision.
+
+The pre-fix ``_next_coll_tag`` strode the sequence counter by a flat 16,
+while allgather/alltoall offset tags by up to ``p-1`` steps — so at
+``size > 16`` one collective's step tags ran into the blocks of the
+collectives that followed. Three layers of regression here:
+
+* an analytic test that consecutive collectives' tag blocks are disjoint
+  at p=24 (fails immediately on the pre-fix arithmetic);
+* a blocking interleaving at p=24 (allgather/alltoall/barrier
+  back-to-back) — correct even pre-fix thanks to per-flow FIFO matching,
+  pinned so the fix never regresses the accidental safety net;
+* the genuine kill shot: an *in-flight nonblocking* allgather (whose step
+  posts are decoupled from program order) interleaved with blocking
+  collectives under per-rank skew. Pre-fix, the ring payload cross-matches
+  into the alltoall and the run corrupts or raises; post-fix it is clean.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import EngineKind
+from repro.harness.runner import ClusterRuntime
+from repro.mpi import MpiWorld
+from repro.mpi.collectives import (
+    _OP_ALLGATHER,
+    _OP_ALLTOALL,
+    _OP_BARRIER,
+)
+from repro.units import KiB
+
+P = 24
+
+
+def _build_world(engine=EngineKind.PIOMAN, nodes=P):
+    rt = ClusterRuntime.build(engine=engine, nodes=nodes, sockets=1, cores_per_socket=2)
+    return rt, MpiWorld(rt)
+
+
+class TestTagLayout:
+    def test_blocks_disjoint_at_p24(self):
+        """Back-to-back collectives' tag blocks never overlap, even when
+        each uses up to p-1 per-step offsets (p=24 > the old stride of 16).
+        """
+        _, world = _build_world()
+        comm = world.comm(0)
+        span = comm.coll_tag_span
+        assert span >= P, "a block must hold one tag per step"
+        draws = [
+            ("allgather", comm._next_coll_tag(_OP_ALLGATHER), P - 1),
+            ("alltoall", comm._next_coll_tag(_OP_ALLTOALL), P - 1),
+            ("barrier", comm._next_coll_tag(_OP_BARRIER), 5),
+            ("allgather2", comm._next_coll_tag(_OP_ALLGATHER), P - 1),
+        ]
+        ranges = [(name, base, base + steps) for name, base, steps in draws]
+        for i, (name_a, lo_a, hi_a) in enumerate(ranges):
+            for name_b, lo_b, hi_b in ranges[i + 1 :]:
+                assert hi_a < lo_b or hi_b < lo_a, (
+                    f"tag blocks of {name_a} [{lo_a},{hi_a}] and "
+                    f"{name_b} [{lo_b},{hi_b}] overlap"
+                )
+
+    def test_step_offsets_stay_inside_block(self):
+        """The per-step offset of every collective fits inside its block."""
+        _, world = _build_world()
+        comm = world.comm(0)
+        a = comm._next_coll_tag(_OP_ALLGATHER)
+        b = comm._next_coll_tag(_OP_ALLTOALL)
+        assert a + (P - 1) < b
+
+    def test_tag_space_is_internal_only(self):
+        from repro.errors import MpiError
+
+        _, world = _build_world(nodes=2)
+        comm = world.comm(0)
+        tag = comm._next_coll_tag(0)
+        with pytest.raises(MpiError, match="out of range"):
+            comm._check_tag(tag)  # user-facing limit
+        comm._check_tag(tag, internal=True)  # fine internally
+
+
+class TestInterleavedCollectivesP24:
+    @pytest.mark.parametrize(
+        "engine", [EngineKind.SEQUENTIAL, EngineKind.PIOMAN], ids=["seq", "piom"]
+    )
+    def test_blocking_back_to_back(self, engine):
+        """allgather → alltoall → barrier → allgather at p=24."""
+        rt, world = _build_world(engine=engine)
+        out = {}
+
+        def body(ctx):
+            comm = ctx.env["comm"]
+            ag = yield from comm.allgather(ctx, comm.rank)
+            a2a = yield from comm.alltoall(
+                ctx, [f"{comm.rank}->{i}" for i in range(comm.size)]
+            )
+            yield from comm.barrier(ctx)
+            ag2 = yield from comm.allgather(ctx, comm.rank + 100)
+            out[comm.rank] = (ag, a2a, ag2)
+
+        world.spawn_all(body)
+        rt.run()
+        for r in range(P):
+            ag, a2a, ag2 = out[r]
+            assert ag == list(range(P))
+            assert a2a == [f"{i}->{r}" for i in range(P)]
+            assert ag2 == [i + 100 for i in range(P)]
+
+    def test_nbc_inflight_with_blocking_collectives(self):
+        """The pre-fix failure mode: an in-flight iallgather's step posts
+        are driven by completions, not program order, so with per-rank
+        skew its colliding tags cross-match into the blocking alltoall.
+
+        On the pre-fix tag scheme this run corrupts payloads (the ring's
+        ``(index, block)`` tuples land in the alltoall) — with the bitfield
+        layout every collective owns a disjoint block and it is clean.
+        """
+        rt, world = _build_world(engine=EngineKind.PIOMAN)
+        out = {}
+
+        def payload(rank):
+            return bytes([rank]) * KiB(48)  # rendezvous-sized ring blocks
+
+        def body(ctx):
+            comm = ctx.env["comm"]
+            req = yield from comm.iallgather(ctx, payload(comm.rank))
+            yield ctx.compute(float(comm.rank) * 200.0)  # skewed arrival
+            a2a = yield from comm.alltoall(
+                ctx, [f"{comm.rank}->{i}" for i in range(comm.size)]
+            )
+            yield from comm.barrier(ctx)
+            ag = yield from req.wait(ctx)
+            out[comm.rank] = (ag, a2a)
+
+        world.spawn_all(body)
+        rt.run()
+        for r in range(P):
+            ag, a2a = out[r]
+            assert ag == [payload(i) for i in range(P)]
+            assert a2a == [f"{i}->{r}" for i in range(P)]

@@ -1,0 +1,189 @@
+"""Property: an nbc schedule's wire steps partition the blocking
+algorithm's message set exactly.
+
+For every collective the builders must emit, across all ranks, the *same*
+(src → dst, tag) multiset the blocking implementation sends — no extra
+message, none missing, every send paired with exactly one matching recv.
+The expected sets are restated here from the algorithms' definitions
+(dissemination barrier, binomial trees, ring), independently of both
+implementations, so a drift in either one trips the comparison.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mpi.collectives import _binomial_children
+from repro.mpi.nbc import (
+    allgather_schedule,
+    allreduce_schedule,
+    barrier_schedule,
+    bcast_schedule,
+    reduce_schedule,
+)
+
+pytestmark = pytest.mark.nbc
+
+TAG = 1 << 30  # stand-in for a drawn collective tag block
+BTAG = TAG + (1 << 20)
+
+sizes = st.integers(min_value=1, max_value=25)
+
+
+# ----------------------------------------------------- expected message sets
+
+
+def expected_barrier(size: int, tag: int) -> Counter:
+    """Dissemination: round r, every rank sends distance 2**r rightward."""
+    msgs: Counter = Counter()
+    distance, rnd = 1, 0
+    while distance < size:
+        for rank in range(size):
+            msgs[(rank, (rank + distance) % size, tag + rnd)] += 1
+        distance *= 2
+        rnd += 1
+    return msgs
+
+
+def expected_bcast(size: int, root: int, tag: int) -> Counter:
+    """Binomial tree: one message down every parent→child edge."""
+    msgs: Counter = Counter()
+    for rank in range(size):
+        parent, _children = _binomial_children(rank, root, size)
+        if parent is not None:
+            msgs[(parent, rank, tag)] += 1
+    return msgs
+
+
+def expected_reduce(size: int, root: int, tag: int) -> Counter:
+    """Mirror of bcast: one message up every child→parent edge."""
+    msgs: Counter = Counter()
+    for rank in range(size):
+        parent, _children = _binomial_children(rank, root, size)
+        if parent is not None:
+            msgs[(rank, parent, tag)] += 1
+    return msgs
+
+
+def expected_allgather(size: int, tag: int) -> Counter:
+    """Ring: size-1 steps, each rank sends right with a per-step tag."""
+    msgs: Counter = Counter()
+    for step in range(size - 1):
+        for rank in range(size):
+            msgs[(rank, (rank + 1) % size, tag + step)] += 1
+    return msgs
+
+
+# ---------------------------------------------------------------- harvesting
+
+
+def harvest(schedules) -> tuple[Counter, Counter]:
+    """All ranks' comm steps → (sends as (src,dst,tag), recvs as (src,dst,tag))."""
+    sends: Counter = Counter()
+    recvs: Counter = Counter()
+    for sched in schedules:
+        for kind, peer, tag in sched.comm_steps():
+            if kind == "send":
+                sends[(sched.rank, peer, tag)] += 1
+            else:
+                recvs[(peer, sched.rank, tag)] += 1
+    return sends, recvs
+
+
+def assert_partitions(schedules, expected: Counter) -> None:
+    sends, recvs = harvest(schedules)
+    assert sends == expected, "sends diverge from the blocking message set"
+    assert recvs == expected, "recvs do not mirror the sends one-to-one"
+
+
+# ---------------------------------------------------------------- properties
+
+
+@given(size=sizes)
+@settings(max_examples=40, deadline=None)
+def test_ibarrier_partitions_blocking_messages(size):
+    scheds = [barrier_schedule(r, size, TAG) for r in range(size)]
+    assert_partitions(scheds, expected_barrier(size, TAG))
+
+
+@given(size=sizes, data=st.data())
+@settings(max_examples=40, deadline=None)
+def test_ibcast_partitions_blocking_messages(size, data):
+    root = data.draw(st.integers(min_value=0, max_value=size - 1))
+    scheds = [
+        bcast_schedule(r, size, root, TAG, "v" if r == root else None)
+        for r in range(size)
+    ]
+    assert_partitions(scheds, expected_bcast(size, root, TAG))
+
+
+@given(size=sizes, data=st.data())
+@settings(max_examples=40, deadline=None)
+def test_ireduce_partitions_blocking_messages(size, data):
+    root = data.draw(st.integers(min_value=0, max_value=size - 1))
+    scheds = [reduce_schedule(r, size, root, TAG, r, None) for r in range(size)]
+    assert_partitions(scheds, expected_reduce(size, root, TAG))
+
+
+@given(size=sizes)
+@settings(max_examples=40, deadline=None)
+def test_iallgather_partitions_blocking_messages(size):
+    scheds = [allgather_schedule(r, size, TAG, r) for r in range(size)]
+    assert_partitions(scheds, expected_allgather(size, TAG))
+
+
+@given(size=sizes)
+@settings(max_examples=40, deadline=None)
+def test_iallreduce_is_reduce_root0_plus_bcast_root0(size):
+    """The fused schedule's steps == reduce-to-0 (rtag) ∪ bcast-from-0
+    (btag), exactly the blocking allreduce's two-phase message set."""
+    scheds = [allreduce_schedule(r, size, TAG, BTAG, r, None) for r in range(size)]
+    expected = expected_reduce(size, 0, TAG) + expected_bcast(size, 0, BTAG)
+    assert_partitions(scheds, expected)
+
+
+@given(size=sizes)
+@settings(max_examples=40, deadline=None)
+def test_steps_stay_inside_one_tag_block(size):
+    """No builder reaches past its block: every step tag is within
+    ``size`` tags of the base, matching ``coll_tag_span``'s guarantee."""
+    span = 1 << max(12, max(size - 1, 1).bit_length())
+    builders = [
+        lambda r: barrier_schedule(r, size, TAG),
+        lambda r: bcast_schedule(r, size, 0, TAG, "v" if r == 0 else None),
+        lambda r: reduce_schedule(r, size, 0, TAG, r, None),
+        lambda r: allgather_schedule(r, size, TAG, r),
+    ]
+    for build in builders:
+        for rank in range(size):
+            for _kind, _peer, tag in build(rank).comm_steps():
+                assert TAG <= tag < TAG + span
+
+
+@given(size=sizes, data=st.data())
+@settings(max_examples=40, deadline=None)
+def test_dataflow_recv_never_after_dependent_send(size, data):
+    """Within each rank's schedule, any slot a send reads is either seeded
+    in the initial state or produced (by a recv or fold) in a strictly
+    earlier round — the posting engine's round barrier is local, so this
+    ordering is what makes the schedule deadlock-free."""
+    root = data.draw(st.integers(min_value=0, max_value=size - 1))
+    for rank in range(size):
+        sched = bcast_schedule(rank, size, root, TAG, "v" if rank == root else None)
+        seeded = set(sched.state)
+        for rnd_idx, rnd in enumerate(sched.rounds):
+            for op in rnd.ops:
+                if hasattr(op, "fn"):
+                    continue
+                if op.__class__.__name__ == "SendStep" and op.slot is not None:
+                    assert op.slot in seeded, (
+                        f"rank {rank} sends slot {op.slot!r} in round {rnd_idx} "
+                        "before anything produced it"
+                    )
+            for op in rnd.ops:
+                if op.__class__.__name__ == "RecvStep":
+                    seeded.add(op.slot)
