@@ -173,7 +173,7 @@ class ClusterRuntime:
             timing = dataclasses.replace(
                 timing, faults=dataclasses.replace(timing.faults, enabled=True)
             )
-        sim = Simulator(trace=tracer)
+        sim = Simulator(trace=tracer, queue=timing.kernel.queue)
         rng = RngStreams(seed)
         cluster = build_cluster(
             nodes=nodes,

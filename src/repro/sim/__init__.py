@@ -22,6 +22,7 @@ from .events import EventHandle, Priority
 from .kernel import Simulator
 from .primitives import Mutex, Semaphore, SimEvent, Store
 from .process import Delay, SimProcess, WaitEvent, spawn
+from .queues import QUEUE_KINDS, CalendarQueue, EventQueue, HeapQueue, make_queue
 from .rng import RngStreams
 from .tracing import CoreTimeline, TraceRecord, Tracer
 
@@ -29,6 +30,11 @@ __all__ = [
     "Simulator",
     "EventHandle",
     "Priority",
+    "EventQueue",
+    "HeapQueue",
+    "CalendarQueue",
+    "QUEUE_KINDS",
+    "make_queue",
     "SimProcess",
     "spawn",
     "Delay",

@@ -35,7 +35,19 @@ class EventHandle:
     surfaces. ``fired`` is True once the callback ran.
     """
 
-    __slots__ = ("time", "priority", "seq", "_key", "_fn", "_args", "cancelled", "fired", "label")
+    __slots__ = (
+        "time",
+        "priority",
+        "seq",
+        "_key",
+        "_fn",
+        "_args",
+        "cancelled",
+        "fired",
+        "label",
+        "_queue",
+        "_bidx",
+    )
 
     def __init__(
         self,
@@ -60,10 +72,22 @@ class EventHandle:
         self.cancelled = False
         self.fired = False
         self.label = label
+        #: the EventQueue currently storing this handle (set by push);
+        #: lets cancel() report lazily-cancelled entries so the queue can
+        #: compact when they pile up.
+        self._queue: Any = None
+        #: absolute calendar-bucket index (int(time / width)); only
+        #: meaningful while stored in a CalendarQueue.
+        self._bidx = 0
 
     def cancel(self) -> None:
         """Prevent the callback from running; no-op if already fired."""
+        if self.cancelled or self.fired:
+            return
         self.cancelled = True
+        queue = self._queue
+        if queue is not None:
+            queue._note_cancel()
 
     @property
     def pending(self) -> bool:

@@ -1,0 +1,182 @@
+"""Property tests: the heap and calendar event queues are observationally
+identical.
+
+Hypothesis generates random scheduling programs — delays, priorities,
+cancellations, events that schedule and cancel more events from inside
+their own callbacks, interleaved bounded runs — and executes each program
+once per queue implementation. Every observable (full fire log, final
+clock, ``events_fired``, pending count, ``peek_time``) must agree
+element-for-element: the queue is an implementation detail, never a
+semantic one.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.events import Priority
+from repro.sim.kernel import Simulator
+from repro.sim.queues import QUEUE_KINDS
+
+_PRIORITIES = [
+    Priority.INTERRUPT,
+    Priority.TASKLET,
+    Priority.NORMAL,
+    Priority.LOW,
+    Priority.IDLE,
+]
+
+# Coarse delays deliberately collide at the same instant (same-time ordering
+# is where implementations diverge first); fine delays exercise bucket-width
+# adaptation; huge delays exercise sparse cursor jumps.
+delays = st.one_of(
+    st.integers(min_value=0, max_value=12).map(float),
+    st.floats(min_value=0.0, max_value=50.0, allow_nan=False, allow_infinity=False),
+    st.floats(min_value=1e4, max_value=1e6, allow_nan=False, allow_infinity=False),
+)
+priorities = st.sampled_from(_PRIORITIES)
+
+# One scheduling instruction: (delay, priority, n_children, child_delay,
+# cancel_child, cancel_self_reschedule)
+ops = st.tuples(
+    delays,
+    priorities,
+    st.integers(min_value=0, max_value=3),
+    delays,
+    st.booleans(),
+    st.booleans(),
+)
+
+
+def _execute(kind: str, program) -> dict:
+    """Run one generated program on one queue implementation and collect
+    every observable the determinism contract covers."""
+    sim = Simulator(queue=kind)
+    log: list[tuple[float, str]] = []
+
+    def fire(tag: str, children, child_delay, cancel_child, rearm) -> None:
+        log.append((sim.now, tag))
+        handles = [
+            sim.schedule(
+                child_delay, fire, f"{tag}.{i}", 0, 0.0, False, False
+            )
+            for i in range(children)
+        ]
+        if cancel_child and handles:
+            handles[0].cancel()
+            log.append((sim.now, f"{tag}:cancelled-child"))
+        if rearm:
+            # schedule-then-cancel from inside a callback: the classic
+            # retransmit-timer shape
+            sim.schedule(child_delay + 1.0, fire, f"{tag}:ghost", 0, 0.0, False, False).cancel()
+
+    pre_cancel = []
+    for i, (delay, prio, children, child_delay, cancel_child, rearm) in enumerate(program):
+        h = sim.schedule(
+            delay, fire, f"op{i}", children, child_delay, cancel_child, rearm,
+            priority=prio,
+        )
+        if i % 7 == 3:
+            pre_cancel.append(h)
+    for h in pre_cancel:
+        h.cancel()
+
+    # first a bounded run (forces the pushback/resume path), then drain
+    mid = sim.run(until=25.0)
+    mid_pending = sim.pending_count()
+    mid_peek = sim.peek_time()
+    end = sim.run()
+    return {
+        "log": log,
+        "mid": mid,
+        "mid_pending": mid_pending,
+        "mid_peek": mid_peek,
+        "end": end,
+        "fired": sim.events_fired,
+        "final_pending": sim.pending_count(),
+    }
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(ops, min_size=1, max_size=25))
+def test_queues_observationally_identical(program):
+    results = [_execute(kind, program) for kind in QUEUE_KINDS]
+    for other in results[1:]:
+        assert other == results[0]
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(st.tuples(delays, priorities), min_size=1, max_size=40),
+    st.sets(st.integers(min_value=0, max_value=39)),
+)
+def test_cancellation_sets_agree_across_queues(entries, cancel_idx):
+    """Static schedules with arbitrary cancellation subsets fire the same
+    surviving set in the same order on every queue."""
+    outcomes = []
+    for kind in QUEUE_KINDS:
+        sim = Simulator(queue=kind)
+        fired: list[int] = []
+        handles = [
+            sim.schedule(d, lambda i=i: fired.append(i), priority=p)
+            for i, (d, p) in enumerate(entries)
+        ]
+        for i in cancel_idx:
+            if i < len(handles):
+                handles[i].cancel()
+        sim.run()
+        outcomes.append((fired, sim.now, sim.events_fired))
+    for other in outcomes[1:]:
+        assert other == outcomes[0]
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(delays, min_size=1, max_size=30),
+    st.lists(
+        st.floats(min_value=0.0, max_value=60.0, allow_nan=False, allow_infinity=False),
+        min_size=1,
+        max_size=4,
+    ),
+)
+def test_segmented_runs_agree_across_queues(all_delays, horizons):
+    """run(until=...) segments in any order, then a final drain: the clock
+    trajectory and fire log match across queues (and the clock advances to
+    each horizon even when the queue drains early — the drained-branch
+    regression)."""
+    outcomes = []
+    for kind in QUEUE_KINDS:
+        sim = Simulator(queue=kind)
+        fired: list[tuple[float, float]] = []
+        for d in all_delays:
+            sim.schedule(d, lambda d=d: fired.append((sim.now, d)))
+        clocks = [sim.run(until=h) for h in sorted(horizons)]
+        clocks.append(sim.run())
+        outcomes.append((fired, clocks, sim.events_fired))
+        # monotone clock trajectory, each bounded run lands >= its horizon
+        for h, c in zip(sorted(horizons), clocks):
+            assert c >= h
+        assert clocks == sorted(clocks)
+    for other in outcomes[1:]:
+        assert other == outcomes[0]
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.tuples(delays, priorities), min_size=1, max_size=30))
+def test_pending_count_and_peek_agree_during_run(entries):
+    """Mid-run observables sampled from an observer — pending_count and
+    peek_time after every event — agree across queues."""
+    samples = []
+    for kind in QUEUE_KINDS:
+        sim = Simulator(queue=kind)
+        seen: list[tuple[float, int, float | None]] = []
+        sim.add_observer(
+            lambda now: seen.append((now, sim.pending_count(), sim.peek_time()))
+        )
+        for d, p in entries:
+            sim.schedule(d, lambda: None, priority=p)
+        sim.run()
+        samples.append(seen)
+    for other in samples[1:]:
+        assert other == samples[0]

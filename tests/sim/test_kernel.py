@@ -1,4 +1,9 @@
-"""Unit tests for the discrete-event kernel."""
+"""Unit tests for the discrete-event kernel.
+
+The whole module runs once per event-queue implementation (the ``sim``
+fixture override below): every semantic pinned here — ordering, bounded
+runs, stop, liveness — is part of the queue-independence contract.
+"""
 
 from __future__ import annotations
 
@@ -7,6 +12,12 @@ import pytest
 from repro.errors import DeadlockError, SimulationError
 from repro.sim.events import Priority
 from repro.sim.kernel import Simulator
+from repro.sim.queues import QUEUE_KINDS
+
+
+@pytest.fixture(params=QUEUE_KINDS)
+def sim(request) -> Simulator:
+    return Simulator(queue=request.param)
 
 
 def test_clock_starts_at_zero(sim):
@@ -175,3 +186,101 @@ def test_zero_delay_event_fires(sim):
     sim.run()
     assert fired == [True]
     assert sim.now == 0.0
+
+
+# -- bounded-run edge cases (regressions) --------------------------------------
+# Three bugs fixed together; each test pins one. See the kernel module
+# docstring ("Bounded-run semantics") for the contract.
+
+
+def test_max_events_exact_completion_by_drain(sim):
+    """Regression: a run that *drains* in exactly ``max_events`` events is
+    a legitimate completion, not a runaway."""
+    for i in range(5):
+        sim.schedule(float(i + 1), lambda: None)
+    assert sim.run(max_events=5) == 5.0
+    assert sim.events_fired == 5
+
+
+def test_max_events_exact_completion_by_stop(sim):
+    """Regression: ``stop()`` during the Nth event beats the runaway check."""
+    fired = []
+    sim.schedule(1.0, fired.append, 1)
+    sim.schedule(2.0, lambda: (fired.append(2), sim.stop()))
+    sim.schedule(3.0, fired.append, 3)
+    sim.run(max_events=2)
+    assert fired == [1, 2]
+
+
+def test_max_events_exact_completion_by_until(sim):
+    """Regression: reaching ``until`` on the Nth event is a completion even
+    when later events remain beyond the bound."""
+    for i in range(3):
+        sim.schedule(float(i + 1), lambda: None)
+    sim.schedule(50.0, lambda: None)
+    assert sim.run(until=10.0, max_events=3) == 10.0
+
+
+def test_max_events_still_raises_when_work_remains(sim):
+    for i in range(6):
+        sim.schedule(float(i + 1), lambda: None)
+    with pytest.raises(SimulationError, match="max_events"):
+        sim.run(max_events=5)
+
+
+def test_run_until_advances_clock_when_queue_drains_early(sim):
+    """Regression: ``run(until=T)`` used to leave the clock at the last
+    event when the queue drained before ``T`` but advance it to ``T`` when
+    events remained — callers interleaving bounded runs with
+    ``schedule_at`` saw an inconsistent clock."""
+    sim.schedule(2.0, lambda: None)
+    assert sim.run(until=10.0) == 10.0
+    assert sim.now == 10.0
+    # the clock really is at T: scheduling before it is rejected...
+    with pytest.raises(SimulationError):
+        sim.schedule_at(5.0, lambda: None)
+    # ...and a zero-delay event fires at T
+    fired = []
+    sim.schedule(0.0, lambda: fired.append(sim.now))
+    sim.run()
+    assert fired == [10.0]
+
+
+def test_run_until_advances_clock_on_empty_queue(sim):
+    assert sim.run(until=7.0) == 7.0
+    assert sim.now == 7.0
+
+
+def test_run_until_never_rewinds_clock(sim):
+    sim.schedule(5.0, lambda: None)
+    sim.run()
+    assert sim.now == 5.0
+    # a bound in the past is a no-op on the clock
+    assert sim.run(until=1.0) == 5.0
+    assert sim.now == 5.0
+
+
+def test_stop_before_run_fires_zero_events(sim):
+    """Regression: a ``stop()`` requested before ``run()`` was silently
+    discarded (the flag was reset on entry); it must fire zero events,
+    leave the clock untouched, and be consumed by that run."""
+    fired = []
+    sim.schedule(1.0, fired.append, 1)
+    sim.stop()
+    assert sim.run() == 0.0
+    assert fired == []
+    assert sim.events_fired == 0
+    # the stop is consumed: the next run proceeds normally
+    assert sim.run() == 1.0
+    assert fired == [1]
+
+
+def test_stop_mid_run_does_not_leak_into_next_run(sim):
+    fired = []
+    sim.schedule(1.0, fired.append, 1)
+    sim.schedule(2.0, sim.stop)
+    sim.schedule(3.0, fired.append, 3)
+    sim.run()
+    assert fired == [1]
+    sim.run()
+    assert fired == [1, 3]

@@ -1,22 +1,26 @@
-"""The inlined ``Simulator.run`` fast path is behaviourally identical to
-driving the simulation one :meth:`Simulator.step` at a time.
+"""The inlined ``Simulator.run`` fast paths are behaviourally identical to
+driving the simulation one :meth:`Simulator.step` at a time — and
+identical *across event-queue implementations*.
 
-``run()`` no longer delegates to ``step()`` (it inlines the pop/fire loop,
-binds heap ops locally, and sweeps cancelled events once per iteration),
-so this file pins the equivalence the docstring promises: same firing
+``run()`` no longer delegates to ``step()`` (it dispatches to a
+per-queue loop that inlines the pop/fire sequence — the calendar loop
+consumes pre-sorted batches, the heap loop binds ``heappop`` locally),
+so this file pins the equivalences the docstrings promise: same firing
 order, same times, same ``events_fired``, same observer callbacks, same
-trace signatures on full traced workloads.
+trace signatures on full traced workloads, whichever queue and whichever
+drive mode.
 """
 
 from __future__ import annotations
 
 import pytest
 
-from repro.config import EngineKind
+from repro.config import EngineKind, KernelConfig, TimingModel
 from repro.errors import SimulationError
 from repro.harness.runner import ClusterRuntime
 from repro.sim.events import Priority
 from repro.sim.kernel import Simulator
+from repro.sim.queues import QUEUE_KINDS
 from repro.sim.tracing import Tracer
 from repro.units import KiB
 
@@ -37,28 +41,37 @@ def _storm(sim: Simulator, log: list, n_events: int = 400) -> None:
         sim.schedule(float(c) * 0.25, tick, c)
 
 
-def _run_with_run(n_events: int = 400):
-    sim, log = Simulator(), []
+def _run_with_run(n_events: int = 400, queue: str = "heap"):
+    sim, log = Simulator(queue=queue), []
     _storm(sim, log, n_events)
     end = sim.run()
     return end, sim.events_fired, log
 
 
-def _run_with_step(n_events: int = 400):
-    sim, log = Simulator(), []
+def _run_with_step(n_events: int = 400, queue: str = "heap"):
+    sim, log = Simulator(queue=queue), []
     _storm(sim, log, n_events)
     while sim.step():
         pass
     return sim.now, sim.events_fired, log
 
 
-def test_run_matches_step_driven_execution():
-    assert _run_with_run() == _run_with_step()
+@pytest.mark.parametrize("queue", QUEUE_KINDS)
+def test_run_matches_step_driven_execution(queue):
+    assert _run_with_run(queue=queue) == _run_with_step(queue=queue)
 
 
-def test_events_fired_counter_identical():
-    _, fired_run, _ = _run_with_run(1_000)
-    _, fired_step, _ = _run_with_step(1_000)
+def test_all_queues_fire_identically():
+    """The determinism contract across implementations: the full event log
+    (time, chain, counter) is equal element-for-element."""
+    results = [_run_with_run(1_000, queue=kind) for kind in QUEUE_KINDS]
+    assert all(r == results[0] for r in results[1:])
+
+
+@pytest.mark.parametrize("queue", QUEUE_KINDS)
+def test_events_fired_counter_identical(queue):
+    _, fired_run, _ = _run_with_run(1_000, queue=queue)
+    _, fired_step, _ = _run_with_step(1_000, queue=queue)
     assert fired_run == fired_step > 1_000  # chains + their rearms
 
 
@@ -141,10 +154,11 @@ def test_priority_order_preserved_at_equal_time():
     assert fired == ["tasklet", "normal", "low"]
 
 
-def _traced_signature(engine: str) -> tuple[float, list]:
+def _traced_signature(engine: str, queue: str | None = None) -> tuple[float, list]:
     """A full traced communication workload, as in test_determinism."""
     tracer = Tracer()
-    rt = ClusterRuntime.build(engine=engine, tracer=tracer)
+    timing = TimingModel(kernel=KernelConfig(queue=queue)) if queue else None
+    rt = ClusterRuntime.build(engine=engine, tracer=tracer, timing=timing)
 
     def sender(ctx):
         nm = ctx.env["nm"]
@@ -172,3 +186,12 @@ def test_traced_workload_signature_stable(engine):
     """The fast loop must not perturb full traced runs: two executions of
     the same workload produce identical trace shapes and end times."""
     assert _traced_signature(engine) == _traced_signature(engine)
+
+
+@pytest.mark.parametrize("engine", [EngineKind.SEQUENTIAL, EngineKind.PIOMAN])
+def test_traced_workload_signature_identical_across_queues(engine):
+    """The queue implementation is invisible to a full engine run: the
+    heap and calendar kernels produce identical trace signatures and end
+    times on a traced communication workload."""
+    signatures = [_traced_signature(engine, queue=kind) for kind in QUEUE_KINDS]
+    assert all(s == signatures[0] for s in signatures[1:])
