@@ -20,6 +20,7 @@ from __future__ import annotations
 import pytest
 
 from repro.config import EngineKind
+from repro.harness.executors import ExecutionConfig
 from repro.harness.parallel import run_grid
 from repro.harness.report import format_table
 from repro.harness.runner import ClusterRuntime
@@ -88,7 +89,7 @@ def _one_way_latency(size: int, policy: str) -> float:
 def _policy_rows(fn) -> list[dict]:
     """size × policy grid, fanned out over $REPRO_BENCH_WORKERS."""
     tasks = [{"size": s, "policy": p} for s in SIZES for p in POLICIES]
-    times = run_grid(fn, tasks, workers=None)
+    times = run_grid(fn, tasks, execution=ExecutionConfig.from_env())
     return [
         {
             "size": s,

@@ -19,6 +19,7 @@ import dataclasses
 import pytest
 
 from repro.config import EngineKind, PiomanConfig, TimingModel
+from repro.harness.executors import ExecutionConfig
 from repro.harness.parallel import run_grid
 from repro.harness.runner import ClusterRuntime
 from repro.harness.report import format_table
@@ -70,7 +71,7 @@ def detection_table():
         for busy in BUSY_LEVELS
         for blocking in (True, False)
     ]
-    times = run_grid(_run, tasks, workers=None)
+    times = run_grid(_run, tasks, execution=ExecutionConfig.from_env())
     return [
         (busy, times[2 * i], times[2 * i + 1]) for i, busy in enumerate(BUSY_LEVELS)
     ]

@@ -12,6 +12,7 @@ from __future__ import annotations
 import pytest
 
 from repro.config import EngineKind
+from repro.harness.executors import ExecutionConfig
 from repro.harness.parallel import run_grid
 from repro.harness.report import format_table
 from repro.harness.runner import ClusterRuntime
@@ -63,7 +64,7 @@ def idle_core_rows():
         for busy in BUSY_LEVELS
         for engine in (EngineKind.SEQUENTIAL, EngineKind.PIOMAN)
     ]
-    times = run_grid(_run, tasks, workers=None)
+    times = run_grid(_run, tasks, execution=ExecutionConfig.from_env())
     return [
         {"busy": busy, "idle": 7 - busy, "sequential": times[2 * i], "pioman": times[2 * i + 1]}
         for i, busy in enumerate(BUSY_LEVELS)

@@ -19,6 +19,7 @@ from __future__ import annotations
 import pytest
 
 from repro.config import EngineKind
+from repro.harness.executors import ExecutionConfig
 from repro.harness.parallel import run_grid
 from repro.harness.report import format_table
 from repro.harness.runner import ClusterRuntime
@@ -61,7 +62,7 @@ def locking_rows():
         {"engine": EngineKind.PIOMAN, "offload_policy": "never"},
         {"engine": EngineKind.PIOMAN, "offload_policy": "always"},
     ]
-    times = run_grid(_run, tasks, workers=None)
+    times = run_grid(_run, tasks, execution=ExecutionConfig.from_env())
     return {
         "big lock + inline (baseline)": times[0],
         "event locks + inline": times[1],

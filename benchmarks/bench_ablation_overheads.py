@@ -17,6 +17,7 @@ import dataclasses
 import pytest
 
 from repro.config import TimingModel
+from repro.harness.executors import ExecutionConfig
 from repro.harness.experiments import experiment_fig5
 from repro.harness.parallel import run_grid
 from repro.harness.report import format_table
@@ -44,7 +45,7 @@ def overhead_rows():
     overheads = run_grid(
         _crossover_overhead,
         [{"tasklet_remote_us": c} for c in REMOTE_COSTS],
-        workers=None,
+        execution=ExecutionConfig.from_env(),
     )
     return list(zip(REMOTE_COSTS, overheads))
 

@@ -16,6 +16,7 @@ import pytest
 
 from repro.apps.overlap import OverlapConfig, run_overlap
 from repro.config import EngineKind, TimingModel
+from repro.harness.executors import ExecutionConfig
 from repro.harness.report import format_table
 from repro.harness.sweep import sweep
 from repro.units import KiB, fmt_size
@@ -35,12 +36,12 @@ def _transfer_time(size: int, threshold: int) -> dict:
 
 @pytest.fixture(scope="module")
 def threshold_sweep():
-    # workers=None honours $REPRO_BENCH_WORKERS: the 20-point grid fans out
+    # from_env() honours $REPRO_BENCH_WORKERS: the 20-point grid fans out
     # over a process pool with rows byte-identical to the serial run
     return sweep(
         _transfer_time,
         {"size": list(SIZES), "threshold": list(THRESHOLDS)},
-        workers=None,
+        execution=ExecutionConfig.from_env(),
     )
 
 

@@ -17,6 +17,7 @@ from __future__ import annotations
 import pytest
 
 from repro.config import EngineKind
+from repro.harness.executors import ExecutionConfig
 from repro.harness.parallel import run_grid
 from repro.harness.report import format_table
 from repro.harness.runner import ClusterRuntime
@@ -67,7 +68,7 @@ def strategy_rows():
         for engine in (EngineKind.SEQUENTIAL, EngineKind.PIOMAN)
         for strategy in ("default", "aggreg")
     ]
-    results = run_grid(_burst_run, tasks, workers=None)
+    results = run_grid(_burst_run, tasks, execution=ExecutionConfig.from_env())
     return [
         {**task, "elapsed": elapsed, "packets": packets}
         for task, (elapsed, packets) in zip(tasks, results)

@@ -44,6 +44,7 @@ from typing import Any, Callable
 import pytest
 
 from repro.errors import SimulationError
+from repro.harness.executors import ExecutionConfig
 from repro.harness.sweep import sweep
 from repro.sim.events import EventHandle, Priority
 from repro.sim.kernel import Simulator
@@ -274,10 +275,10 @@ def measure_sweep(quick: bool, workers: int) -> dict[str, Any]:
             "iterations": [3000],
         }
     t0 = time.perf_counter()
-    serial = sweep(_sweep_point, grid, workers=1)
+    serial = sweep(_sweep_point, grid, execution=ExecutionConfig.serial())
     serial_s = time.perf_counter() - t0
     t0 = time.perf_counter()
-    parallel = sweep(_sweep_point, grid, workers=workers)
+    parallel = sweep(_sweep_point, grid, execution=ExecutionConfig.pool(workers))
     parallel_s = time.perf_counter() - t0
     identical = serial.rows == parallel.rows
     assert identical, "parallel sweep must reproduce serial rows byte-identically"

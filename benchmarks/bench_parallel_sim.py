@@ -1,0 +1,181 @@
+"""Perf: partitioned conservative parallel-DES vs the serial kernel.
+
+Feeds ``BENCH_pdes.json`` (checked in at the repo root, uploaded by the
+CI perf-smoke job — see ``docs/performance.md``): a PHOLD workload at
+several topology sizes, run serially (one kernel) and partitioned
+(process mode, one kernel per worker, CMB null-message synchronization).
+Every partitioned run is digest-checked against its serial twin before
+its wall-clock counts — a fast-but-wrong run never makes the record.
+
+Reading the numbers honestly
+----------------------------
+Parallel speedup requires real CPUs: ``cpu_count`` is recorded alongside
+every run, and on a 1-CPU host the partitioned runs *lose* (spawn cost +
+null-message traffic, zero concurrency) — exactly like the pool-vs-serial
+sweep record in ``BENCH_kernel.json``. The ≥1.3× acceptance bar applies
+on multi-core hosts only; the pytest smoke below asserts correctness
+everywhere and speedup only when ``os.cpu_count()`` clears the partition
+count.
+
+Run as a script (CI uses ``--quick``)::
+
+    python benchmarks/bench_parallel_sim.py [--quick] [--partitions N] [--json PATH]
+
+or under pytest for the smoke assertions (``pytest -m pdes`` lane).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import Any
+
+import pytest
+
+from repro.apps.pdes import PholdProgram
+from repro.sim.partition import PartitionPlan, PartitionedSimulation
+
+#: (label, nodes, jobs_per_node, hops) — sized so serial wall-clock grows
+#: roughly linearly while cross-partition traffic stays proportionate
+_FULL_CASES = (
+    ("small", 8, 8, 120),
+    ("medium", 16, 8, 160),
+    ("large", 32, 8, 200),
+)
+_QUICK_CASES = (("quick", 8, 2, 24),)
+
+
+def _run_once(program: PholdProgram, plan: PartitionPlan, mode: str) -> dict[str, Any]:
+    t0 = time.perf_counter()
+    with PartitionedSimulation(program, plan, seed=0, mode=mode) as sim:
+        end = sim.run()
+        wall = time.perf_counter() - t0
+        return {
+            "wall_s": wall,
+            "digest": sim.trace_digest(),
+            "events": sim.events_fired,
+            "end_us": end,
+            "stats": sim.stats(),
+        }
+
+
+def measure_case(
+    label: str, nodes: int, jobs: int, hops: int, partitions: int, inproc: bool
+) -> dict[str, Any]:
+    """One topology size: serial reference vs partitioned, digest-checked."""
+    program = PholdProgram(jobs_per_node=jobs, hops=hops)
+    serial = _run_once(program, PartitionPlan.from_timing(nodes, 1), "serial")
+    mode = "inproc" if inproc else "process"
+    par = _run_once(program, PartitionPlan.from_timing(nodes, partitions), mode)
+    identical = par["digest"] == serial["digest"]
+    assert identical, f"{label}: partitioned digest diverged from serial"
+    stats = par["stats"]
+    return {
+        "case": label,
+        "nodes": nodes,
+        "partitions": partitions,
+        "mode": mode,
+        "events": serial["events"],
+        "end_us": round(serial["end_us"], 3),
+        "serial_seconds": round(serial["wall_s"], 4),
+        "partitioned_seconds": round(par["wall_s"], 4),
+        "speedup": round(serial["wall_s"] / par["wall_s"], 3) if par["wall_s"] else None,
+        "digest_identical": identical,
+        "null_msgs_sent": stats["null_msgs_sent"],
+        "cross_partition_msgs": stats["msgs_sent"],
+        "lookahead_stalls": stats["lookahead_stalls"],
+        "horizon_advances": stats["horizon_advances"],
+    }
+
+
+def run_bench(quick: bool, partitions: int, inproc: bool) -> dict[str, Any]:
+    cases = _QUICK_CASES if quick else _FULL_CASES
+    rows = [
+        measure_case(label, nodes, jobs, hops, partitions, inproc)
+        for label, nodes, jobs, hops in cases
+    ]
+    return {
+        "bench": "parallel_sim",
+        "schema": 1,
+        "quick": quick,
+        "cpu_count": os.cpu_count(),
+        "workload": "phold",
+        "cases": rows,
+    }
+
+
+# -- pytest smoke (`pytest -m pdes` / `-m perf` lanes) -------------------------
+
+pytestmark = [pytest.mark.pdes, pytest.mark.perf]
+
+
+def test_partitioned_digest_and_record_shape():
+    """Quick case: digest-identical, and the record carries the honesty
+    fields (cpu_count, per-case speedup) CI uploads."""
+    result = run_bench(quick=True, partitions=2, inproc=True)
+    assert result["cpu_count"] == os.cpu_count()
+    (row,) = result["cases"]
+    assert row["digest_identical"]
+    assert row["null_msgs_sent"] > 0
+    assert row["cross_partition_msgs"] > 0
+    assert row["speedup"] is not None
+
+
+def test_process_mode_quick_case():
+    """The real engine (worker processes) on the quick case."""
+    row = measure_case("quick", 8, 2, 24, partitions=2, inproc=False)
+    assert row["digest_identical"]
+    assert row["mode"] == "process"
+
+
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < 4,
+    reason="parallel speedup needs >= 4 real CPUs (recorded honestly in "
+    "BENCH_pdes.json either way)",
+)
+def test_multicore_speedup_bar():
+    """On a real multi-core host the medium case must clear 1.3×."""
+    row = measure_case("medium", 16, 8, 160, partitions=4, inproc=False)
+    assert row["digest_identical"]
+    assert row["speedup"] is not None and row["speedup"] >= 1.3, row
+
+
+# -- script entry --------------------------------------------------------------
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="CI smoke sizing")
+    parser.add_argument(
+        "--partitions", type=int, default=min(4, os.cpu_count() or 1) or 2,
+        help="partition/worker count (default: min(4, cpu_count))",
+    )
+    parser.add_argument(
+        "--inproc", action="store_true",
+        help="cooperative single-process engine instead of worker processes",
+    )
+    parser.add_argument("--json", metavar="PATH", help="write the record to PATH")
+    args = parser.parse_args(argv)
+    partitions = max(2, args.partitions)
+    result = run_bench(quick=args.quick, partitions=partitions, inproc=args.inproc)
+    for row in result["cases"]:
+        print(
+            f"{row['case']:<8} nodes={row['nodes']:<3} events={row['events']:<8} "
+            f"serial={row['serial_seconds']:.3f}s partitioned({row['partitions']}"
+            f"×{row['mode']})={row['partitioned_seconds']:.3f}s "
+            f"speedup={row['speedup']}× nulls={row['null_msgs_sent']}"
+        )
+    print(f"cpu_count={result['cpu_count']} (speedup is honest only when >= partitions)")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(result, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

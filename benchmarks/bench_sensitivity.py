@@ -16,6 +16,7 @@ import pytest
 
 from repro.apps.overlap import OverlapConfig, run_overlap
 from repro.config import EngineKind, TimingModel
+from repro.harness.executors import ExecutionConfig
 from repro.harness.parallel import run_grid
 from repro.harness.report import format_table
 from repro.units import GiB_per_s, KiB
@@ -49,9 +50,9 @@ def _cell(memcpy_gib: float, wire_gib: float) -> tuple[float, float, float]:
 
 @pytest.fixture(scope="module")
 def grid():
-    # calibration grid, fanned out over $REPRO_BENCH_WORKERS
+    # calibration grid, fanned out over $REPRO_BENCH_WORKERS (from_env)
     cells = [{"memcpy_gib": m, "wire_gib": w} for m in MEMCPY_BWS for w in WIRE_BWS]
-    triples = run_grid(_cell, cells, workers=None)
+    triples = run_grid(_cell, cells, execution=ExecutionConfig.from_env())
     return {
         (cell["memcpy_gib"], cell["wire_gib"]): triple
         for cell, triple in zip(cells, triples)

@@ -8,11 +8,14 @@
   computing threads, mixing intra-node (shared-memory) and inter-node (NIC)
   traffic (Fig. 7/8, Table 1);
 * :mod:`repro.apps.workloads` — generic synthetic workload generators used
-  by extra examples and ablation benches.
+  by extra examples and ablation benches;
+* :mod:`repro.apps.pdes` — PHOLD-style and token-ring partition programs
+  for the conservative parallel kernel (:mod:`repro.sim.partition`).
 """
 
 from .convolution import ConvolutionConfig, ConvolutionResult, run_convolution
 from .overlap import OverlapConfig, OverlapResult, run_overlap
+from .pdes import PholdProgram, RingProgram
 from .workloads import Phase, irregular_phases, master_worker_plan, uniform_phases
 
 __all__ = [
@@ -26,4 +29,6 @@ __all__ = [
     "uniform_phases",
     "irregular_phases",
     "master_worker_plan",
+    "PholdProgram",
+    "RingProgram",
 ]

@@ -1,0 +1,110 @@
+"""Workload programs for the partitioned parallel kernel.
+
+These are the :class:`~repro.sim.partition.PartitionProgram` counterparts
+of :mod:`repro.apps.workloads`: deterministic, seeded traffic patterns
+used by the equivalence suite and ``benchmarks/bench_parallel_sim.py``.
+They live at module level (not inside tests) because ``process`` mode
+pickles the program instance into spawned workers — the same rule as
+:func:`repro.harness.parallel.run_grid` task functions.
+
+Both programs log every interesting step through ``ctx.log`` so
+:meth:`~repro.sim.partition.PartitionedSimulation.trace_digest` captures
+the complete causal history, and both draw randomness only from the
+per-node seeded streams (``ctx.rng``), which are identical in every
+execution mode.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..sim.events import Priority
+from ..sim.partition import NodeContext, PartitionProgram
+
+__all__ = ["PholdProgram", "RingProgram"]
+
+
+class PholdProgram(PartitionProgram):
+    """The classic PHOLD benchmark, bounded by a per-job hop budget.
+
+    Every node launches ``jobs_per_node`` jobs at seeded staggered times;
+    each hop picks a uniform random destination and an exponential delay,
+    decrementing a TTL so the run terminates after
+    ``nodes × jobs_per_node × (hops + 1)`` message events (plus a local
+    service event per hop when ``local_work`` is on — these exercise the
+    local-vs-remote ordering keys at the same instant).
+    """
+
+    def __init__(
+        self,
+        jobs_per_node: int = 2,
+        hops: int = 12,
+        mean_delay_us: float = 5.0,
+        local_work: bool = True,
+    ) -> None:
+        self.jobs_per_node = int(jobs_per_node)
+        self.hops = int(hops)
+        self.mean_delay_us = float(mean_delay_us)
+        self.local_work = bool(local_work)
+
+    def setup(self, ctx: NodeContext) -> None:
+        starts = ctx.rng.stream("phold.start")
+        for job in range(self.jobs_per_node):
+            delay = float(starts.exponential(self.mean_delay_us))
+            ctx.schedule(delay, self._launch, ctx, job)
+
+    def _launch(self, ctx: NodeContext, job: int) -> None:
+        ctx.log("launch", job)
+        self._hop(ctx, self.hops)
+
+    def _hop(self, ctx: NodeContext, ttl: int) -> None:
+        rng = ctx.rng.stream("phold.route")
+        dst = int(rng.integers(0, ctx.nodes))
+        delay = float(rng.exponential(self.mean_delay_us))
+        ctx.send(dst, ttl - 1, delay=delay)
+
+    def on_message(self, ctx: NodeContext, src: int, payload: Any) -> None:
+        ttl = int(payload)
+        ctx.log("job", src, ttl)
+        if self.local_work:
+            # a zero-width service event right after the arrival: sorts by
+            # the packed (priority, kind, origin, counter) key, so it pins
+            # the local/remote interleaving contract
+            ctx.schedule(0.0, ctx.log, "service", ttl, priority=Priority.TASKLET)
+        if ttl > 0:
+            self._hop(ctx, ttl)
+
+
+class RingProgram(PartitionProgram):
+    """Deterministic token rings — the zero-randomness smoke workload.
+
+    Every node injects ``tokens`` tokens that travel ``laps`` full laps
+    around the ring, each hop charging ``compute_us`` of local work before
+    forwarding. Alternate tokens forward at :data:`Priority.TASKLET` so
+    equal-instant events exercise the priority lane of the packed keys.
+    """
+
+    def __init__(self, tokens: int = 2, laps: int = 3, compute_us: float = 1.0) -> None:
+        self.tokens = int(tokens)
+        self.laps = int(laps)
+        self.compute_us = float(compute_us)
+
+    def setup(self, ctx: NodeContext) -> None:
+        for token in range(self.tokens):
+            ctx.schedule(0.25 * token, self._inject, ctx, token)
+
+    def _inject(self, ctx: NodeContext, token: int) -> None:
+        ctx.log("inject", token)
+        self._forward(ctx, token, self.laps * ctx.nodes)
+
+    def _forward(self, ctx: NodeContext, token: int, remaining: int) -> None:
+        pri = Priority.TASKLET if token % 2 else Priority.NORMAL
+        ctx.send((ctx.index + 1) % ctx.nodes, (token, remaining), priority=pri)
+
+    def on_message(self, ctx: NodeContext, src: int, payload: Any) -> None:
+        token, remaining = payload
+        ctx.log("token", token, src, remaining)
+        if remaining > 1:
+            ctx.schedule(self.compute_us, self._forward, ctx, token, remaining - 1)
+        else:
+            ctx.log("retire", token)

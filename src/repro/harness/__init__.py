@@ -9,8 +9,21 @@
 * :mod:`repro.harness.sweep` — generic parameter sweeps for ablations.
 * :mod:`repro.harness.parallel` — multicore fan-out for sweeps and
   replications (``run_grid``/``run_many``, ``REPRO_BENCH_WORKERS``).
+* :mod:`repro.harness.executors` — the unified execution surface:
+  :class:`~repro.harness.executors.ExecutionConfig` and the
+  :class:`~repro.harness.executors.Executor` protocol behind every entry
+  point's ``execution=`` keyword (serial / pool / partitioned).
 """
 
+from .executors import (
+    EXECUTION_MODES,
+    ExecutionConfig,
+    Executor,
+    PartitionedExecutor,
+    PoolExecutor,
+    SerialExecutor,
+    make_executor,
+)
 from .parallel import derive_task_seeds, resolve_workers, run_grid, run_many, task_pool
 from .report import ascii_plot, format_series_table, format_table
 from .runner import ClusterRuntime, NodeRuntime
@@ -59,6 +72,13 @@ __all__ = [
     "run_grid",
     "run_many",
     "task_pool",
+    "ExecutionConfig",
+    "Executor",
+    "SerialExecutor",
+    "PoolExecutor",
+    "PartitionedExecutor",
+    "make_executor",
+    "EXECUTION_MODES",
     "resolve_workers",
     "derive_task_seeds",
     "LatencyCollector",

@@ -1,0 +1,332 @@
+"""The unified execution surface: one config, one protocol, three engines.
+
+Before this module the harness had three overlapping ways to say "run
+this in parallel" — ``sweep(workers=…)``, ``run_grid(workers=…,
+executor=…)``, ``run_many(…)`` — plus the partitioned kernel's own
+knobs. They now share one vocabulary:
+
+* :class:`ExecutionConfig` — a frozen, typed description of *how* to
+  execute: ``serial``, ``pool`` (process-pool fan-out across tasks), or
+  ``partitioned`` (parallelism *inside* one simulation, see
+  :mod:`repro.sim.partition`). Accepted by :func:`repro.harness.parallel.run_grid`,
+  :func:`repro.harness.parallel.run_many`, :func:`repro.harness.sweep.sweep`,
+  :meth:`repro.harness.runner.ClusterRuntime.build`, and
+  :class:`repro.sim.kernel.Simulator` as the ``execution=`` keyword.
+* :class:`Executor` — the tiny order-preserving protocol those entry
+  points run on (:meth:`Executor.map_tasks`). Pass a long-lived instance
+  (e.g. a :class:`PoolExecutor`) as ``execution=`` to amortize pool
+  start-up across many calls, the way :func:`repro.harness.parallel.task_pool`
+  did for the raw ``concurrent.futures`` pool.
+* :func:`make_executor` — config → executor, where the resolution rules
+  live.
+
+The ``workers=1`` rule (the one place it is defined)
+----------------------------------------------------
+``BENCH_kernel.json`` records a 1-CPU pool *losing* to serial (0.745×):
+a pool of one pays interpreter spawn and pickling for zero concurrency.
+So worker counts resolve — explicit argument beats ``REPRO_BENCH_WORKERS``
+beats 1, and ``0`` means one worker per CPU — and then:
+
+* a resolved count of **1 never creates a pool**, whether it came from an
+  explicit ``workers=1``, ``REPRO_BENCH_WORKERS=1``, or the default; it
+  runs serial, in-process, with zero pickling;
+* a pool is created **lazily**, only when a call actually has more than
+  one task to fan out — a one-task grid stays in-process at any worker
+  count.
+
+Old call sites (``workers=``/``executor=`` keyword arguments) keep
+working for one release behind ``DeprecationWarning`` shims in
+:mod:`repro.harness.parallel`; see ``docs/api.md`` for the migration
+table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Optional, Sequence
+
+from ..errors import HarnessError
+
+__all__ = [
+    "EXECUTION_MODES",
+    "ExecutionConfig",
+    "Executor",
+    "SerialExecutor",
+    "PoolExecutor",
+    "PartitionedExecutor",
+    "make_executor",
+]
+
+#: execution modes understood by :class:`ExecutionConfig`
+EXECUTION_MODES = ("serial", "pool", "partitioned")
+
+
+@dataclass(frozen=True)
+class ExecutionConfig:
+    """How to execute: the one typed knob shared by every entry point.
+
+    ``mode``
+        ``"serial"`` — in-process loop; ``"pool"`` — spawn-context process
+        pool across independent tasks; ``"partitioned"`` — conservative
+        parallel-DES inside one simulation.
+    ``workers``
+        Pool-size request for ``pool`` mode; resolves through
+        :func:`repro.harness.parallel.resolve_workers` (``None`` → env →
+        1, ``0`` → all CPUs) at use time.
+    ``partitions`` / ``inproc``
+        Partition count and engine choice for ``partitioned`` mode
+        (``inproc=True`` selects the cooperative single-process engine —
+        full null-message machinery, no OS processes).
+    ``queue``
+        Optional event-queue override (``"heap"``/``"calendar"``) applied
+        to kernels built under this config — the knob
+        :meth:`~repro.harness.runner.ClusterRuntime.build` and
+        :class:`~repro.sim.kernel.Simulator` honour.
+    """
+
+    mode: str = "serial"
+    workers: Optional[int] = None
+    partitions: int = 2
+    inproc: bool = False
+    queue: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.mode not in EXECUTION_MODES:
+            raise HarnessError(
+                f"unknown execution mode {self.mode!r}; expected one of "
+                f"{EXECUTION_MODES}"
+            )
+        if self.workers is not None and self.workers < 0:
+            raise HarnessError(
+                f"workers must be >= 0 (0 = all CPUs), got {self.workers}"
+            )
+        if self.partitions < 1:
+            raise HarnessError(f"partitions must be >= 1, got {self.partitions}")
+        if self.queue is not None:
+            from ..sim.queues import QUEUE_KINDS
+
+            if self.queue not in QUEUE_KINDS:
+                raise HarnessError(
+                    f"unknown queue {self.queue!r}; expected one of {QUEUE_KINDS}"
+                )
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def serial(cls, *, queue: Optional[str] = None) -> "ExecutionConfig":
+        """Plain in-process execution."""
+        return cls(mode="serial", queue=queue)
+
+    @classmethod
+    def pool(cls, workers: int = 0, *, queue: Optional[str] = None) -> "ExecutionConfig":
+        """Process-pool fan-out (``workers=0`` = one per CPU)."""
+        return cls(mode="pool", workers=workers, queue=queue)
+
+    @classmethod
+    def partitioned(
+        cls,
+        partitions: int = 2,
+        *,
+        inproc: bool = False,
+        queue: Optional[str] = None,
+    ) -> "ExecutionConfig":
+        """Conservative parallel-DES inside one simulation."""
+        return cls(mode="partitioned", partitions=partitions, inproc=inproc, queue=queue)
+
+    @classmethod
+    def from_env(cls, *, queue: Optional[str] = None) -> "ExecutionConfig":
+        """Honour ``REPRO_BENCH_WORKERS`` exactly like the legacy
+        ``workers=None`` default: pool mode resolving through the
+        environment (which still collapses to serial when it resolves
+        to 1 — the ``workers=1`` rule)."""
+        return cls(mode="pool", workers=None, queue=queue)
+
+    # -- resolution ----------------------------------------------------------
+
+    def resolved_workers(self) -> int:
+        """The effective pool size (explicit > env > 1; 0 = all CPUs)."""
+        from .parallel import resolve_workers
+
+        return resolve_workers(self.workers)
+
+
+# ---------------------------------------------------------------------------
+# the protocol and its three engines
+
+
+class Executor:
+    """Order-preserving task mapper — the protocol behind every entry point.
+
+    ``map_tasks(invoke, fn, tasks)`` returns ``[invoke(fn, t) for t in
+    tasks]`` in task order, however it chooses to schedule them.
+    Executors are context managers; :meth:`close` is idempotent and a
+    no-op for stateless engines.
+    """
+
+    def map_tasks(
+        self,
+        invoke: Callable[[Callable[..., Any], Any], Any],
+        fn: Callable[..., Any],
+        tasks: Sequence[Any],
+    ) -> list[Any]:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any held resources (idempotent)."""
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
+class SerialExecutor(Executor):
+    """The in-process loop — zero overhead, the reference semantics."""
+
+    def map_tasks(
+        self,
+        invoke: Callable[[Callable[..., Any], Any], Any],
+        fn: Callable[..., Any],
+        tasks: Sequence[Any],
+    ) -> list[Any]:
+        return [invoke(fn, task) for task in tasks]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "SerialExecutor()"
+
+
+class PoolExecutor(Executor):
+    """Spawn-context process pool, created lazily per the ``workers=1`` rule.
+
+    The underlying ``ProcessPoolExecutor`` is built on the first
+    :meth:`map_tasks` call that actually needs it (resolved workers > 1
+    *and* more than one task) and is then reused until :meth:`close` —
+    so a long-lived instance amortizes interpreter start-up across many
+    grids, replacing :func:`repro.harness.parallel.task_pool`.
+    """
+
+    def __init__(self, workers: Optional[int] = None) -> None:
+        self.workers = workers
+        self._pool: Any = None
+
+    def map_tasks(
+        self,
+        invoke: Callable[[Callable[..., Any], Any], Any],
+        fn: Callable[..., Any],
+        tasks: Sequence[Any],
+    ) -> list[Any]:
+        from .parallel import _check_spawnable, resolve_workers
+
+        n_workers = resolve_workers(self.workers)
+        if n_workers == 1 or len(tasks) <= 1:
+            # the workers=1 rule: never pay spawn cost for zero concurrency
+            return [invoke(fn, task) for task in tasks]
+        _check_spawnable(fn)
+        pool = self._ensure_pool(n_workers)
+        futures = [pool.submit(invoke, fn, task) for task in tasks]
+        # collect in submission order — identical row order to the serial loop
+        return [f.result() for f in futures]
+
+    def _ensure_pool(self, n_workers: int) -> Any:
+        if self._pool is None:
+            from concurrent.futures import ProcessPoolExecutor
+            from multiprocessing import get_context
+
+            self._pool = ProcessPoolExecutor(
+                max_workers=n_workers, mp_context=get_context("spawn")
+            )
+        return self._pool
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "live" if self._pool is not None else "lazy"
+        return f"PoolExecutor(workers={self.workers!r}, {state})"
+
+
+class PartitionedExecutor(Executor):
+    """Executor whose parallelism lives *inside* each task.
+
+    Independent tasks map serially (a partitioned run already uses the
+    cores — nesting a pool around it would oversubscribe); the real
+    engine is :meth:`simulate`, which runs one
+    :class:`~repro.sim.partition.PartitionProgram` across ``partitions``
+    kernels with null-message synchronization.
+    """
+
+    def __init__(
+        self,
+        partitions: int = 2,
+        *,
+        inproc: bool = False,
+        queue: Optional[str] = None,
+    ) -> None:
+        if partitions < 1:
+            raise HarnessError(f"partitions must be >= 1, got {partitions}")
+        self.partitions = partitions
+        self.inproc = inproc
+        self.queue = queue
+
+    def map_tasks(
+        self,
+        invoke: Callable[[Callable[..., Any], Any], Any],
+        fn: Callable[..., Any],
+        tasks: Sequence[Any],
+    ) -> list[Any]:
+        return [invoke(fn, task) for task in tasks]
+
+    def simulate(
+        self,
+        program: Any,
+        plan: Any = None,
+        *,
+        nodes: Optional[int] = None,
+        seed: int = 0,
+        queue: Optional[str] = None,
+    ) -> Any:
+        """Build a :class:`~repro.sim.partition.PartitionedSimulation`.
+
+        Pass an explicit :class:`~repro.sim.partition.PartitionPlan`, or
+        just ``nodes=`` to get a block-assigned plan whose lookahead is
+        the default timing model's wire latency."""
+        from ..sim.partition import PartitionedSimulation, PartitionPlan
+
+        if plan is None:
+            if nodes is None:
+                raise HarnessError("simulate needs a plan= or a nodes= count")
+            plan = PartitionPlan.from_timing(nodes, self.partitions)
+        mode = "serial" if plan.partitions == 1 else ("inproc" if self.inproc else "process")
+        return PartitionedSimulation(
+            program,
+            plan,
+            seed=seed,
+            queue=queue or self.queue or "calendar",
+            mode=mode,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        engine = "inproc" if self.inproc else "process"
+        return f"PartitionedExecutor(partitions={self.partitions}, {engine})"
+
+
+def make_executor(execution: Optional[ExecutionConfig] = None) -> Executor:
+    """Resolve an :class:`ExecutionConfig` into a live :class:`Executor`.
+
+    ``None`` behaves like :meth:`ExecutionConfig.from_env`. Pool mode
+    collapses to :class:`SerialExecutor` when the resolved worker count
+    is 1 — the ``workers=1`` rule, applied in exactly one place.
+    """
+    cfg = execution if execution is not None else ExecutionConfig.from_env()
+    if cfg.mode == "serial":
+        return SerialExecutor()
+    if cfg.mode == "pool":
+        if cfg.resolved_workers() == 1:
+            return SerialExecutor()
+        return PoolExecutor(cfg.workers)
+    return PartitionedExecutor(
+        cfg.partitions, inproc=cfg.inproc, queue=cfg.queue
+    )

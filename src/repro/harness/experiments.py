@@ -20,7 +20,7 @@ from ..apps.convolution import ConvolutionConfig, run_convolution
 from ..apps.overlap import OverlapConfig, run_overlap
 from ..config import EngineKind, TimingModel
 from ..units import KiB
-from .parallel import run_grid
+from .parallel import ExecutionLike, run_grid
 from .report import ascii_plot, format_series_table, format_table
 
 __all__ = [
@@ -138,6 +138,7 @@ def _overlap_series(
     timing: Optional[TimingModel],
     workers: Optional[int] = None,
     executor: Optional[Executor] = None,
+    execution: ExecutionLike = None,
 ) -> tuple[list[float], list[float], list[float]]:
     tasks = [
         dict(engine=engine, size=size, compute_us=c, iterations=iterations, timing=timing)
@@ -148,7 +149,9 @@ def _overlap_series(
         )
         for size in sizes
     ]
-    times = run_grid(_overlap_point, tasks, workers=workers, executor=executor)
+    times = run_grid(
+        _overlap_point, tasks, execution=execution, workers=workers, executor=executor
+    )
     n = len(sizes)
     return times[:n], times[n : 2 * n], times[2 * n :]
 
@@ -160,6 +163,7 @@ def experiment_fig5(
     timing: Optional[TimingModel] = None,
     workers: Optional[int] = None,
     executor: Optional[Executor] = None,
+    execution: ExecutionLike = None,
 ) -> FigureResult:
     """§4.1 / Fig. 5 — small-message submission offloading.
 
@@ -169,7 +173,9 @@ def experiment_fig5(
     crossover). ``workers`` runs the grid points on a process pool
     (results identical to serial — see :mod:`repro.harness.parallel`).
     """
-    ref, base, piom = _overlap_series(sizes, compute_us, iterations, timing, workers, executor)
+    ref, base, piom = _overlap_series(
+        sizes, compute_us, iterations, timing, workers, executor, execution
+    )
     return FigureResult(
         name="fig5",
         title="Figure 5. Small messages offloading results.",
@@ -190,6 +196,7 @@ def experiment_fig6(
     timing: Optional[TimingModel] = None,
     workers: Optional[int] = None,
     executor: Optional[Executor] = None,
+    execution: ExecutionLike = None,
 ) -> FigureResult:
     """§4.2 / Fig. 6 — rendezvous handshake progression.
 
@@ -197,7 +204,9 @@ def experiment_fig6(
     (PIOMan), *No computation (reference)*. Expected: baseline =
     sum(compute, comm), PIOMan = max(compute, comm).
     """
-    ref, base, piom = _overlap_series(sizes, compute_us, iterations, timing, workers, executor)
+    ref, base, piom = _overlap_series(
+        sizes, compute_us, iterations, timing, workers, executor, execution
+    )
     return FigureResult(
         name="fig6",
         title="Figure 6. Offloading of rendezvous progression results.",
@@ -242,6 +251,7 @@ def experiment_table1(
     timing: Optional[TimingModel] = None,
     workers: Optional[int] = None,
     executor: Optional[Executor] = None,
+    execution: ExecutionLike = None,
 ) -> Table1Result:
     """§4.3 / Table 1 — convolution meta-application, offloading on/off."""
     engines = (EngineKind.SEQUENTIAL, EngineKind.PIOMAN)
@@ -254,7 +264,9 @@ def experiment_table1(
         for _label, (rows, cols), msg, frontier, interior in configs
         for engine in engines
     ]
-    times = run_grid(_convolution_point, tasks, workers=workers, executor=executor)
+    times = run_grid(
+        _convolution_point, tasks, execution=execution, workers=workers, executor=executor
+    )
     result = Table1Result()
     for i, (label, *_rest) in enumerate(configs):
         base = times[i * len(engines)]
@@ -274,12 +286,23 @@ def run_all_experiments(
     iterations: int = 20,
     timing: Optional[TimingModel] = None,
     workers: Optional[int] = None,
+    execution: ExecutionLike = None,
 ) -> dict[str, "FigureResult | Table1Result"]:
-    """Run the paper's full evaluation; returns results keyed by name."""
+    """Run the paper's full evaluation; returns results keyed by name.
+
+    ``execution`` selects the engine for every sub-experiment (a shared
+    :class:`~repro.harness.executors.Executor` amortizes one pool across
+    all three); the deprecated ``workers=`` shim keeps its old meaning."""
     return {
-        "fig5": experiment_fig5(iterations=iterations, timing=timing, workers=workers),
-        "fig6": experiment_fig6(iterations=iterations, timing=timing, workers=workers),
-        "table1": experiment_table1(timing=timing, workers=workers),
+        "fig5": experiment_fig5(
+            iterations=iterations, timing=timing, workers=workers, execution=execution
+        ),
+        "fig6": experiment_fig6(
+            iterations=iterations, timing=timing, workers=workers, execution=execution
+        ),
+        "table1": experiment_table1(
+            timing=timing, workers=workers, execution=execution
+        ),
     }
 
 

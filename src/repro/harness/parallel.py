@@ -33,19 +33,34 @@ Worker count resolution: an explicit ``workers=`` argument wins; ``None``
 falls back to the ``REPRO_BENCH_WORKERS`` environment variable (how the
 benchmark suite and CI opt whole runs in), and finally to ``1`` (serial,
 in-process — no executor is created at all). ``workers=0`` means one
-worker per available CPU.
+worker per available CPU. A count that resolves to 1 **never** creates a
+pool — the full rule lives in :mod:`repro.harness.executors`.
+
+Execution surface
+-----------------
+``execution=`` is the current way to choose an engine: pass an
+:class:`~repro.harness.executors.ExecutionConfig` (one-shot) or a
+long-lived :class:`~repro.harness.executors.Executor` instance (reused
+across calls, replacing :func:`task_pool`). The ``workers=`` and
+``executor=`` keyword arguments keep their exact historical behaviour
+for one release behind ``DeprecationWarning`` shims.
 """
 
 from __future__ import annotations
 
 import inspect
 import os
-from concurrent.futures import Executor, ProcessPoolExecutor
+import warnings
+from concurrent.futures import Executor as _FuturesExecutor
+from concurrent.futures import ProcessPoolExecutor
 from multiprocessing import get_context
-from typing import Any, Callable, Iterable, Mapping, Optional, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Mapping, Optional, Sequence, Union
 
 from ..errors import HarnessError
 from ..sim.rng import RngStreams
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .executors import ExecutionConfig, Executor
 
 __all__ = [
     "WORKERS_ENV",
@@ -55,6 +70,9 @@ __all__ = [
     "run_many",
     "derive_task_seeds",
 ]
+
+#: type accepted by the ``execution=`` keyword everywhere
+ExecutionLike = Union["ExecutionConfig", "Executor", None]
 
 #: environment variable consulted when ``workers=None`` — lets CI and the
 #: benchmark suite switch every sweep to multicore without touching code
@@ -86,13 +104,18 @@ def resolve_workers(workers: Optional[int] = None) -> int:
 def task_pool(workers: Optional[int] = None) -> ProcessPoolExecutor:
     """A spawn-context pool for reuse across several grid/replication calls.
 
-    Pool start-up dominates small parallel runs (each worker boots a fresh
-    interpreter and imports numpy); callers running many small grids —
-    the property tests, notably — create one pool and pass it as the
-    ``executor=`` argument of :func:`run_grid` / :func:`run_many` /
-    :func:`~repro.harness.sweep.sweep`. The caller owns shutdown (use it
-    as a context manager).
+    .. deprecated::
+        Create a :class:`repro.harness.executors.PoolExecutor` and pass it
+        as ``execution=`` instead — it is reusable the same way, spawns
+        lazily, and honours the ``workers=1`` rule. ``task_pool`` (and the
+        ``executor=`` keyword it feeds) remain for one release.
     """
+    warnings.warn(
+        "task_pool() is deprecated; create a reusable "
+        "repro.harness.executors.PoolExecutor and pass it as execution=",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     return ProcessPoolExecutor(
         max_workers=resolve_workers(workers), mp_context=get_context("spawn")
     )
@@ -155,23 +178,61 @@ def _fan_out(
     fn: Callable[..., Any],
     tasks: Sequence[Any],
     workers: Optional[int],
-    executor: Optional[Executor],
+    executor: Optional[_FuturesExecutor],
+    execution: ExecutionLike,
+    api: str,
 ) -> list[Any]:
-    """Run ``invoke(fn, task)`` for every task, preserving task order."""
+    """Run ``invoke(fn, task)`` for every task, preserving task order.
+
+    ``execution`` is the current surface (config or reusable executor);
+    ``workers``/``executor`` are the deprecated shims, kept byte-identical
+    to their historical behaviour for one release.
+    """
+    from .executors import Executor as _ExecutorProtocol
+    from .executors import ExecutionConfig, make_executor
+
+    if execution is not None:
+        if workers is not None or executor is not None:
+            raise HarnessError(
+                f"{api}: pass either execution= or the deprecated "
+                "workers=/executor= arguments, not both"
+            )
+        if isinstance(execution, _ExecutorProtocol):
+            return execution.map_tasks(invoke, fn, tasks)
+        if not isinstance(execution, ExecutionConfig):
+            raise HarnessError(
+                f"{api}: execution= must be an ExecutionConfig or an "
+                f"Executor, got {type(execution).__name__}"
+            )
+        exe = make_executor(execution)
+        try:
+            return exe.map_tasks(invoke, fn, tasks)
+        finally:
+            exe.close()
     if executor is not None:
+        warnings.warn(
+            f"{api}(executor=...) is deprecated; pass a reusable "
+            "repro.harness.executors.PoolExecutor as execution= instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
         _check_spawnable(fn)
         futures = [executor.submit(invoke, fn, task) for task in tasks]
         return [f.result() for f in futures]
-    n_workers = resolve_workers(workers)
-    if n_workers == 1 or len(tasks) <= 1:
-        return [invoke(fn, task) for task in tasks]
-    _check_spawnable(fn)
-    with ProcessPoolExecutor(
-        max_workers=min(n_workers, len(tasks)), mp_context=get_context("spawn")
-    ) as pool:
-        futures = [pool.submit(invoke, fn, task) for task in tasks]
-        # collect in submission order — identical row order to the serial loop
-        return [f.result() for f in futures]
+    if workers is not None:
+        warnings.warn(
+            f"{api}(workers=N) is deprecated; pass "
+            "execution=ExecutionConfig.pool(N) instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+    # the historical default path: explicit workers > env > serial — same
+    # resolution the new surface applies via make_executor
+    exe = make_executor(ExecutionConfig(mode="pool", workers=workers))
+    try:
+        return exe.map_tasks(invoke, fn, tasks)
+    finally:
+        exe.close()
 
 
 # -- public entry points -------------------------------------------------------
@@ -181,21 +242,26 @@ def run_grid(
     fn: Callable[..., Any],
     tasks: Sequence[Mapping[str, Any]],
     *,
+    execution: ExecutionLike = None,
     workers: Optional[int] = None,
-    executor: Optional[Executor] = None,
+    executor: Optional[_FuturesExecutor] = None,
 ) -> list[Any]:
     """Run ``fn(**task)`` for every kwargs-mapping in ``tasks``.
 
     Returns one result per task, **in task order**, regardless of worker
-    count or completion order. With ``workers`` resolving to 1 (the
-    default without ``REPRO_BENCH_WORKERS``) this is a plain in-process
-    loop — no executor, no pickling, zero overhead over writing the loop
-    yourself. Pass ``executor=`` (see :func:`task_pool`) to amortize pool
-    start-up over several calls; the executor's own worker count then
-    applies and ``workers`` is ignored.
+    count or completion order. ``execution=`` selects the engine: an
+    :class:`~repro.harness.executors.ExecutionConfig` (one-shot) or a
+    reusable :class:`~repro.harness.executors.Executor`; ``None`` keeps
+    the historical default (``REPRO_BENCH_WORKERS``, else serial — a
+    plain in-process loop with no pool and no pickling).
+
+    ``workers=``/``executor=`` are deprecated shims with the pre-redesign
+    behaviour; they warn and will go away next release.
     """
     task_list = [dict(t) for t in tasks]
-    return _fan_out(_invoke_kwargs, fn, task_list, workers, executor)
+    return _fan_out(
+        _invoke_kwargs, fn, task_list, workers, executor, execution, "run_grid"
+    )
 
 
 def run_many(
@@ -204,8 +270,9 @@ def run_many(
     *,
     seeds: Optional[Sequence[int]] = None,
     seed: int = 0,
+    execution: ExecutionLike = None,
     workers: Optional[int] = None,
-    executor: Optional[Executor] = None,
+    executor: Optional[_FuturesExecutor] = None,
 ) -> list[Any]:
     """Run ``fn(config)`` (or ``fn(config, seed=...)``) per config.
 
@@ -217,8 +284,8 @@ def run_many(
     via :func:`derive_task_seeds` — identical whether the task runs
     in-process or on any worker.
 
-    Results come back in config order; ``workers``/``executor`` behave as
-    in :func:`run_grid`.
+    Results come back in config order; ``execution`` (and the deprecated
+    ``workers``/``executor`` shims) behave as in :func:`run_grid`.
     """
     config_list = list(configs)
     if seeds is None:
@@ -234,7 +301,9 @@ def run_many(
         (config, task_seed, pass_seed)
         for config, task_seed in zip(config_list, seed_list)
     ]
-    return _fan_out(_invoke_config_seed, fn, tasks, workers, executor)
+    return _fan_out(
+        _invoke_config_seed, fn, tasks, workers, executor, execution, "run_many"
+    )
 
 
 def _accepts_seed(fn: Callable[..., Any]) -> bool:

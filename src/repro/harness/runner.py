@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
-from typing import Any, Callable, Generator, Optional
+from typing import TYPE_CHECKING, Any, Callable, Generator, Optional
 
 from ..config import EngineKind, RdvConfig, TimingModel
 from ..errors import HarnessError
@@ -46,6 +46,9 @@ from ..topology.builder import build_cluster
 from ..topology.machine import Cluster
 from ..topology.numa import NumaModel
 from .parallel import run_many  # noqa: F401  (re-export: runner.run_many)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .executors import ExecutionConfig
 
 __all__ = ["NodeRuntime", "ClusterRuntime", "run_many"]
 
@@ -101,6 +104,8 @@ class ClusterRuntime:
         self.tracer = tracer
         self.rng = rng
         self.engine_kind = engine_kind
+        #: the ExecutionConfig ``build`` was given (None = defaults)
+        self.execution: Optional["ExecutionConfig"] = None
         #: shared fault injector when the platform was built with a plan
         self.fault_injector: Optional[FaultInjector] = None
         #: unified metrics (see ``repro.obs``); ``build`` replaces this with
@@ -135,6 +140,7 @@ class ClusterRuntime:
         recover: bool = True,
         metrics: Optional[bool] = None,
         rdv: Optional[RdvConfig] = None,
+        execution: Optional["ExecutionConfig"] = None,
     ) -> "ClusterRuntime":
         """Assemble a cluster.
 
@@ -160,6 +166,12 @@ class ClusterRuntime:
         ``rdv`` overrides ``timing.rdv`` — shorthand for enabling the
         chunked/striped rendezvous data phase (see
         :class:`repro.config.RdvConfig` and ``docs/rdv.md``).
+
+        ``execution`` is the unified
+        :class:`~repro.harness.executors.ExecutionConfig`: its ``queue``
+        override (when set) beats ``timing.kernel.queue`` for the kernel
+        built here, and the config is stashed on the runtime as
+        ``rt.execution`` so downstream harness calls can reuse it.
         """
         EngineKind.validate(engine)
         if rails < 1:
@@ -173,7 +185,7 @@ class ClusterRuntime:
             timing = dataclasses.replace(
                 timing, faults=dataclasses.replace(timing.faults, enabled=True)
             )
-        sim = Simulator(trace=tracer, queue=timing.kernel.queue)
+        sim = Simulator(trace=tracer, queue=timing.kernel.queue, execution=execution)
         rng = RngStreams(seed)
         cluster = build_cluster(
             nodes=nodes,
@@ -244,6 +256,7 @@ class ClusterRuntime:
                 )
             )
         rt = cls(sim, cluster, node_rts, timing, tracer, rng, engine)
+        rt.execution = execution
         rt.fault_injector = injector
         obs = timing.obs
         enabled = obs.enabled if metrics is None else metrics

@@ -15,7 +15,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping, Optional, Sequence
 
 from ..errors import HarnessError
-from .parallel import run_grid
+from .parallel import ExecutionLike, run_grid
 from .report import format_table
 
 __all__ = ["SweepResult", "sweep"]
@@ -57,6 +57,7 @@ def sweep(
     fn: Callable[..., Mapping[str, Any]],
     grid: Mapping[str, Sequence[Any]],
     *,
+    execution: ExecutionLike = None,
     workers: Optional[int] = None,
     executor: Optional[Executor] = None,
 ) -> SweepResult:
@@ -68,11 +69,14 @@ def sweep(
     metric raises :class:`HarnessError` naming it, instead of surfacing
     later as a bare ``KeyError`` in :meth:`SweepResult.format`.
 
-    ``workers`` fans the grid out over a process pool (``None`` = honour
-    ``REPRO_BENCH_WORKERS``, default serial; ``fn`` must then be a
-    module-level function — see :mod:`repro.harness.parallel`). Row order
-    and content are identical at any worker count. ``executor`` reuses an
-    existing pool (:func:`repro.harness.parallel.task_pool`).
+    ``execution=`` selects the engine (an
+    :class:`~repro.harness.executors.ExecutionConfig` or a reusable
+    :class:`~repro.harness.executors.Executor`); with a pool the grid
+    points fan out over spawn-context workers and ``fn`` must be a
+    module-level function — see :mod:`repro.harness.parallel`. Row order
+    and content are identical at any worker count. The deprecated
+    ``workers=``/``executor=`` shims keep their historical meaning for
+    one release.
     """
     if not grid:
         raise HarnessError("sweep needs at least one parameter")
@@ -81,7 +85,9 @@ def sweep(
         dict(zip(names, values))
         for values in itertools.product(*(grid[n] for n in names))
     ]
-    metric_rows = run_grid(fn, combos, workers=workers, executor=executor)
+    metric_rows = run_grid(
+        fn, combos, execution=execution, workers=workers, executor=executor
+    )
     result: SweepResult | None = None
     for params, metrics in zip(combos, metric_rows):
         metrics = dict(metrics)

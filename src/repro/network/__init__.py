@@ -9,6 +9,12 @@ belongs to :mod:`repro.nmad`.
 """
 
 from .fabric import Fabric
+from .lookahead import (
+    fabric_lookahead_us,
+    nic_lookahead_us,
+    require_lookahead,
+    timing_lookahead_us,
+)
 from .message import CompletionRecord, Packet, PacketKind
 from .nic import Nic
 from .registration import MemoryRegistry
@@ -22,4 +28,8 @@ __all__ = [
     "Fabric",
     "ShmChannel",
     "MemoryRegistry",
+    "require_lookahead",
+    "nic_lookahead_us",
+    "timing_lookahead_us",
+    "fabric_lookahead_us",
 ]

@@ -1,0 +1,90 @@
+"""Lookahead extraction for the partitioned (conservative parallel) kernel.
+
+Conservative parallel-DES (see :mod:`repro.sim.partition`) can only fire an
+event once it knows no remote partition will send anything earlier. The
+guarantee horizon is built from **lookahead**: a lower bound on the delay
+between a send decision on one partition and its earliest possible effect
+on another. In this model that bound is physical — every cross-node packet
+pays at least the one-way wire latency (`Fabric.transmit` adds
+``model.wire_latency_us`` before any bandwidth or drain term), so the wire
+latency of the slowest-free path *is* the lookahead.
+
+This module centralizes the extraction so the partition layer never
+hard-codes knowledge of timing-model internals:
+
+* :func:`nic_lookahead_us` — one NIC model's floor (its wire latency).
+* :func:`timing_lookahead_us` — a whole :class:`~repro.config.TimingModel`.
+* :func:`fabric_lookahead_us` — the min over every NIC attached to a live
+  :class:`~repro.network.fabric.Fabric` (heterogeneous rails take the min:
+  the earliest possible arrival governs safety).
+* :func:`require_lookahead` — validation: conservative synchronization
+  deadlocks at zero lookahead, so a non-positive value is a configuration
+  error, not a warning.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING
+
+from ..config import NicModel, TimingModel
+from ..errors import ConfigError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .fabric import Fabric
+
+__all__ = [
+    "nic_lookahead_us",
+    "timing_lookahead_us",
+    "fabric_lookahead_us",
+    "require_lookahead",
+]
+
+
+def require_lookahead(value: float, context: str = "lookahead") -> float:
+    """Validate a lookahead value: finite and strictly positive.
+
+    Null-message synchronization advances the safe horizon by at least one
+    lookahead per exchange; at zero the horizon never moves and the
+    partitions livelock. Raise :class:`~repro.errors.ConfigError` up front
+    instead of hanging later.
+    """
+    v = float(value)
+    if not math.isfinite(v) or v <= 0.0:
+        raise ConfigError(
+            f"{context} must be a finite value > 0 for conservative "
+            f"synchronization (got {value!r}); zero-latency links cannot "
+            "be split across partitions"
+        )
+    return v
+
+
+def nic_lookahead_us(model: NicModel, context: str = "NicModel") -> float:
+    """The lookahead floor of one NIC model: its one-way wire latency."""
+    return require_lookahead(model.wire_latency_us, f"{context}.wire_latency_us")
+
+
+def timing_lookahead_us(timing: TimingModel) -> float:
+    """Cross-node lookahead implied by a :class:`~repro.config.TimingModel`.
+
+    Every inter-node packet in the model traverses a NIC and pays
+    ``timing.nic.wire_latency_us`` before arrival, so that latency bounds
+    how far one partition's present can reach into another's future.
+    """
+    return nic_lookahead_us(timing.nic, "TimingModel.nic")
+
+
+def fabric_lookahead_us(fabric: "Fabric") -> float:
+    """Min wire latency over every NIC attached to ``fabric``.
+
+    With heterogeneous NICs the *fastest* wire governs safety — a message
+    can always take the quickest path, so the guarantee must assume it.
+    """
+    models = [nic.model for nic in fabric._nics.values()]
+    if not models:
+        raise ConfigError(
+            f"fabric {fabric.name!r} has no attached NICs to derive lookahead from"
+        )
+    return require_lookahead(
+        min(m.wire_latency_us for m in models), f"fabric {fabric.name!r} lookahead"
+    )

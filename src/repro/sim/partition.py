@@ -1,0 +1,1113 @@
+"""Conservative parallel-DES: one cluster simulation across many kernels.
+
+Everything below :mod:`repro.harness` parallelizes *across* runs; this
+module parallelizes *inside* one run. The simulated nodes are sharded
+over partitions, each partition owns a full :class:`~repro.sim.kernel.Simulator`
+(any :mod:`repro.sim.queues` implementation), and the partitions
+synchronize with the classic Chandy–Misra–Bryant null-message protocol:
+
+* Every cross-partition channel carries a **guarantee** — a lower bound
+  on the timestamp of anything that can still arrive on it. The initial
+  guarantee is the channel's **lookahead** (the minimum wire latency
+  between the two node sets, see :mod:`repro.network.lookahead`).
+* A partition only fires events *strictly below* its **horizon** (the
+  min over inbound guarantees); "strictly" because a message may arrive
+  at exactly the horizon with an earlier-sorting priority.
+* Whenever a partition's lower bound advances it sends **null messages**
+  (pure promises, ``lower_bound + lookahead``) so its neighbours' horizons
+  keep moving; real messages carry the same promise implicitly.
+
+Determinism contract (the whole point)
+--------------------------------------
+Per-seed results are **byte-identical** to the serial kernel. The kernel
+fires in ``(time, priority, seq)`` order and ``seq`` — a per-kernel
+scheduling counter — differs between one shared kernel and *k* partition
+kernels. So the partition layer never lets ``seq`` decide: every event it
+schedules gets a packed tuple priority
+
+``(user_priority, kind, origin, counter)``
+
+where local events use ``kind=0, origin=node, counter=per-node counter``
+and message deliveries use ``kind=1, origin=src_node, counter=per-(src,dst)
+channel counter`` assigned at *send* time. Counters depend only on each
+node's own deterministic execution order, so the packed keys — and hence
+the global fire order, node logs, and digests — are identical whichever
+mode runs the plan and whichever queue implementation backs it
+(``tests/sim/test_partition.py`` and ``tests/property/test_prop_partition.py``
+pin this, the same way ``test_kernel_fastpath`` pins the queue equivalence).
+
+Execution modes
+---------------
+``serial``
+    One kernel owns every node — the reference implementation the digests
+    are compared against. Zero synchronization overhead.
+``inproc``
+    *k* partition kernels round-robined cooperatively in this process.
+    Runs the full null-message machinery (same messages, same horizons)
+    without OS processes — this is what the equivalence suite sweeps.
+``process``
+    *k* spawned worker processes, one kernel each, pipes per channel, a
+    coordinator in the parent. The only mode that uses extra cores (the
+    GIL serializes ``inproc``); programs must be picklable (module-level
+    classes) exactly like :func:`repro.harness.parallel.run_grid` tasks.
+
+Bounded runs follow the PR 7 kernel semantics: ``run(until=T)`` fires
+everything ``<= T`` and reports clock ``T``; ``run(max_events=N)`` raises
+only when work remains (process mode may overfire up to ``partitions×N``
+before the guard trips — the raise *decision* is exact, the cut point is
+not); a :meth:`PartitionedSimulation.stop` requested before ``run`` fires
+zero events and is consumed.
+"""
+
+from __future__ import annotations
+
+import math
+import pickle
+from dataclasses import dataclass
+from functools import cached_property
+from typing import Any, Callable, Optional, Sequence, Union
+
+from ..errors import ConfigError, SimulationError
+from .events import Priority
+from .kernel import Simulator
+from .queues import EventQueue
+from .rng import RngStreams
+
+__all__ = [
+    "PARTITION_MODES",
+    "PartitionPlan",
+    "PartitionProgram",
+    "NodeContext",
+    "PartitionedSimulation",
+]
+
+_INF = float("inf")
+_NEG_INF = float("-inf")
+
+#: execution modes accepted by :class:`PartitionedSimulation`
+PARTITION_MODES = ("serial", "inproc", "process")
+
+#: seconds the coordinator waits on worker pipes before declaring the
+#: partitioned run wedged (a crashed worker surfaces as EOF much earlier)
+_WORKER_WAIT_S = 300.0
+
+
+# ---------------------------------------------------------------------------
+# plan
+
+
+@dataclass(frozen=True)
+class PartitionPlan:
+    """Static description of a partitioned run: topology + sharding.
+
+    ``assignment[i]`` is the partition owning node ``i``. ``latency_us``
+    is the uniform node-to-node message latency; ``links`` (optional,
+    ``nodes × nodes``) overrides it per directed pair. Cross-partition
+    latencies are the **lookahead** and must be strictly positive —
+    conservative synchronization cannot make progress across a
+    zero-latency cut (:func:`repro.network.lookahead.require_lookahead`).
+    """
+
+    nodes: int
+    partitions: int
+    assignment: tuple[int, ...]
+    latency_us: float = 2.0
+    links: Optional[tuple[tuple[float, ...], ...]] = None
+
+    def __post_init__(self) -> None:
+        if self.nodes < 1:
+            raise ConfigError(f"plan needs >= 1 node, got {self.nodes}")
+        if not 1 <= self.partitions <= self.nodes:
+            raise ConfigError(
+                f"partitions must be in 1..nodes ({self.nodes}), got {self.partitions}"
+            )
+        if len(self.assignment) != self.nodes:
+            raise ConfigError(
+                f"assignment has {len(self.assignment)} entries for {self.nodes} nodes"
+            )
+        seen = set()
+        for node, pid in enumerate(self.assignment):
+            if not 0 <= pid < self.partitions:
+                raise ConfigError(
+                    f"node {node} assigned to partition {pid}, valid range is "
+                    f"0..{self.partitions - 1}"
+                )
+            seen.add(pid)
+        if len(seen) != self.partitions:
+            empty = sorted(set(range(self.partitions)) - seen)
+            raise ConfigError(f"partitions {empty} own no nodes")
+        if self.links is not None:
+            if len(self.links) != self.nodes or any(
+                len(row) != self.nodes for row in self.links
+            ):
+                raise ConfigError(
+                    f"links must be a {self.nodes}x{self.nodes} matrix"
+                )
+            for row in self.links:
+                for v in row:
+                    if not math.isfinite(v) or v < 0:
+                        raise ConfigError(f"link latency must be finite >= 0, got {v!r}")
+        elif not math.isfinite(self.latency_us) or self.latency_us < 0:
+            raise ConfigError(
+                f"latency_us must be finite >= 0, got {self.latency_us!r}"
+            )
+        # force lookahead validation up front: a bad cut should fail at
+        # plan construction in every mode, not hang the first parallel run
+        self._lookahead  # noqa: B018
+
+    # -- construction helpers ----------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        nodes: int,
+        partitions: int = 2,
+        *,
+        latency_us: float = 2.0,
+        links: Optional[Any] = None,
+        assignment: Optional[Sequence[int]] = None,
+    ) -> "PartitionPlan":
+        """Plan with block assignment (contiguous node ranges) by default.
+
+        ``links`` is either a full ``nodes × nodes`` latency matrix or a
+        sparse ``{(src, dst): latency}`` mapping of per-directed-pair
+        overrides on top of the uniform ``latency_us``."""
+        if assignment is None:
+            if not 1 <= partitions <= max(nodes, 1):
+                raise ConfigError(
+                    f"partitions must be in 1..nodes ({nodes}), got {partitions}"
+                )
+            assignment = tuple(i * partitions // nodes for i in range(nodes))
+        if isinstance(links, dict):
+            matrix = [[float(latency_us)] * nodes for _ in range(nodes)]
+            for (src, dst), v in links.items():
+                if not (0 <= src < nodes and 0 <= dst < nodes):
+                    raise ConfigError(
+                        f"link override ({src}, {dst}) outside 0..{nodes - 1}"
+                    )
+                matrix[src][dst] = float(v)
+            links = matrix
+        frozen_links = (
+            tuple(tuple(float(v) for v in row) for row in links)
+            if links is not None
+            else None
+        )
+        return cls(
+            nodes=nodes,
+            partitions=partitions,
+            assignment=tuple(int(a) for a in assignment),
+            latency_us=float(latency_us),
+            links=frozen_links,
+        )
+
+    @classmethod
+    def from_timing(
+        cls,
+        nodes: int,
+        partitions: int = 2,
+        *,
+        timing: Any = None,
+        assignment: Optional[Sequence[int]] = None,
+    ) -> "PartitionPlan":
+        """Plan whose uniform latency is the wire latency of a
+        :class:`~repro.config.TimingModel` (default model when ``None``) —
+        the same number ``Fabric.transmit`` charges every packet, extracted
+        via :func:`repro.network.lookahead.timing_lookahead_us`."""
+        from ..config import TimingModel
+        from ..network.lookahead import timing_lookahead_us
+
+        return cls.build(
+            nodes,
+            partitions,
+            latency_us=timing_lookahead_us(timing or TimingModel()),
+            assignment=assignment,
+        )
+
+    # -- queries ------------------------------------------------------------
+
+    def pair_latency_us(self, src: int, dst: int) -> float:
+        """Message latency from node ``src`` to node ``dst``."""
+        if self.links is not None:
+            return self.links[src][dst]
+        return self.latency_us
+
+    def part_nodes(self, pid: int) -> tuple[int, ...]:
+        """Nodes owned by partition ``pid`` (ascending)."""
+        return tuple(i for i, a in enumerate(self.assignment) if a == pid)
+
+    def partition_of(self, node: int) -> int:
+        """The partition owning ``node``."""
+        return self.assignment[node]
+
+    @cached_property
+    def _lookahead(self) -> dict[tuple[int, int], float]:
+        """Min latency between every ordered partition pair (validated > 0)."""
+        from ..network.lookahead import require_lookahead
+
+        by_part: list[list[int]] = [[] for _ in range(self.partitions)]
+        for node, pid in enumerate(self.assignment):
+            by_part[pid].append(node)
+        table: dict[tuple[int, int], float] = {}
+        for sp in range(self.partitions):
+            for dp in range(self.partitions):
+                if sp == dp:
+                    continue
+                lo = min(
+                    self.pair_latency_us(u, v)
+                    for u in by_part[sp]
+                    for v in by_part[dp]
+                )
+                table[(sp, dp)] = require_lookahead(
+                    lo, f"partition {sp}->{dp} lookahead"
+                )
+        return table
+
+    def lookahead_us(self, src_part: int, dst_part: int) -> float:
+        """Lookahead of the channel ``src_part -> dst_part``."""
+        return self._lookahead[(src_part, dst_part)]
+
+
+# ---------------------------------------------------------------------------
+# program surface
+
+
+class PartitionProgram:
+    """A simulated application running on every node of a plan.
+
+    Subclass and implement :meth:`setup` / :meth:`on_message`; instances
+    must be picklable (module-level class, picklable attributes) to run in
+    ``process`` mode — the same spawn rule as
+    :func:`repro.harness.parallel.run_grid` task functions.
+    """
+
+    def setup(self, ctx: "NodeContext") -> None:
+        """Called once per node at t=0 to schedule the initial events."""
+        raise NotImplementedError
+
+    def on_message(self, ctx: "NodeContext", src: int, payload: Any) -> None:
+        """Called when a message from node ``src`` arrives at ``ctx``'s node."""
+        raise NotImplementedError
+
+
+class NodeContext:
+    """Per-node API handed to :class:`PartitionProgram` callbacks.
+
+    Everything a node does flows through here so the partition layer can
+    stamp the mode-independent ordering keys (see the module docstring):
+    local timers via :meth:`schedule`, cross-node traffic via :meth:`send`,
+    observable results via :meth:`log`.
+    """
+
+    __slots__ = ("index", "state", "rng", "_part", "_log", "_seq")
+
+    def __init__(self, index: int, rng: RngStreams, part: "_Partition") -> None:
+        self.index = index
+        #: free-form per-node storage for the program
+        self.state: dict[str, Any] = {}
+        #: node-private seeded substreams (identical in every mode)
+        self.rng = rng
+        self._part = part
+        self._log: list[tuple[Any, ...]] = []
+        self._seq = 0
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in µs."""
+        return self._part.sim.now
+
+    @property
+    def nodes(self) -> int:
+        """Total node count of the plan."""
+        return self._part.plan.nodes
+
+    def log(self, *fields: Any) -> None:
+        """Append ``(now, *fields)`` to this node's result log — the
+        material of the cross-mode trace digest."""
+        self._log.append((self._part.sim.now, *fields))
+
+    def schedule(
+        self,
+        delay: float,
+        fn: Callable[..., Any],
+        *args: Any,
+        priority: int = Priority.NORMAL,
+    ) -> None:
+        """Run ``fn(*args)`` on this node ``delay`` µs from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past: delay={delay}")
+        self._seq += 1
+        self._part.sim.schedule(
+            delay, fn, *args, priority=(int(priority), 0, self.index, self._seq)
+        )
+
+    def send(
+        self,
+        dst: int,
+        payload: Any = None,
+        *,
+        delay: float = 0.0,
+        priority: int = Priority.NORMAL,
+    ) -> None:
+        """Send ``payload`` to node ``dst``; it arrives after the plan's
+        pair latency plus ``delay`` (extra serialization/drain time)."""
+        self._part.send(self.index, dst, payload, delay, int(priority))
+
+
+# ---------------------------------------------------------------------------
+# partition core (shared by every mode)
+
+
+class _BudgetExceeded(Exception):
+    """Internal: a partition hit its share of ``max_events``."""
+
+
+class _Partition:
+    """One logical process: a kernel plus the nodes it owns.
+
+    The same object backs all three modes — ``serial`` instantiates one
+    with every node and no channels; the parallel modes instantiate one
+    per partition and wire :attr:`emit` to the transport (inbox list or
+    pipe). All CMB state lives here: inbound guarantees, outbound
+    promises, per-channel message counters, and the stats the metrics
+    layer exports.
+    """
+
+    def __init__(
+        self,
+        plan: PartitionPlan,
+        program: PartitionProgram,
+        owned: Sequence[int],
+        seed: int,
+        queue: Union[str, EventQueue],
+        pid: int,
+        channels: bool,
+    ) -> None:
+        self.plan = plan
+        self.program = program
+        self.pid = pid
+        self.owned = tuple(owned)
+        self.sim = Simulator(queue=queue)
+        root = RngStreams(seed)
+        self.ctxs: dict[int, NodeContext] = {
+            i: NodeContext(i, root.fork(f"node:{i}"), self) for i in self.owned
+        }
+        self._is_local = [False] * plan.nodes
+        for i in self.owned:
+            self._is_local[i] = True
+        self._chan_seq: dict[tuple[int, int], int] = {}
+        #: transport for cross-partition messages; set by the engine
+        self.emit: Callable[[int, tuple[Any, ...]], None] = _no_emit
+        peers = [q for q in range(plan.partitions) if q != pid] if channels else []
+        #: inbound guarantee per source partition (arrivals are >= this)
+        self.guarantee: dict[int, float] = {
+            q: plan.lookahead_us(q, pid) for q in peers
+        }
+        #: highest promise already sent per destination partition
+        self.out_promised: dict[int, float] = {
+            q: plan.lookahead_us(pid, q) for q in peers
+        }
+        #: time of the last event actually fired (kept by an observer —
+        #: ``sim.now`` lands on synchronization bounds, not event times)
+        self.last_fired = 0.0
+        if channels:
+            self.sim.add_observer(self._record_fired)
+        k = plan.partitions
+        self.sent_counts = [0] * k
+        self.recv_counts = [0] * k
+        self.nulls_sent = 0
+        self.nulls_received = 0
+        self.msgs_sent = 0
+        self.msgs_received = 0
+        self.lookahead_stalls = 0
+        self.horizon_advances = 0
+
+    def _record_fired(self, now: float) -> None:
+        self.last_fired = now
+
+    def setup(self) -> None:
+        for i in self.owned:
+            self.program.setup(self.ctxs[i])
+
+    # -- traffic -------------------------------------------------------------
+
+    def send(self, src: int, dst: int, payload: Any, delay: float, priority: int) -> None:
+        plan = self.plan
+        if not 0 <= dst < plan.nodes:
+            raise SimulationError(f"send to unknown node {dst} (plan has {plan.nodes})")
+        if delay < 0:
+            raise SimulationError(f"send delay must be >= 0, got {delay}")
+        key = (src, dst)
+        seq = self._chan_seq.get(key, 0) + 1
+        self._chan_seq[key] = seq
+        t = self.sim.now
+        arrive = t + plan.pair_latency_us(src, dst) + delay
+        pri = (priority, 1, src, seq)
+        if self._is_local[dst]:
+            self.sim.schedule_at(arrive, self._deliver, dst, src, payload, priority=pri)
+        else:
+            q = plan.assignment[dst]
+            promise = t + plan.lookahead_us(self.pid, q)
+            self.msgs_sent += 1
+            self.sent_counts[q] += 1
+            self.emit(q, ("m", dst, src, arrive, pri, payload, promise))
+            if promise > self.out_promised[q]:
+                self.out_promised[q] = promise
+
+    def _deliver(self, dst: int, src: int, payload: Any) -> None:
+        self.program.on_message(self.ctxs[dst], src, payload)
+
+    def receive(self, msg: tuple[Any, ...]) -> None:
+        """Apply one inter-partition message (real or null)."""
+        if msg[0] == "m":
+            _, dst, src, arrive, pri, payload, promise = msg
+            self.msgs_received += 1
+            src_part = self.plan.assignment[src]
+            self.recv_counts[src_part] += 1
+            if promise > self.guarantee[src_part]:
+                self.guarantee[src_part] = promise
+                self.horizon_advances += 1
+            if arrive < self.sim.now:
+                raise SimulationError(
+                    f"causality violated: partition {self.pid} at t={self.sim.now} "
+                    f"received a message for t={arrive} (lookahead misdeclared?)"
+                )
+            self.sim.schedule_at(arrive, self._deliver, dst, src, payload, priority=pri)
+        else:  # ("n", src_part, promise)
+            _, src_part, promise = msg
+            self.nulls_received += 1
+            if promise > self.guarantee[src_part]:
+                self.guarantee[src_part] = promise
+                self.horizon_advances += 1
+
+    # -- CMB machinery -------------------------------------------------------
+
+    def horizon(self) -> float:
+        """Min inbound guarantee — nothing can arrive before this."""
+        g = self.guarantee
+        return min(g.values()) if g else _INF
+
+    def lower_bound(self) -> float:
+        """Earliest time this partition could still send anything."""
+        t = self.sim.peek_time()
+        h = self.horizon()
+        return h if t is None else min(t, h)
+
+    def flush_nulls(self, until: Optional[float] = None) -> bool:
+        """Promise ``lower_bound + lookahead`` to every neighbour whose
+        recorded promise it beats. In bounded runs promises stop growing
+        once past ``until`` — neighbours only need ``> until`` to finish,
+        and the cap stops idle partitions flooding each other."""
+        if not self.out_promised:
+            return False
+        lb = self.lower_bound()
+        advanced = False
+        for q, promised in self.out_promised.items():
+            if until is not None and promised > until:
+                continue
+            promise = lb + self.plan.lookahead_us(self.pid, q)
+            if promise > promised:
+                self.out_promised[q] = promise
+                self.nulls_sent += 1
+                self.emit(q, ("n", self.pid, promise))
+                advanced = True
+        return advanced
+
+    def advance(self, until: Optional[float], budget: Optional[int]) -> int:
+        """Fire every safe event: strictly below the horizon, bounded by
+        ``until``. Returns the number fired; raises :class:`_BudgetExceeded`
+        when the kernel's ``max_events`` guard trips on ``budget``."""
+        sim = self.sim
+        h = self.horizon()
+        if h is _INF or h == _INF:
+            bound = until
+        else:
+            # strictly below the horizon: an arrival at exactly h may sort
+            # before anything local scheduled there
+            strict = math.nextafter(h, _NEG_INF)
+            bound = strict if until is None else min(strict, until)
+        before = sim.events_fired
+        try:
+            sim.run(until=bound, max_events=budget)
+        except SimulationError as exc:
+            if "max_events" in str(exc):
+                raise _BudgetExceeded from None
+            raise
+        fired = sim.events_fired - before
+        if fired == 0 and self.guarantee:
+            t = sim.peek_time()
+            if t is not None and t >= h and (until is None or t <= until):
+                self.lookahead_stalls += 1
+        return fired
+
+    def done(self, until: Optional[float]) -> bool:
+        """No fireable work left in this phase (transport state excluded)."""
+        t = self.sim.peek_time()
+        if until is None:
+            return t is None
+        return t is None or t > until
+
+    def stats(self) -> dict[str, Any]:
+        return {
+            "partition": self.pid,
+            "nodes": len(self.owned),
+            "events_fired": self.sim.events_fired,
+            "msgs_sent": self.msgs_sent,
+            "msgs_received": self.msgs_received,
+            "null_msgs_sent": self.nulls_sent,
+            "null_msgs_received": self.nulls_received,
+            "lookahead_stalls": self.lookahead_stalls,
+            "horizon_advances": self.horizon_advances,
+            "last_event_us": self.last_fired,
+        }
+
+    def node_logs(self) -> dict[int, list[tuple[Any, ...]]]:
+        return {i: list(ctx._log) for i, ctx in self.ctxs.items()}
+
+
+def _no_emit(dst_part: int, msg: tuple[Any, ...]) -> None:  # pragma: no cover
+    raise SimulationError("partition transport not wired (engine bug)")
+
+
+# ---------------------------------------------------------------------------
+# process-mode worker (module-level: pickled by reference under spawn)
+
+
+def _partition_worker(
+    pid: int,
+    plan: PartitionPlan,
+    program: PartitionProgram,
+    seed: int,
+    queue: str,
+    in_conns: dict[int, Any],
+    out_conns: dict[int, Any],
+    ctrl: Any,
+) -> None:
+    """Worker REPL: owns one partition kernel, obeys run/collect/close."""
+    part = _Partition(plan, program, plan.part_nodes(pid), seed, queue, pid, True)
+    part.emit = lambda q, msg: out_conns[q].send(msg)
+    part.setup()
+    try:
+        while True:
+            cmd = ctrl.recv()
+            op = cmd[0]
+            if op == "run":
+                _worker_run(part, in_conns, ctrl, cmd[1], cmd[2])
+            elif op == "collect":
+                ctrl.send(
+                    (
+                        "logs",
+                        pid,
+                        part.node_logs(),
+                        part.stats(),
+                        part.sim.events_fired,
+                        part.last_fired,
+                    )
+                )
+            elif op == "close":
+                return
+    except (EOFError, KeyboardInterrupt):  # parent went away
+        return
+
+
+def _worker_run(
+    part: _Partition,
+    in_conns: dict[int, Any],
+    ctrl: Any,
+    until: Optional[float],
+    budget: Optional[int],
+) -> None:
+    """One run phase: advance/flush/report until the coordinator ends it."""
+    from multiprocessing.connection import wait
+
+    pid = part.pid
+    remaining = budget
+    fired_at_start = part.sim.events_fired
+    wait_list = list(in_conns.values()) + [ctrl]
+    reported: Optional[tuple[Any, ...]] = None
+    announced_done = False
+    exhausted = False
+    while True:
+        for conn in in_conns.values():
+            while conn.poll():
+                part.receive(conn.recv())
+        while ctrl.poll():
+            m = ctrl.recv()
+            if m[0] == "phase_end":
+                ctrl.send(
+                    (
+                        "phase_ack",
+                        pid,
+                        part.sim.events_fired - fired_at_start,
+                        part.last_fired,
+                    )
+                )
+                return
+            if m[0] == "probe":
+                ctrl.send(
+                    (
+                        "probe_ack",
+                        pid,
+                        m[1],
+                        part.done(until),
+                        tuple(part.sent_counts),
+                        tuple(part.recv_counts),
+                    )
+                )
+        fired = 0
+        if not exhausted:
+            try:
+                fired = part.advance(until, remaining)
+            except _BudgetExceeded:
+                exhausted = True
+                part.flush_nulls(until)
+                ctrl.send(("exhausted", pid))
+            else:
+                if remaining is not None:
+                    remaining -= fired
+                part.flush_nulls(until)
+        if until is not None and not announced_done:
+            # permanent in bounded runs: horizon beyond the bound means no
+            # arrival <= until can ever materialize
+            if part.done(until) and part.horizon() > until:
+                announced_done = True
+                ctrl.send(("done", pid))
+        elif until is None:
+            snap = (part.done(None), tuple(part.sent_counts), tuple(part.recv_counts))
+            if snap[0] and snap != reported:
+                reported = snap
+                ctrl.send(("idle", pid, snap[1], snap[2]))
+        if fired == 0:
+            # blocked (on the horizon, the bound, or the budget): sleep
+            # until a null, a message, or the coordinator wakes us
+            wait(wait_list)
+
+
+# ---------------------------------------------------------------------------
+# facade
+
+
+class PartitionedSimulation:
+    """Run a :class:`PartitionProgram` over a :class:`PartitionPlan`.
+
+    ``mode`` is one of :data:`PARTITION_MODES` (``"auto"`` picks ``serial``
+    for one partition, ``process`` otherwise). The surface mirrors the
+    kernel: :meth:`run` (``until``/``max_events``), :meth:`stop`,
+    :attr:`now`, :attr:`events_fired` — plus :meth:`node_logs`,
+    :meth:`trace_digest` (the cross-mode equivalence fingerprint),
+    :meth:`partition_stats`, and :meth:`attach_metrics` for the
+    observability registry. Process mode holds worker processes between
+    :meth:`run` calls; use :meth:`close` (or a ``with`` block) to tear
+    them down.
+    """
+
+    def __init__(
+        self,
+        program: PartitionProgram,
+        plan: PartitionPlan,
+        *,
+        seed: int = 0,
+        queue: str = "calendar",
+        mode: str = "auto",
+    ) -> None:
+        if mode == "auto":
+            mode = "serial" if plan.partitions == 1 else "process"
+        if mode not in PARTITION_MODES:
+            raise ConfigError(
+                f"unknown partition mode {mode!r}; expected one of "
+                f"{PARTITION_MODES} or 'auto'"
+            )
+        self.plan = plan
+        self.program = program
+        self.seed = int(seed)
+        self.queue_kind = queue
+        self.mode = mode
+        self._now = 0.0
+        self._fired = 0
+        self._stop_pending = False
+        self._closed = False
+        self._parts: list[_Partition] = []
+        self._inboxes: list[list[tuple[Any, ...]]] = []
+        # process-mode plumbing
+        self._procs: list[Any] = []
+        self._ctrls: list[Any] = []
+        self._cache: Optional[list[tuple[dict, dict, int, float]]] = None
+        if mode == "serial":
+            part = _Partition(
+                plan, program, range(plan.nodes), self.seed, queue, 0, False
+            )
+            part.setup()
+            self._parts = [part]
+        elif mode == "inproc":
+            k = plan.partitions
+            self._inboxes = [[] for _ in range(k)]
+            boxes = self._inboxes
+            for pid in range(k):
+                part = _Partition(
+                    plan, program, plan.part_nodes(pid), self.seed, queue, pid, True
+                )
+                part.emit = lambda q, msg, _b=boxes: _b[q].append(msg)
+                part.setup()
+                self._parts.append(part)
+        # process mode spawns lazily on the first run()
+
+    # -- kernel-mirror surface ----------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Virtual time reached by the last :meth:`run` (µs)."""
+        return self._now
+
+    @property
+    def events_fired(self) -> int:
+        """Total events fired across every partition."""
+        if self.mode == "process":
+            return self._fired
+        return sum(p.sim.events_fired for p in self._parts)
+
+    def stop(self) -> None:
+        """Make the next :meth:`run` fire zero events (then consumed) —
+        the pre-run ``stop`` semantics of the serial kernel."""
+        self._stop_pending = True
+
+    def run(
+        self, until: Optional[float] = None, max_events: Optional[int] = None
+    ) -> float:
+        """Run to completion, to ``until``, or until ``max_events`` trips."""
+        if self._closed:
+            raise SimulationError("PartitionedSimulation is closed")
+        if self._stop_pending:
+            self._stop_pending = False
+            return self._now
+        self._cache = None
+        if self.mode == "serial":
+            end = self._parts[0].sim.run(until=until, max_events=max_events)
+            self._now = end
+            return end
+        if self.mode == "inproc":
+            return self._run_inproc(until, max_events)
+        return self._run_process(until, max_events)
+
+    def _runaway(self, max_events: int) -> SimulationError:
+        return SimulationError(
+            f"exceeded max_events={max_events} at t={self._now:.3f}µs "
+            "(runaway simulation?)"
+        )
+
+    # -- inproc engine -------------------------------------------------------
+
+    def _run_inproc(self, until: Optional[float], max_events: Optional[int]) -> float:
+        parts = self._parts
+        boxes = self._inboxes
+        remaining = max_events
+        while True:
+            for pid, part in enumerate(parts):
+                box = boxes[pid]
+                if box:
+                    for msg in box:
+                        part.receive(msg)
+                    box.clear()
+            if all(p.done(until) for p in parts) and not any(boxes):
+                break
+            progressed = False
+            for pid, part in enumerate(parts):
+                box = boxes[pid]
+                if box:
+                    for msg in box:
+                        part.receive(msg)
+                    box.clear()
+                try:
+                    fired = part.advance(until, remaining)
+                except _BudgetExceeded:
+                    assert max_events is not None
+                    self._now = max(self._now, max(p.last_fired for p in parts))
+                    raise self._runaway(max_events) from None
+                if remaining is not None:
+                    remaining -= fired
+                if part.flush_nulls(until) or fired:
+                    progressed = True
+            if not progressed:
+                if all(p.done(until) for p in parts) and not any(boxes):
+                    break
+                raise SimulationError(
+                    "partitions stalled without progress — lookahead too "
+                    "small to advance any horizon (plan bug?)"
+                )
+        if until is not None:
+            self._now = max(self._now, until)
+        else:
+            self._now = max(self._now, max(p.last_fired for p in parts))
+        return self._now
+
+    # -- process engine ------------------------------------------------------
+
+    def _ensure_workers(self) -> None:
+        if self._procs:
+            return
+        import multiprocessing as mp
+
+        try:
+            pickle.dumps(self.program)
+        except Exception as exc:
+            raise SimulationError(
+                f"program {type(self.program).__name__} is not spawn-safe: "
+                "process-mode workers receive it by pickle, so it must be an "
+                "instance of a module-level class with picklable attributes "
+                "(or run with mode='inproc')"
+            ) from exc
+        ctx = mp.get_context("spawn")
+        k = self.plan.partitions
+        # one unidirectional pipe per ordered partition pair, plus one
+        # duplex control pipe per worker
+        recv_of: list[dict[int, Any]] = [{} for _ in range(k)]
+        send_of: list[dict[int, Any]] = [{} for _ in range(k)]
+        for src in range(k):
+            for dst in range(k):
+                if src == dst:
+                    continue
+                r, w = ctx.Pipe(duplex=False)
+                recv_of[dst][src] = r
+                send_of[src][dst] = w
+        for pid in range(k):
+            parent_ctrl, child_ctrl = ctx.Pipe(duplex=True)
+            proc = ctx.Process(
+                target=_partition_worker,
+                args=(
+                    pid,
+                    self.plan,
+                    self.program,
+                    self.seed,
+                    self.queue_kind,
+                    recv_of[pid],
+                    send_of[pid],
+                    child_ctrl,
+                ),
+                daemon=True,
+            )
+            proc.start()
+            child_ctrl.close()
+            for conn in recv_of[pid].values():
+                conn.close()
+            for conn in send_of[pid].values():
+                conn.close()
+            self._procs.append(proc)
+            self._ctrls.append(parent_ctrl)
+
+    def _recv_ctrl(self, conn: Any) -> tuple[Any, ...]:
+        try:
+            return conn.recv()
+        except (EOFError, ConnectionResetError):
+            raise SimulationError(
+                "a partition worker died mid-run (see stderr for its traceback)"
+            ) from None
+
+    def _run_process(self, until: Optional[float], max_events: Optional[int]) -> float:
+        from multiprocessing.connection import wait
+
+        self._ensure_workers()
+        k = self.plan.partitions
+        for ctrl in self._ctrls:
+            ctrl.send(("run", until, max_events))
+        done: set[int] = set()
+        idle: dict[int, tuple[Any, ...]] = {}
+        exhausted = False
+        probe_id = 0
+        pending_probe: Optional[tuple[int, dict[int, tuple[Any, ...]]]] = None
+        probe_acks: dict[int, tuple[Any, ...]] = {}
+        while True:
+            if until is not None and len(done) == k:
+                break
+            if exhausted:
+                break
+            ready = wait(self._ctrls, timeout=_WORKER_WAIT_S)
+            if not ready:
+                raise SimulationError(
+                    f"partition workers made no progress for {_WORKER_WAIT_S}s "
+                    "(wedged run?)"
+                )
+            for conn in ready:
+                while conn.poll():
+                    m = self._recv_ctrl(conn)
+                    op = m[0]
+                    if op == "done":
+                        done.add(m[1])
+                    elif op == "idle":
+                        idle[m[1]] = (m[2], m[3])
+                        pending_probe = None  # state moved; restart detection
+                    elif op == "exhausted":
+                        exhausted = True
+                    elif op == "probe_ack":
+                        _, pid, ack_id, is_idle, sent, recv = m
+                        if pending_probe is not None and ack_id == pending_probe[0]:
+                            probe_acks[pid] = (is_idle, sent, recv)
+            if until is None and not exhausted:
+                if pending_probe is not None:
+                    if len(probe_acks) == k:
+                        snap = pending_probe[1]
+                        stable = all(
+                            probe_acks[p][0]
+                            and (probe_acks[p][1], probe_acks[p][2]) == snap[p]
+                            for p in range(k)
+                        )
+                        pending_probe = None
+                        if stable:
+                            break
+                elif len(idle) == k and self._counts_balanced(idle, k):
+                    probe_id += 1
+                    pending_probe = (probe_id, dict(idle))
+                    probe_acks = {}
+                    for ctrl in self._ctrls:
+                        ctrl.send(("probe", probe_id))
+        # end the phase and collect exact per-worker totals
+        for ctrl in self._ctrls:
+            ctrl.send(("phase_end",))
+        fired_total = 0
+        last_fired = 0.0
+        for ctrl in self._ctrls:
+            while True:
+                m = self._recv_ctrl(ctrl)
+                if m[0] == "phase_ack":
+                    fired_total += m[2]
+                    last_fired = max(last_fired, m[3])
+                    break
+        self._fired += fired_total
+        if until is not None:
+            self._now = max(self._now, until)
+        else:
+            self._now = max(self._now, last_fired)
+        if max_events is not None and (exhausted or fired_total > max_events):
+            raise self._runaway(max_events)
+        return self._now
+
+    @staticmethod
+    def _counts_balanced(idle: dict[int, tuple[Any, ...]], k: int) -> bool:
+        """Every channel's sent total equals its receiver's recv total."""
+        return all(
+            idle[p][0][q] == idle[q][1][p]
+            for p in range(k)
+            for q in range(k)
+            if p != q
+        )
+
+    # -- results -------------------------------------------------------------
+
+    def _collect(self) -> list[tuple[dict, dict, int, float]]:
+        """Per-partition ``(logs, stats, events_fired, last_fired)``."""
+        if self.mode != "process":
+            return [
+                (p.node_logs(), p.stats(), p.sim.events_fired, p.last_fired)
+                for p in self._parts
+            ]
+        if self._cache is not None:
+            return self._cache
+        if self._closed:
+            raise SimulationError(
+                "PartitionedSimulation was closed before results were collected"
+            )
+        if not self._procs:
+            self._ensure_workers()  # setup() ran; pre-run logs may matter
+        for ctrl in self._ctrls:
+            ctrl.send(("collect",))
+        rows: list[Optional[tuple[dict, dict, int, float]]] = [None] * len(
+            self._ctrls
+        )
+        for ctrl in self._ctrls:
+            while True:
+                m = self._recv_ctrl(ctrl)
+                if m[0] == "logs":
+                    rows[m[1]] = (m[2], m[3], m[4], m[5])
+                    break
+        self._cache = [row for row in rows if row is not None]
+        self._fired = sum(row[2] for row in self._cache)
+        return self._cache
+
+    def node_logs(self) -> list[list[tuple[Any, ...]]]:
+        """Every node's log, indexed by node — identical in every mode."""
+        merged: list[list[tuple[Any, ...]]] = [[] for _ in range(self.plan.nodes)]
+        for logs, _stats, _fired, _last in self._collect():
+            for node, entries in logs.items():
+                merged[node] = list(entries)
+        return merged
+
+    def trace_digest(self) -> str:
+        """BLAKE2 fingerprint of every node log — the byte-identity check
+        between serial and partitioned executions."""
+        import hashlib
+
+        payload = repr(tuple(tuple(log) for log in self.node_logs()))
+        return hashlib.blake2b(payload.encode("utf-8"), digest_size=16).hexdigest()
+
+    def partition_stats(self) -> list[dict[str, Any]]:
+        """CMB counters per partition (null messages, stalls, horizons)."""
+        return [dict(stats) for _logs, stats, _fired, _last in self._collect()]
+
+    def stats(self) -> dict[str, Any]:
+        """Aggregate run statistics across partitions."""
+        per = self.partition_stats()
+        out: dict[str, Any] = {
+            "mode": self.mode,
+            "partitions": self.plan.partitions,
+            "nodes": self.plan.nodes,
+            "time_us": self._now,
+            "events_fired": self.events_fired,
+        }
+        for key in (
+            "msgs_sent",
+            "msgs_received",
+            "null_msgs_sent",
+            "null_msgs_received",
+            "lookahead_stalls",
+            "horizon_advances",
+        ):
+            out[key] = sum(p[key] for p in per)
+        return out
+
+    def attach_metrics(self, registry: Any) -> None:
+        """Register per-partition collectors (``pdes.p{i}``) plus an
+        aggregate (``pdes``) on a :class:`repro.obs.MetricsRegistry`."""
+        registry.register_collector(
+            "pdes",
+            lambda: {
+                k: v
+                for k, v in self.stats().items()
+                if k not in ("mode",)
+            },
+        )
+        for pid in range(self.plan.partitions if self.mode != "serial" else 1):
+            registry.register_collector(
+                f"pdes.p{pid}", lambda p=pid: self.partition_stats()[p]
+            )
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Tear down process-mode workers (idempotent; other modes no-op)."""
+        if self._closed:
+            return
+        if self.mode == "process" and self._procs and self._cache is None:
+            try:
+                self._collect()  # preserve logs/stats for post-close reads
+            except (SimulationError, OSError):
+                pass
+        self._closed = True
+        if self.mode != "process" or not self._procs:
+            return
+        for ctrl in self._ctrls:
+            try:
+                ctrl.send(("close",))
+            except (BrokenPipeError, OSError):
+                pass
+        for proc in self._procs:
+            proc.join(timeout=5.0)
+            if proc.is_alive():  # pragma: no cover - stuck worker
+                proc.terminate()
+                proc.join(timeout=5.0)
+        for ctrl in self._ctrls:
+            ctrl.close()
+        self._procs.clear()
+        self._ctrls.clear()
+
+    def __enter__(self) -> "PartitionedSimulation":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()

@@ -4,6 +4,12 @@ Covers worker-count resolution, spawn-safety rejection, order
 preservation, serial/parallel equivalence, seed derivation, and executor
 reuse. The heavier "byte-identical across worker counts" properties live
 in ``tests/property/test_prop_parallel.py``.
+
+This file deliberately keeps using the deprecated ``workers=``/
+``executor=``/``task_pool`` spellings: it doubles as the regression
+suite for those one-release shims (the warnings themselves are pinned in
+``tests/harness/test_executors.py``), so their DeprecationWarnings are
+filtered here rather than fixed.
 """
 
 from __future__ import annotations
@@ -20,7 +26,10 @@ from repro.harness.parallel import (
     task_pool,
 )
 
-pytestmark = pytest.mark.perf
+pytestmark = [
+    pytest.mark.perf,
+    pytest.mark.filterwarnings("ignore::DeprecationWarning"),
+]
 
 
 @pytest.fixture(scope="module")

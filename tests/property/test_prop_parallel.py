@@ -1,10 +1,11 @@
 """Property tests: parallel execution is invisible in the results.
 
-The determinism contract of ``repro.harness.parallel`` — ``workers=N``
-produces byte-identical results to ``workers=1`` — checked with
+The determinism contract of ``repro.harness.parallel`` — a pool engine
+produces byte-identical results to the serial one — checked with
 hypothesis-generated grids, replication sets, and traced per-seed
-workloads. One spawn pool is shared across the module (worker start-up
-would otherwise dominate every example).
+workloads, through the unified ``execution=`` surface. One reusable
+:class:`~repro.harness.executors.PoolExecutor` is shared across the
+module (worker start-up would otherwise dominate every example).
 """
 
 from __future__ import annotations
@@ -17,7 +18,8 @@ from hypothesis import strategies as st
 
 from repro.apps.workloads import irregular_phases
 from repro.config import EngineKind
-from repro.harness.parallel import run_many, task_pool
+from repro.harness.executors import ExecutionConfig, PoolExecutor
+from repro.harness.parallel import run_many
 from repro.harness.runner import ClusterRuntime
 from repro.harness.sweep import sweep
 from repro.sim.tracing import Tracer
@@ -36,7 +38,7 @@ _POOL_SETTINGS = settings(
 
 @pytest.fixture(scope="module")
 def pool():
-    with task_pool(workers=4) as executor:
+    with PoolExecutor(workers=4) as executor:
         yield executor
 
 
@@ -98,8 +100,8 @@ def _traced_phase_digest(n_phases: int, seed: int = 0) -> str:
     b_vals=st.lists(st.integers(-50, 50), min_size=1, max_size=4, unique=True),
 )
 def test_sweep_rows_identical_serial_vs_parallel(pool, a_vals, b_vals):
-    serial = sweep(_grid_point, {"a": a_vals, "b": b_vals}, workers=1)
-    parallel = sweep(_grid_point, {"a": a_vals, "b": b_vals}, executor=pool)
+    serial = sweep(_grid_point, {"a": a_vals, "b": b_vals}, execution=ExecutionConfig.serial())
+    parallel = sweep(_grid_point, {"a": a_vals, "b": b_vals}, execution=pool)
     assert serial.rows == parallel.rows
     assert serial.param_names == parallel.param_names
     assert serial.metric_names == parallel.metric_names
@@ -116,8 +118,8 @@ def test_sweep_rows_identical_serial_vs_parallel(pool, a_vals, b_vals):
 def test_simulation_sweep_rows_identical(pool, sizes, compute):
     """Same property on real simulator workloads instead of arithmetic."""
     grid = {"size": sizes, "compute_us": [compute]}
-    serial = sweep(_overlap_metric, grid, workers=1)
-    parallel = sweep(_overlap_metric, grid, executor=pool)
+    serial = sweep(_overlap_metric, grid, execution=ExecutionConfig.serial())
+    parallel = sweep(_overlap_metric, grid, execution=pool)
     assert serial.rows == parallel.rows
 
 
@@ -127,8 +129,10 @@ def test_simulation_sweep_rows_identical(pool, sizes, compute):
     root_seed=st.integers(0, 2**32 - 1),
 )
 def test_run_many_metrics_identical_serial_vs_parallel(pool, configs, root_seed):
-    serial = run_many(_traced_phase_digest, configs, seed=root_seed, workers=1)
-    parallel = run_many(_traced_phase_digest, configs, seed=root_seed, executor=pool)
+    serial = run_many(
+        _traced_phase_digest, configs, seed=root_seed, execution=ExecutionConfig.serial()
+    )
+    parallel = run_many(_traced_phase_digest, configs, seed=root_seed, execution=pool)
     assert serial == parallel
 
 
@@ -137,9 +141,12 @@ def test_run_many_metrics_identical_serial_vs_parallel(pool, configs, root_seed)
 def test_per_seed_traces_identical_serial_vs_parallel(pool, seeds):
     """Explicit per-seed replication: the full trace digest of each seeded
     workload must not depend on where the task ran."""
-    serial = run_many(_traced_phase_digest, [3] * len(seeds), seeds=seeds, workers=1)
+    serial = run_many(
+        _traced_phase_digest, [3] * len(seeds), seeds=seeds,
+        execution=ExecutionConfig.serial(),
+    )
     parallel = run_many(
-        _traced_phase_digest, [3] * len(seeds), seeds=seeds, executor=pool
+        _traced_phase_digest, [3] * len(seeds), seeds=seeds, execution=pool
     )
     assert serial == parallel
 

@@ -1,0 +1,156 @@
+"""Property tests: partitioning is invisible at any topology and seed.
+
+Hypothesis drives random node counts, partition counts, assignments,
+latencies, and seeds through the conservative parallel kernel and checks
+the per-node trace digest against the one-kernel serial reference —
+including mid-run ``stop()``, bounded ``run(until=T)``, and
+``run(max_events=N)`` interruptions, which exercise the null-message
+promise cap and the budget accounting.
+
+Everything here runs the ``inproc`` engine: identical CMB machinery to
+process mode (same null messages, horizons, firing bounds) without
+paying interpreter spawn per example. Process-mode equivalence is pinned
+separately in ``tests/sim/test_partition.py``.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.pdes import PholdProgram, RingProgram
+from repro.errors import SimulationError
+from repro.sim.partition import PartitionPlan, PartitionedSimulation
+
+pytestmark = pytest.mark.pdes
+
+_SETTINGS = settings(max_examples=20, deadline=None)
+
+
+@st.composite
+def plans(draw):
+    """A random valid plan: topology size, cut, and latencies."""
+    nodes = draw(st.integers(2, 8))
+    partitions = draw(st.integers(1, min(nodes, 4)))
+    # random surjective assignment: each partition owns >= 1 node
+    assignment = list(range(partitions)) + [
+        draw(st.integers(0, partitions - 1)) for _ in range(nodes - partitions)
+    ]
+    perm = draw(st.permutations(assignment))
+    latency = draw(st.sampled_from([0.5, 1.0, 2.0, 3.7]))
+    return PartitionPlan.build(
+        nodes, partitions, latency_us=latency, assignment=perm
+    )
+
+
+def _serial_twin(plan: PartitionPlan) -> PartitionPlan:
+    """Same topology and latencies, one partition (the reference)."""
+    return PartitionPlan.build(
+        plan.nodes, 1, latency_us=plan.latency_us, assignment=[0] * plan.nodes
+    )
+
+
+def _programs():
+    return st.sampled_from(
+        [
+            RingProgram(tokens=2, laps=2),
+            RingProgram(tokens=3, laps=1, compute_us=0.5),
+            PholdProgram(jobs_per_node=1, hops=5),
+            PholdProgram(jobs_per_node=2, hops=4, mean_delay_us=2.0),
+        ]
+    )
+
+
+@_SETTINGS
+@given(plan=plans(), program=_programs(), seed=st.integers(0, 2**32 - 1))
+def test_digest_identical_serial_vs_partitioned(plan, program, seed):
+    with PartitionedSimulation(program, _serial_twin(plan), seed=seed) as ref:
+        ref_end = ref.run()
+        ref_digest, ref_fired = ref.trace_digest(), ref.events_fired
+    with PartitionedSimulation(program, plan, seed=seed, mode="inproc") as sim:
+        end = sim.run()
+        assert sim.trace_digest() == ref_digest
+        assert sim.events_fired == ref_fired
+        assert end == ref_end
+
+
+@_SETTINGS
+@given(
+    plan=plans(),
+    program=_programs(),
+    seed=st.integers(0, 2**16),
+    cut=st.floats(5.0, 60.0),
+)
+def test_bounded_run_then_drain_identical(plan, program, seed, cut):
+    """run(until=T) then run(): same digest and same intermediate state."""
+    with PartitionedSimulation(program, _serial_twin(plan), seed=seed) as ref:
+        ref.run(until=cut)
+        mid_fired = ref.events_fired
+        ref.run()
+        ref_digest = ref.trace_digest()
+    with PartitionedSimulation(program, plan, seed=seed, mode="inproc") as sim:
+        end = sim.run(until=cut)
+        assert end == cut
+        assert sim.events_fired == mid_fired
+        sim.run()
+        assert sim.trace_digest() == ref_digest
+
+
+@_SETTINGS
+@given(plan=plans(), seed=st.integers(0, 2**16), budget=st.integers(1, 30))
+def test_max_events_budget_parity(plan, seed, budget):
+    """The budget trips (or completes) in lockstep with the serial kernel."""
+    program = RingProgram(tokens=2, laps=2)
+
+    def outcome(p, mode):
+        with PartitionedSimulation(program, p, seed=seed, mode=mode) as sim:
+            try:
+                sim.run(max_events=budget)
+            except SimulationError as exc:
+                assert "max_events" in str(exc)
+                return "raised"
+            return sim.events_fired
+
+    ref = outcome(_serial_twin(plan), "serial")
+    got = outcome(plan, "inproc")
+    if ref == "raised":
+        assert got == "raised"
+    else:
+        # completed within budget: identical event count, no raise
+        assert got == ref
+
+
+@_SETTINGS
+@given(plan=plans(), seed=st.integers(0, 2**16))
+def test_mid_run_stop_then_resume_identical(plan, seed):
+    """stop() between segments is consumed without perturbing the trace."""
+    program = PholdProgram(jobs_per_node=1, hops=4)
+    with PartitionedSimulation(program, _serial_twin(plan), seed=seed) as ref:
+        ref.run(until=10.0)
+        ref.run()
+        ref_digest = ref.trace_digest()
+    with PartitionedSimulation(program, plan, seed=seed, mode="inproc") as sim:
+        sim.run(until=10.0)
+        sim.stop()
+        fired = sim.events_fired
+        sim.run()  # consumed by the pending stop: fires nothing
+        assert sim.events_fired == fired
+        sim.run()
+        assert sim.trace_digest() == ref_digest
+
+
+@_SETTINGS
+@given(plan=plans(), seed=st.integers(0, 2**16))
+def test_conservation_counters(plan, seed):
+    """Every message sent is received; nulls balance; logs cover all nodes."""
+    with PartitionedSimulation(
+        PholdProgram(jobs_per_node=1, hops=5), plan, seed=seed, mode="inproc"
+    ) as sim:
+        sim.run()
+        stats = sim.stats()
+        logs = sim.node_logs()
+    assert stats["msgs_sent"] == stats["msgs_received"]
+    assert stats["null_msgs_sent"] == stats["null_msgs_received"]
+    assert len(logs) == plan.nodes
+    assert all(len(entries) > 0 for entries in logs)

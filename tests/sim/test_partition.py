@@ -1,0 +1,277 @@
+"""Partitioned conservative parallel-DES: serial equivalence and mechanics.
+
+The whole contract of :mod:`repro.sim.partition` is that partitioning is
+*invisible*: for every seed, queue implementation, and partition count,
+the per-node trace digest is byte-identical to the one-kernel serial run.
+These tests pin that, plus the plan/validation surface, the CMB
+bookkeeping counters, and run-control parity (``until``/``stop``/
+``max_events``) across all three engines.
+
+Process-mode tests use programs from :mod:`repro.apps.pdes` — spawn
+workers import them by module path, so they must not live in this file.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.pdes import PholdProgram, RingProgram
+from repro.errors import ConfigError, SimulationError
+from repro.obs import MetricsRegistry
+from repro.sim.partition import (
+    PARTITION_MODES,
+    NodeContext,
+    PartitionedSimulation,
+    PartitionPlan,
+    PartitionProgram,
+)
+
+pytestmark = pytest.mark.pdes
+
+
+def run_digest(program, nodes, partitions, *, seed=0, queue="heap", mode=None,
+               until=None):
+    plan = PartitionPlan.from_timing(nodes, partitions)
+    kwargs = {"seed": seed, "queue": queue}
+    if mode is not None:
+        kwargs["mode"] = mode
+    with PartitionedSimulation(program, plan, **kwargs) as sim:
+        end = sim.run(until=until)
+        return sim.trace_digest(), sim.events_fired, end
+
+
+class TestPartitionPlan:
+    def test_block_assignment(self):
+        plan = PartitionPlan.build(6, partitions=2, latency_us=2.0)
+        assert plan.part_nodes(0) == (0, 1, 2)
+        assert plan.part_nodes(1) == (3, 4, 5)
+        assert plan.partition_of(5) == 1
+
+    def test_lookahead_is_latency(self):
+        plan = PartitionPlan.build(4, partitions=2, latency_us=3.5)
+        assert plan.lookahead_us(0, 1) == 3.5
+        assert plan.pair_latency_us(0, 3) == 3.5
+
+    def test_from_timing_uses_wire_latency(self):
+        from repro.config import TimingModel
+
+        plan = PartitionPlan.from_timing(4, 2)
+        assert plan.latency_us == TimingModel().nic.wire_latency_us
+
+    def test_zero_lookahead_rejected(self):
+        with pytest.raises(ConfigError, match="lookahead"):
+            PartitionPlan.build(4, partitions=2, latency_us=0.0)
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ConfigError):
+            PartitionPlan.build(4, partitions=2, latency_us=-1.0)
+
+    def test_bad_assignment_rejected(self):
+        with pytest.raises(ConfigError):
+            PartitionPlan(nodes=4, partitions=2, assignment=(0, 0, 0, 5))
+        with pytest.raises(ConfigError):
+            PartitionPlan(nodes=4, partitions=2, assignment=(0, 0, 0))
+
+    def test_empty_partition_rejected(self):
+        with pytest.raises(ConfigError, match="own no nodes"):
+            PartitionPlan(nodes=4, partitions=2, assignment=(0, 0, 0, 0))
+
+    def test_per_link_latency_overrides(self):
+        plan = PartitionPlan.build(
+            4, partitions=2, latency_us=5.0, links={(0, 3): 2.0}
+        )  # sparse overrides expand to a full matrix
+        assert plan.pair_latency_us(0, 3) == 2.0
+        assert plan.pair_latency_us(3, 0) == 5.0
+        # lookahead between partitions is the min over its links
+        assert plan.lookahead_us(0, 1) == 2.0
+        assert plan.lookahead_us(1, 0) == 5.0
+
+    def test_bad_mode_rejected(self):
+        plan = PartitionPlan.build(4, partitions=2)
+        with pytest.raises(ConfigError, match="mode"):
+            PartitionedSimulation(RingProgram(), plan, mode="bogus")
+        assert set(PARTITION_MODES) == {"serial", "inproc", "process"}
+
+
+class TestSerialEquivalence:
+    """The headline property: digests identical to the serial reference."""
+
+    @pytest.mark.parametrize("queue", ["heap", "calendar"])
+    @pytest.mark.parametrize("partitions", [1, 2, 3])
+    def test_ring_inproc_matches_serial(self, queue, partitions):
+        ref = run_digest(RingProgram(), 6, 1, queue=queue, mode="serial")
+        got = run_digest(RingProgram(), 6, partitions, queue=queue, mode="inproc")
+        assert got == ref
+
+    @pytest.mark.parametrize("seed", [0, 7, 12345])
+    def test_phold_seeds_inproc_matches_serial(self, seed):
+        program = PholdProgram(jobs_per_node=2, hops=8)
+        ref = run_digest(program, 6, 1, seed=seed, mode="serial")
+        got = run_digest(program, 6, 3, seed=seed, mode="inproc")
+        assert got == ref
+
+    @pytest.mark.parametrize("queue", ["heap", "calendar"])
+    def test_phold_process_matches_serial(self, queue):
+        program = PholdProgram(jobs_per_node=2, hops=6)
+        ref = run_digest(program, 6, 1, queue=queue, mode="serial")
+        got = run_digest(program, 6, 2, queue=queue, mode="process")
+        assert got == ref
+
+    def test_queue_choice_invisible(self):
+        program = PholdProgram(jobs_per_node=1, hops=6)
+        heap = run_digest(program, 4, 2, queue="heap", mode="inproc")
+        cal = run_digest(program, 4, 2, queue="calendar", mode="inproc")
+        assert heap == cal
+
+    def test_distinct_seeds_distinct_digests(self):
+        a, _, _ = run_digest(PholdProgram(), 4, 2, seed=1, mode="inproc")
+        b, _, _ = run_digest(PholdProgram(), 4, 2, seed=2, mode="inproc")
+        assert a != b
+
+    def test_node_logs_merged_by_node(self):
+        plan = PartitionPlan.from_timing(4, 2)
+        with PartitionedSimulation(RingProgram(), plan, mode="inproc") as sim:
+            sim.run()
+            logs = sim.node_logs()
+        assert len(logs) == 4
+        assert all(isinstance(entries, list) for entries in logs)
+        # timestamps within a node are monotonically non-decreasing
+        for entries in logs:
+            times = [e[0] for e in entries]
+            assert times == sorted(times)
+
+
+class TestRunControl:
+    """until / stop / max_events parity across engines."""
+
+    @pytest.mark.parametrize("mode", ["serial", "inproc"])
+    def test_bounded_run_then_drain(self, mode):
+        plan = PartitionPlan.from_timing(6, 1 if mode == "serial" else 3)
+        ref_plan = PartitionPlan.from_timing(6, 1)
+        with PartitionedSimulation(RingProgram(), ref_plan, mode="serial") as ref:
+            ref.run(until=30.0)
+            mid_ref = ref.events_fired
+            ref.run()
+            ref_digest = ref.trace_digest()
+        with PartitionedSimulation(RingProgram(), plan, mode=mode) as sim:
+            end = sim.run(until=30.0)
+            assert end == 30.0
+            assert sim.events_fired == mid_ref
+            sim.run()
+            assert sim.trace_digest() == ref_digest
+
+    @pytest.mark.parametrize("mode", ["serial", "inproc"])
+    def test_pre_run_stop_fires_nothing(self, mode):
+        plan = PartitionPlan.from_timing(4, 1 if mode == "serial" else 2)
+        with PartitionedSimulation(RingProgram(), plan, mode=mode) as sim:
+            sim.stop()
+            sim.run()
+            assert sim.events_fired == 0
+
+    @pytest.mark.parametrize("mode", ["serial", "inproc"])
+    def test_max_events_raises(self, mode):
+        plan = PartitionPlan.from_timing(4, 1 if mode == "serial" else 2)
+        with PartitionedSimulation(RingProgram(), plan, mode=mode) as sim:
+            with pytest.raises(SimulationError, match="max_events"):
+                sim.run(max_events=5)
+
+    def test_exact_budget_completes(self):
+        plan = PartitionPlan.from_timing(4, 2)
+        with PartitionedSimulation(RingProgram(), plan, mode="inproc") as ref:
+            ref.run()
+            total = ref.events_fired
+        with PartitionedSimulation(RingProgram(), plan, mode="inproc") as sim:
+            sim.run(max_events=total)
+            assert sim.events_fired == total
+
+
+class TestObservability:
+    def test_null_message_counters_balance(self):
+        plan = PartitionPlan.from_timing(6, 3)
+        with PartitionedSimulation(PholdProgram(), plan, mode="inproc") as sim:
+            sim.run()
+            stats = sim.stats()
+        assert stats["null_msgs_sent"] == stats["null_msgs_received"]
+        assert stats["msgs_sent"] == stats["msgs_received"]
+        assert stats["msgs_sent"] > 0
+        assert stats["horizon_advances"] > 0
+
+    def test_serial_mode_sends_no_nulls(self):
+        plan = PartitionPlan.from_timing(4, 1)
+        with PartitionedSimulation(PholdProgram(), plan, mode="serial") as sim:
+            sim.run()
+            stats = sim.stats()
+        assert stats["null_msgs_sent"] == 0
+        assert stats["lookahead_stalls"] == 0
+
+    def test_per_partition_stats_rows(self):
+        plan = PartitionPlan.from_timing(6, 2)
+        with PartitionedSimulation(PholdProgram(), plan, mode="inproc") as sim:
+            sim.run()
+            rows = sim.partition_stats()
+        assert len(rows) == 2
+        assert [r["partition"] for r in rows] == [0, 1]
+        assert sum(r["events_fired"] for r in rows) == sim.events_fired
+
+    def test_metrics_registry_attach(self):
+        plan = PartitionPlan.from_timing(4, 2)
+        registry = MetricsRegistry(enabled=True)
+        with PartitionedSimulation(PholdProgram(), plan, mode="inproc") as sim:
+            sim.run()
+            sim.attach_metrics(registry)
+            snap = registry.snapshot()
+        assert snap["pdes.null_msgs_sent"] == sim.stats()["null_msgs_sent"]
+        assert snap["pdes.p0.events_fired"] > 0
+        assert snap["pdes.p1.events_fired"] > 0
+        assert snap["pdes.p0.events_fired"] + snap["pdes.p1.events_fired"] == sim.events_fired
+
+
+class _LocalProgram(PartitionProgram):
+    """Purely node-local work: no cross-partition traffic at all."""
+
+    def setup(self, ctx: NodeContext) -> None:
+        ctx.schedule(1.0 + ctx.index, ctx.log, "tick")
+
+
+class TestEdgeCases:
+    def test_no_traffic_program(self):
+        ref = run_digest(_LocalProgram(), 4, 1, mode="serial")
+        got = run_digest(_LocalProgram(), 4, 2, mode="inproc")
+        assert got == ref
+
+    def test_empty_until_window(self):
+        plan = PartitionPlan.from_timing(4, 2)
+        with PartitionedSimulation(RingProgram(), plan, mode="inproc") as sim:
+            end = sim.run(until=0.0)
+            assert end == 0.0
+
+    def test_close_is_idempotent_and_keeps_results(self):
+        plan = PartitionPlan.from_timing(4, 2)
+        sim = PartitionedSimulation(RingProgram(), plan, mode="inproc")
+        sim.run()
+        sim.close()
+        sim.close()
+        # non-process modes keep state in-process: digest still available
+        assert sim.trace_digest()
+        with pytest.raises(SimulationError, match="closed"):
+            sim.run()
+
+    def test_process_close_caches_results(self):
+        plan = PartitionPlan.from_timing(4, 2)
+        ref_digest, _, _ = run_digest(RingProgram(), 4, 1, mode="serial")
+        sim = PartitionedSimulation(RingProgram(), plan, mode="process")
+        sim.run()
+        sim.close()
+        # the final collect happened inside close(); workers are gone
+        assert sim.trace_digest() == ref_digest
+
+    def test_unpicklable_program_pointed_error(self):
+        plan = PartitionPlan.from_timing(4, 2)
+
+        class Local(PartitionProgram):  # not module-level: cannot spawn
+            def setup(self, ctx):
+                pass
+
+        sim = PartitionedSimulation(Local(), plan, mode="process")
+        with pytest.raises(SimulationError, match="pickl"):
+            sim.run()
