@@ -27,10 +27,19 @@ BURST = 8
 MSG = KiB(1)
 
 
-def _burst_run(engine: str, strategy: str, rails: int = 1, msg: int = MSG, burst: int = BURST):
+def _burst_run(
+    engine: str,
+    strategy: str,
+    rails: int = 1,
+    msg: int = MSG,
+    burst: int = BURST,
+    strategy_kwargs: dict | None = None,
+):
     """One thread bursts `burst` isends then waits for all; the receiver
     pre-posts everything. Returns (elapsed, packets_on_wire)."""
-    rt = ClusterRuntime.build(engine=engine, strategy=strategy, rails=rails)
+    rt = ClusterRuntime.build(
+        engine=engine, strategy=strategy, rails=rails, strategy_kwargs=strategy_kwargs
+    )
     out = {}
 
     def sender(ctx):
@@ -68,6 +77,15 @@ def strategy_rows():
         for engine in (EngineKind.SEQUENTIAL, EngineKind.PIOMAN)
         for strategy in ("default", "aggreg")
     ]
+    # the deferred-flush window: gates stay open for 5 µs so PIOMan's idle
+    # cores close batches instead of the send path flushing eagerly
+    tasks.append(
+        {
+            "engine": EngineKind.PIOMAN,
+            "strategy": "aggreg",
+            "strategy_kwargs": {"flush_window_us": 5.0},
+        }
+    )
     results = run_grid(_burst_run, tasks, execution=ExecutionConfig.from_env())
     return [
         {**task, "elapsed": elapsed, "packets": packets}
@@ -78,7 +96,15 @@ def strategy_rows():
 def test_strategy_report(strategy_rows, print_report):
     body = format_table(
         ["engine", "strategy", "burst time (µs)", "wire packets"],
-        [(r["engine"], r["strategy"], f"{r['elapsed']:.1f}", r["packets"]) for r in strategy_rows],
+        [
+            (
+                r["engine"],
+                r["strategy"] + ("+window" if r.get("strategy_kwargs") else ""),
+                f"{r['elapsed']:.1f}",
+                r["packets"],
+            )
+            for r in strategy_rows
+        ],
         title=f"burst of {BURST} × {MSG}B isends",
     )
     print_report("Ablation: optimizer strategies (aggregation)", body)
@@ -96,6 +122,24 @@ def test_aggregation_reduces_packets_with_pioman(strategy_rows):
         f"aggregation should coalesce the burst: {piom_aggreg['packets']} vs "
         f"{piom_default['packets']}"
     )
+
+
+def test_flush_window_batches_at_least_as_well(strategy_rows):
+    """Holding the gate open for a flush window can only widen batches:
+    the windowed cell must coalesce at least as hard as eager-flush
+    aggregation, and strictly below one packet per message."""
+    plain = next(
+        r
+        for r in strategy_rows
+        if r["engine"] == EngineKind.PIOMAN
+        and r["strategy"] == "aggreg"
+        and not r.get("strategy_kwargs")
+    )
+    windowed = next(r for r in strategy_rows if r.get("strategy_kwargs"))
+    assert windowed["packets"] <= plain["packets"], (
+        f"window must not fragment the burst: {windowed['packets']} vs {plain['packets']}"
+    )
+    assert windowed["packets"] < BURST
 
 
 def test_sequential_engine_cannot_aggregate_much(strategy_rows):

@@ -330,6 +330,9 @@ class ClusterRuntime:
                         "offloaded_ops": e.offloaded_ops,
                     },
                 )
+            # aggregation-optimizer lane, summed over this node's gates
+            # running the aggreg strategy (n{i}.aggreg.*)
+            reg.register_collector(f"{n}.aggreg", lambda s=session: self._aggreg_metrics(s))
             seen_names: dict[str, int] = {}
             for drv in nrt.drivers:
                 k = seen_names.get(drv.name, 0)
@@ -343,6 +346,30 @@ class ClusterRuntime:
 
             session.on_request_complete.append(_observe_latency)
             self._metric_hooks.append((session, _observe_latency))
+
+    @staticmethod
+    def _aggreg_metrics(session: NmSession) -> dict[str, int]:
+        """Aggregation-strategy counters summed across a session's gates."""
+        out = {
+            "aggregated_requests": 0,
+            "flushes": 0,
+            "packets_formed": 0,
+            "windows_opened": 0,
+            "window_timer_flushes": 0,
+            "pending": 0,
+        }
+        for gate in session.gates.values():
+            st = gate.strategy
+            if st.name != "aggreg":
+                continue
+            out["aggregated_requests"] += st.aggregated_requests  # type: ignore[attr-defined]
+            out["flushes"] += st.flushes
+            out["packets_formed"] += st.packets_formed
+            out["windows_opened"] += st.windows_opened  # type: ignore[attr-defined]
+            out["window_timer_flushes"] += st.window_timer_flushes  # type: ignore[attr-defined]
+            out["pending"] += st.pending_count()
+        out["windows_open"] = len(session.windowed_gates)
+        return out
 
     @staticmethod
     def _scheduler_metrics(scheduler: MarcelScheduler) -> dict[str, Any]:

@@ -1,0 +1,102 @@
+"""Bounded, refcount-guarded packet freelist for the wire hot path.
+
+Mirrors the ``EventHandle`` pool of :mod:`repro.sim.kernel`: an object is
+recycled only when its refcount proves the releasing call chain holds the
+sole remaining references, so any retention — reliability tracking for a
+possible retransmit, an unpolled completion on the other side of the
+fabric, a parked out-of-order frame — silently vetoes the recycle.
+Reused packets get a fresh ``packet_id`` from the same counter as newly
+constructed ones, so pooled and allocation-per-packet runs are
+indistinguishable to traces, digests, and tests.
+
+Pooling changes wall-clock allocation churn only, never simulated
+behaviour; the release side is gated per session by
+:class:`repro.config.FastPathConfig` (``pool_wire``). The freelists are
+module-global: ``list.pop``/``append`` are atomic under the GIL and a
+popped object is exclusively owned, so concurrent kernels stay safe.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from ..errors import NetworkError
+from .message import Packet, PacketKind, _packet_ids
+
+__all__ = [
+    "POOL_MAX",
+    "POOL_REFS",
+    "refcount",
+    "acquire_packet",
+    "release_packet",
+    "pool_stats",
+]
+
+#: recycled Packet objects kept process-wide (allocation churn cap)
+POOL_MAX = 512
+
+
+def _pool_baseline() -> int:
+    """Refcount of a function-local object with no other holders.
+
+    On runtimes without refcounts the pools are disabled entirely.
+    """
+    getrefcount = getattr(sys, "getrefcount", None)
+    if getrefcount is None:  # pragma: no cover - non-CPython
+        return -1
+    probe = object()
+    return int(getrefcount(probe))
+
+
+POOL_REFS = _pool_baseline()
+#: ``sys.getrefcount`` when the guard is usable, else None (pools off)
+refcount = sys.getrefcount if POOL_REFS > 0 else None
+
+_packet_pool: list[Packet] = []
+
+
+def acquire_packet(kind: str, src_node: int, dst_node: int, payload_size: int) -> Packet:
+    """A wire packet with empty headers and a fresh ``packet_id`` —
+    recycled from the freelist when possible, newly constructed otherwise.
+
+    Callers fill ``headers`` themselves; the reuse path applies the same
+    validation as :meth:`Packet.__post_init__`.
+    """
+    pool = _packet_pool
+    if pool:
+        if kind not in PacketKind.ALL:
+            raise NetworkError(f"unknown packet kind {kind!r}")
+        if payload_size < 0:
+            raise NetworkError(f"negative payload size: {payload_size}")
+        packet = pool.pop()
+        packet.kind = kind
+        packet.src_node = src_node
+        packet.dst_node = dst_node
+        packet.payload_size = payload_size
+        packet.packet_id = next(_packet_ids)
+        return packet
+    return Packet(kind=kind, src_node=src_node, dst_node=dst_node, payload_size=payload_size)
+
+
+def release_packet(packet: Packet, holders: int = 1) -> bool:
+    """Recycle ``packet`` when the refcount proves the calling chain's
+    ``holders`` references are the only ones left; True when pooled.
+
+    ``holders`` counts the caller-side bindings (locals, parameters of
+    intermediate frames) that still reference the packet at the moment of
+    the call — the default 1 is a single local at the call site.
+    """
+    if (
+        refcount is None
+        or len(_packet_pool) >= POOL_MAX
+        or refcount(packet) != POOL_REFS + holders
+    ):
+        return False
+    packet.headers.clear()
+    _packet_pool.append(packet)
+    return True
+
+
+def pool_stats() -> dict[str, int]:
+    """Current freelist occupancy (tests and diagnostics only)."""
+    return {"packets": len(_packet_pool)}

@@ -43,7 +43,7 @@ from .strategies import Strategy
 from .tags import ANY, MatchTable, SequenceTracker
 from .rdv import RDV_STAT_KEYS
 from .unexpected import ProbeInfo, UnexpectedStore
-from .wire import tx_req_ids, wire_seq_of
+from .wire import recycle_wire, tx_req_ids, wire_seq_of
 
 __all__ = ["Gate", "SessionCore", "NmSession"]
 
@@ -104,8 +104,16 @@ class SessionCore:
         self.seq_tracker = SequenceTracker()
         self.unexpected = UnexpectedStore()
         self.ops: deque[tuple[str, OpFn]] = deque()
+        #: gates with an open aggregation window: insertion-ordered so the
+        #: draining order is deterministic (never a hash-ordered set). The
+        #: value closes the window — it flushes the gate under the given
+        #: execution context. Counted by :meth:`has_pending_ops` so idle
+        #: cores, waiters, and inline drains all see the deferred work.
+        self.windowed_gates: dict[Gate, OpFn] = {}
         #: unified completion queue: wire lane + published request records
         self.cq = CompletionQueue()
+        #: recycle consumed wire packets/frames (FastPathConfig.pool_wire)
+        self._pool_wire = self.timing.fastpath.pool_wire
         #: in-flight sends by req_id (tx completion / CTS lookup)
         self._sends: dict[int, NmRequest] = {}
         # dispatch tables, filled by the protocol engines' constructors
@@ -307,7 +315,7 @@ class SessionCore:
             cb()
 
     def has_pending_ops(self) -> bool:
-        return bool(self.ops)
+        return bool(self.ops) or bool(self.windowed_gates)
 
     def has_completions(self) -> bool:
         return self.cq.depth > 0 or any(d.has_completions() for d in self.drivers)
@@ -322,9 +330,18 @@ class SessionCore:
         """
         did = False
         count = 0
-        while self.ops and (max_ops is None or count < max_ops):
-            name, fn = self.ops.popleft()
-            fn(ctx)
+        while max_ops is None or count < max_ops:
+            if self.ops:
+                name, fn = self.ops.popleft()
+                fn(ctx)
+            elif self.windowed_gates:
+                # no queued op left: close the oldest open aggregation
+                # window (insertion order keeps this deterministic)
+                gate = next(iter(self.windowed_gates))
+                flush = self.windowed_gates.pop(gate)
+                flush(ctx)
+            else:
+                break
             self.stats["ops_executed"] += 1
             did = True
             count += 1
@@ -343,6 +360,7 @@ class SessionCore:
         backpressure a single queue to watch.
         """
         did = False
+        pool_wire = self._pool_wire
         for driver in self.drivers:
             driver.poll_into(ctx, self.cq, max_events)
             while True:
@@ -352,6 +370,14 @@ class SessionCore:
                 self._dispatch_wire(ctx, wc)
                 self.stats["completions_handled"] += 1
                 did = True
+                if pool_wire:
+                    # the completion record was this packet's last protocol
+                    # holder in the common case: drop it and recycle. The
+                    # refcount guard inside vetoes anything still referenced
+                    # (reliability tracking, the peer's unpolled record).
+                    packet = wc.packet
+                    wc = None
+                    recycle_wire(packet)
         return did
 
     # ------------------------------------------------------ completion handling

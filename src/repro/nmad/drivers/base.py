@@ -125,6 +125,27 @@ class Driver:
         """DMA directly from a (pre-registered) application buffer."""
         raise NotImplementedError(f"driver {self.name} does not support zero-copy")
 
+    def plan_submit(
+        self,
+        ctx: ExecContext,
+        packet: Packet,
+        mode: str,
+        copy_bytes: int,
+        numa_factor: float = 1.0,
+    ) -> Callable[[], None] | None:
+        """Fused-submit half of :meth:`submit_pio`/:meth:`submit_eager`.
+
+        Charges exactly the CPU cost the classic ``submit_*`` call for
+        ``mode`` (``"pio"``/``"eager"``) would charge, bumps the same
+        counters, and returns the *hardware doorbell* as a thunk — the
+        caller schedules it once, fused with whatever else fires at the
+        same instant (see ``FastPathConfig.fuse_submit``). Returning None
+        opts a driver out: the caller falls back to the classic
+        event-per-action path. The classic methods stay — the reliability
+        layer's retransmit path submits through them directly.
+        """
+        return None
+
     # -- completion discovery -------------------------------------------------------
 
     def poll_cpu_us(self) -> float:

@@ -66,6 +66,23 @@ class MxDriver(Driver):
         self.eager_sends += 1
         ctx.schedule_after(0.0, self.nic.submit_dma, packet)
 
+    def plan_submit(
+        self, ctx: ExecContext, packet: Packet, mode: str, copy_bytes: int, numa_factor: float = 1.0
+    ) -> Callable[[], None] | None:
+        self._check_ctx(ctx)
+        if mode == "pio":
+            ctx.charge(self.nic.pio_cpu_us(packet))
+            self.pio_sends += 1
+            return lambda: self.nic.submit_pio(packet)
+        cost = (
+            self.model.tx_setup_us
+            + self.host.memcpy_us(copy_bytes) * numa_factor
+            + self.model.dma_setup_us
+        )
+        ctx.charge(cost)
+        self.eager_sends += 1
+        return lambda: self.nic.submit_dma(packet)
+
     def submit_control(self, ctx: ExecContext, packet: Packet) -> None:
         self._check_ctx(ctx)
         if packet.kind not in (PacketKind.RTS, PacketKind.CTS, PacketKind.ACK):

@@ -48,6 +48,17 @@ class ShmDriver(Driver):
         self.eager_sends += 1
         ctx.schedule_after(0.0, self.channel.submit, packet, 0.0)
 
+    def plan_submit(
+        self, ctx: ExecContext, packet: Packet, mode: str, copy_bytes: int, numa_factor: float = 1.0
+    ) -> Callable[[], None] | None:
+        self._check_ctx(ctx)
+        if mode == "pio":
+            # no PIO notion on shared memory: same copy as the eager path
+            copy_bytes, numa_factor = packet.payload_size, 1.0
+        ctx.charge(self.model.ring_op_us + self.host.memcpy_us(copy_bytes) * numa_factor)
+        self.eager_sends += 1
+        return lambda: self.channel.submit(packet, 0.0)
+
     def submit_control(self, ctx: ExecContext, packet: Packet) -> None:
         self._check_ctx(ctx)
         ctx.charge(self.model.ring_op_us)

@@ -73,6 +73,23 @@ class TcpDriver(Driver):
         self.eager_sends += 1
         ctx.schedule_after(0.0, self.nic.submit_dma, packet)
 
+    def plan_submit(
+        self, ctx: ExecContext, packet: Packet, mode: str, copy_bytes: int, numa_factor: float = 1.0
+    ) -> Callable[[], None] | None:
+        self._check_ctx(ctx)
+        if mode == "pio":
+            # no PIO on TCP: the classic path degrades to a plain socket
+            # send of the whole payload at the local-copy rate
+            copy_bytes, numa_factor = packet.payload_size, 1.0
+        cost = (
+            self.host.syscall_us
+            + self.model.tx_setup_us
+            + self.host.memcpy_us(copy_bytes) * numa_factor
+        )
+        ctx.charge(cost)
+        self.eager_sends += 1
+        return lambda: self.nic.submit_dma(packet)
+
     def submit_control(self, ctx: ExecContext, packet: Packet) -> None:
         self._check_ctx(ctx)
         ctx.charge(self.host.syscall_us + self.model.tx_setup_us)

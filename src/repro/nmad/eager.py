@@ -24,7 +24,7 @@ from ..network.message import Packet, PacketKind
 from .drivers.base import Driver, ExecContext
 from .request import NmRequest, Protocol, ReqState
 from .unexpected import UnexpectedEager
-from .wire import EagerFrame, eager_frames, eager_to_packet
+from .wire import EagerFrame, eager_frames, eager_to_packet, make_eager_frame
 
 if TYPE_CHECKING:  # pragma: no cover - engines are owned by the session
     from .core import Gate, SessionCore
@@ -49,6 +49,7 @@ class EagerEngine:
         self.session = session
         #: multirail reassembly: (src, send req_id) -> accumulated state
         self._reassembly: dict[tuple[int, int], _Reassembly] = {}
+        self._fuse = session.timing.fastpath.fuse_submit
         session.register_send_path(Protocol.PIO, self.push_send)
         session.register_send_path(Protocol.EAGER, self.push_send)
         session.register_rx_handler(PacketKind.EAGER, self.on_rx)
@@ -60,13 +61,52 @@ class EagerEngine:
 
     def push_send(self, req: NmRequest, gate: "Gate") -> None:
         """Hand a PIO/eager send to the gate's optimizer strategy and make
-        sure a flush op is queued to drive it out."""
+        sure a flush op is queued — or an aggregation window opened — to
+        drive it out."""
         gate.strategy.push(req)
+        if gate.flush_pending:
+            return
+        window = getattr(gate.strategy, "flush_window_us", 0.0)
+        if window > 0.0:
+            session = self.session
+            if gate in session.windowed_gates:
+                return  # window already open: the push joined the batch
+            # Defer the flush up to `window` µs so trailing sends can join
+            # the packet. An idle core closes the window early through
+            # progress() (it sees the gate via has_pending_ops and pays the
+            # normal dispatch cost first — the accumulation gap); the timer
+            # is the backstop when every core stays busy.
+            session.windowed_gates[gate] = lambda ctx, g=gate: self.op_flush_gate(ctx, g)
+            gate.strategy.windows_opened += 1
+            session.sim.schedule_at(
+                session.sim.now + window,
+                self._window_timer,
+                gate,
+                label=f"n{session.node_index}.aggreg.window->n{gate.peer}",
+            )
+            for cb in session.on_ops_enqueued:
+                cb()
+            return
+        gate.flush_pending = True
+        self.session._enqueue_op(
+            f"flush->n{gate.peer}", lambda ctx, g=gate: self.op_flush_gate(ctx, g)
+        )
+
+    def _window_timer(self, gate: "Gate") -> None:
+        """Backstop for an aggregation window nobody closed early: promote
+        the deferred flush to a real queued op. Runs in timer (hardware)
+        context — no CPU is charged here; the op's executor pays."""
+        session = self.session
+        if session.windowed_gates.pop(gate, None) is None:
+            return  # already closed by an idle core or an inline drain
+        gate.strategy.window_timer_flushes += 1
         if not gate.flush_pending:
             gate.flush_pending = True
-            self.session._enqueue_op(
+            session._enqueue_op(
                 f"flush->n{gate.peer}", lambda ctx, g=gate: self.op_flush_gate(ctx, g)
             )
+        # parked waiters poll the activity flag, not the op queue
+        session.activity_flag.set()
 
     def op_flush_gate(self, ctx: ExecContext, gate: "Gate") -> None:
         """Submit ONE wire packet; requeue if the gate still has more.
@@ -78,6 +118,9 @@ class EagerEngine:
         """
         session = self.session
         gate.flush_pending = False
+        # any flush closes an open window: a stale entry would cost a
+        # useless drain attempt later
+        session.windowed_gates.pop(gate, None)
         if not gate.pending_plans:
             infos = gate.rail_infos()
             if session.reliability is not None:
@@ -98,16 +141,16 @@ class EagerEngine:
             frames = []
             for e in plan.entries:
                 frames.append(
-                    EagerFrame(
-                        req_id=e.req.req_id,
-                        src=session.node_index,
-                        tag=e.req.tag,
-                        seq=e.req.seq,
-                        size=e.req.size,
-                        offset=e.offset,
-                        length=e.length,
-                        nchunks=e.nchunks,
-                        payload=e.req.payload,
+                    make_eager_frame(
+                        e.req.req_id,
+                        session.node_index,
+                        e.req.tag,
+                        e.req.seq,
+                        e.req.size,
+                        e.offset,
+                        e.length,
+                        e.nchunks,
+                        e.req.payload,
                     )
                 )
                 e.req.init_tx_chunks(e.nchunks)
@@ -122,22 +165,45 @@ class EagerEngine:
                     e.req.submitted_at = ctx.end
             if session.reliability is not None:
                 session.reliability.track(gate, packet, plan.mode, plan.rail_index)
-            if plan.mode == "pio":
-                driver.submit_pio(ctx, packet)
-            else:
+            hw = (
+                driver.plan_submit(ctx, packet, plan.mode, plan.payload_size(), factor)
+                if self._fuse
+                else None
+            )
+            if hw is None:
+                if plan.mode == "pio":
+                    driver.submit_pio(ctx, packet)
+                else:
+                    driver.submit_eager(ctx, packet, plan.payload_size(), factor)
+            if plan.mode != "pio":
                 session.stats["copies_bytes"] += plan.payload_size()
-                driver.submit_eager(ctx, packet, plan.payload_size(), factor)
             if session.reliability is not None:
                 session.reliability.arm(ctx, packet)
             # Both PIO and eager are *buffered* sends: the request completes
             # as soon as the CPU pushed/copied the payload (MX semantics —
             # the application buffer is reusable immediately). Only the
-            # zero-copy rendezvous DATA completes at DMA drain.
-            for e in plan.entries:
-                ctx.schedule_after(0.0, session._complete_send_chunk, e.req)
+            # zero-copy rendezvous DATA completes at DMA drain. Fused: one
+            # event rings the doorbell and runs every completion inline —
+            # same instant, same relative order as the event-per-action path.
+            if hw is not None:
+                ctx.schedule_after(0.0, self._fused_submit, hw, [e.req for e in plan.entries])
+            else:
+                for e in plan.entries:
+                    ctx.schedule_after(0.0, session._complete_send_chunk, e.req)
             session._trace_raw(
                 "nmad.submit", f"gate->n{gate.peer}", f"{plan.mode} {plan.payload_size()}B"
             )
+
+    def _fused_submit(self, hw: Any, reqs: list[NmRequest]) -> None:
+        """Single fused event: hardware doorbell, then every per-entry
+        completion inline — replaces 1 + len(reqs) scheduled events. Any
+        event the doorbell creates (NIC wakeups, fabric arrival) allocates
+        its sequence number after this one, exactly as it would after the
+        pre-scheduled completions of the classic chain."""
+        hw()
+        complete = self.session._complete_send_chunk
+        for req in reqs:
+            complete(req)
 
     # ------------------------------------------------------------------ RX side
 

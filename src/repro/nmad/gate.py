@@ -35,6 +35,7 @@ class Gate:
         #: (one wire packet is submitted per flush-op execution — §2.1:
         #: "the messages are submitted once at a time")
         self.pending_plans: deque[PacketPlan] = deque()
+        self._rail_infos: list[RailInfo] | None = None
 
     def next_seq(self, tag: int) -> int:
         seq = self._send_seq.get(tag, 0)
@@ -42,16 +43,22 @@ class Gate:
         return seq
 
     def rail_infos(self) -> list[RailInfo]:
-        return [
-            RailInfo(
-                index=i,
-                pio_threshold=r.pio_threshold(),
-                rdv_threshold=r.rdv_threshold(),
-                bandwidth=r.wire_bandwidth(),
-                chunk_hint=r.rdv_chunk_bytes(),
-            )
-            for i, r in enumerate(self.rails)
-        ]
+        # rails are fixed at construction and the model values behind the
+        # thresholds/bandwidth are static, so build the descriptors once —
+        # this sits on the per-send hot path
+        infos = self._rail_infos
+        if infos is None:
+            infos = self._rail_infos = [
+                RailInfo(
+                    index=i,
+                    pio_threshold=r.pio_threshold(),
+                    rdv_threshold=r.rdv_threshold(),
+                    bandwidth=r.wire_bandwidth(),
+                    chunk_hint=r.rdv_chunk_bytes(),
+                )
+                for i, r in enumerate(self.rails)
+            ]
+        return infos
 
     def effective_thresholds(self, infos: list[RailInfo] | None = None) -> tuple[int, int]:
         """Gate-wide protocol thresholds: the (pio, rdv) cutoffs that are

@@ -64,6 +64,31 @@ class ReqState:
 class NmRequest:
     """One non-blocking send or receive."""
 
+    __slots__ = (
+        "req_id",
+        "kind",
+        "node_index",
+        "peer",
+        "tag",
+        "size",
+        "payload",
+        "buffer_id",
+        "state",
+        "protocol",
+        "seq",
+        "producer_core",
+        "data",
+        "received_size",
+        "source",
+        "posted_at",
+        "submitted_at",
+        "completed_at",
+        "completion_event",
+        "blocking_watch",
+        "tx_chunks_total",
+        "tx_chunks_left",
+    )
+
     def __init__(
         self,
         kind: str,

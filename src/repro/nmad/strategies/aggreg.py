@@ -3,8 +3,21 @@
 This is the flagship NewMadeleine optimization ([2], §1): when several
 sends to the same gate are pending (which happens precisely when
 submission has been deferred — e.g. offloaded by PIOMan while the NIC was
-busy), they are packed into one wire packet, saving per-packet setup and
-wire header costs.
+busy, or parked in an aggregation window), they are packed into one wire
+packet, saving per-packet setup and wire header costs.
+
+Two optimizer axes beyond plain packing:
+
+* **multirail distribution** — on a gate with several rails, the drained
+  burst is striped across rails proportionally to bandwidth (the same
+  :func:`repro.nmad.strategies.base.stripe_by_bandwidth` arithmetic as
+  the split strategy and the RDV planner), at whole-request granularity
+  so each message still travels one packet. Receiver-side sequence
+  tracking restores per-(source, tag) FIFO across rails.
+* **deferred-flush window** — ``flush_window_us > 0`` asks the eager
+  engine to hold the flush open for up to that long so trailing sends can
+  join the batch; an idle core (PIOMan) closes the window early, a timer
+  backstops it. See ``docs/performance.md`` for when this hurts latency.
 """
 
 from __future__ import annotations
@@ -13,7 +26,8 @@ from typing import Sequence
 
 from ...errors import ConfigError
 from ...network.message import HEADER_BYTES
-from .base import PacketPlan, RailInfo, SendEntry, Strategy
+from ..request import NmRequest
+from .base import PacketPlan, RailInfo, SendEntry, Strategy, stripe_by_bandwidth
 
 __all__ = ["AggregationStrategy"]
 
@@ -24,19 +38,75 @@ ENTRY_HEADER_BYTES = 16
 class AggregationStrategy(Strategy):
     name = "aggreg"
 
-    def __init__(self, max_packet_bytes: int | None = None) -> None:
+    def __init__(
+        self,
+        max_packet_bytes: int | None = None,
+        flush_window_us: float = 0.0,
+        multirail: bool = True,
+    ) -> None:
         super().__init__()
         if max_packet_bytes is not None and max_packet_bytes <= HEADER_BYTES:
             raise ConfigError(
                 f"max_packet_bytes must exceed the header ({HEADER_BYTES}B)"
             )
+        if flush_window_us < 0.0:
+            raise ConfigError(f"flush_window_us must be >= 0, got {flush_window_us}")
         self.max_packet_bytes = max_packet_bytes
+        #: hold flushes open this long so trailing sends can join (0 = off)
+        self.flush_window_us = flush_window_us
+        #: serve multi-rail gates by striping; False = single-rail only
+        self.multirail = multirail
+        # statistics
         self.aggregated_requests = 0
+        self.windows_opened = 0
+        self.window_timer_flushes = 0
 
     def take_plans(self, rails: Sequence[RailInfo]) -> list[PacketPlan]:
-        rail = rails[0]
-        limit = self.max_packet_bytes or rail.rdv_threshold
+        if not rails:
+            raise ConfigError("aggregation flush with no usable rails")
+        if len(rails) > 1 and not self.multirail:
+            # refuse loudly instead of silently draining everything through
+            # rails[0] and leaving the other rails idle
+            raise ConfigError(
+                "AggregationStrategy(multirail=False) serves single-rail "
+                f"gates only, got {len(rails)} rails"
+            )
+        reqs = self._drain()
+        if not reqs:
+            return []
         plans: list[PacketPlan] = []
+        if len(rails) == 1:
+            self._pack_rail(rails[0], reqs, plans)
+        else:
+            # stripe the burst across rails proportionally to bandwidth, at
+            # whole-request granularity: a request is never split, it just
+            # fills the current rail's byte share before moving on
+            total = sum(r.size + ENTRY_HEADER_BYTES for r in reqs)
+            shares = stripe_by_bandwidth(total, rails)
+            ri = 0
+            consumed = 0
+            batch: list[NmRequest] = []
+            for req in reqs:
+                while ri < len(rails) - 1 and (shares[ri] <= 0 or consumed >= shares[ri]):
+                    if batch:
+                        self._pack_rail(rails[ri], batch, plans)
+                        batch = []
+                    ri += 1
+                    consumed = 0
+                batch.append(req)
+                consumed += req.size + ENTRY_HEADER_BYTES
+            if batch:
+                self._pack_rail(rails[ri], batch, plans)
+        if plans:
+            self.flushes += 1
+            self.packets_formed += len(plans)
+        return plans
+
+    def _pack_rail(
+        self, rail: RailInfo, reqs: Sequence[NmRequest], plans: list[PacketPlan]
+    ) -> None:
+        """Pack ``reqs`` (in order) into size-limited packets on ``rail``."""
+        limit = self.max_packet_bytes or rail.rdv_threshold
         batch: list[SendEntry] = []
         batch_bytes = 0
 
@@ -55,7 +125,7 @@ class AggregationStrategy(Strategy):
             batch = []
             batch_bytes = 0
 
-        for req in self._drain():
+        for req in reqs:
             entry_bytes = req.size + ENTRY_HEADER_BYTES
             if batch and batch_bytes + entry_bytes > limit:
                 close_batch()
@@ -64,7 +134,3 @@ class AggregationStrategy(Strategy):
             if batch_bytes >= limit:
                 close_batch()
         close_batch()
-        if plans:
-            self.flushes += 1
-            self.packets_formed += len(plans)
-        return plans

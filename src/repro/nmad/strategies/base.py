@@ -48,7 +48,7 @@ def stripe_by_bandwidth(total: int, rails: Sequence[RailInfo]) -> list[int]:
     return shares
 
 
-@dataclass
+@dataclass(slots=True)
 class SendEntry:
     """One request (or chunk of a request) inside a planned packet."""
 
@@ -66,7 +66,7 @@ class SendEntry:
             )
 
 
-@dataclass
+@dataclass(slots=True)
 class PacketPlan:
     """A wire packet to build: which rail, which entries, which TX mode."""
 

@@ -87,18 +87,20 @@ def test_wait_any_two_threads_same_pool(pioman_runtime):
             pool.append(r)
         posted["done"] = True
 
+    claimed: set[int] = set()
+
     def consumer(ctx, name):
         nm = ctx.env["nm"]
         while not posted["done"]:
             yield ctx.sleep(0.5)
         while True:
-            remaining = [r for r in pool if not getattr(r, "_claimed", False)]
+            remaining = [r for r in pool if r.req_id not in claimed]
             if not remaining:
                 break
             idx, req = yield from nm.wait_any(ctx, remaining)
-            if getattr(req, "_claimed", False):
+            if req.req_id in claimed:
                 continue  # another consumer claimed it between wake and here
-            req._claimed = True
+            claimed.add(req.req_id)
             consumed.append((name, req.data))
 
     pioman_runtime.spawn(0, sender)

@@ -106,6 +106,73 @@ class TestAggregation:
         with pytest.raises(ConfigError):
             AggregationStrategy(max_packet_bytes=8)
 
+    def test_bad_window_rejected(self):
+        with pytest.raises(ConfigError):
+            AggregationStrategy(flush_window_us=-1.0)
+
+    def test_no_rails_rejected(self):
+        s = AggregationStrategy()
+        s.push(_send(KiB(1)))
+        with pytest.raises(ConfigError, match="no usable rails"):
+            s.take_plans([])
+        assert s.pending_count() == 1  # the refusal must not drop sends
+
+    def test_multirail_uses_every_rail(self):
+        """Regression: the old strategy silently drained everything through
+        rails[0], leaving the second rail idle."""
+        s = AggregationStrategy(max_packet_bytes=KiB(4))
+        for i in range(8):
+            s.push(_send(KiB(1), tag=i))
+        plans = s.take_plans([RAIL, RAIL2])
+        assert {p.rail_index for p in plans} == {0, 1}
+        assert sum(len(p.entries) for p in plans) == 8
+
+    def test_multirail_bandwidth_proportional(self):
+        fast = RailInfo(index=1, pio_threshold=128, rdv_threshold=KiB(32), bandwidth=3000.0)
+        s = AggregationStrategy()
+        for i in range(8):
+            s.push(_send(KiB(1), tag=i))
+        plans = s.take_plans([RAIL, fast])
+        bytes_by_rail = {0: 0, 1: 0}
+        for p in plans:
+            bytes_by_rail[p.rail_index] += p.payload_size()
+        assert bytes_by_rail[1] > bytes_by_rail[0]  # the fast rail carries more
+
+    def test_multirail_preserves_fifo_within_rail(self):
+        """Striping hands whole requests to rails in push order: entries on
+        each rail must stay a subsequence of the pushed order."""
+        s = AggregationStrategy()
+        reqs = [_send(KiB(1), tag=i) for i in range(10)]
+        for r in reqs:
+            s.push(r)
+        order = {r.req_id: i for i, r in enumerate(reqs)}
+        plans = s.take_plans([RAIL, RAIL2])
+        for rail_index in (0, 1):
+            seq = [
+                order[e.req.req_id]
+                for p in plans
+                if p.rail_index == rail_index
+                for e in p.entries
+            ]
+            assert seq == sorted(seq)
+
+    def test_multirail_false_rejects_multi_rail_gate(self):
+        """Regression for the silent rails[0] fallback: a strategy pinned
+        to single-rail service must refuse a multi-rail gate loudly."""
+        s = AggregationStrategy(multirail=False)
+        s.push(_send(KiB(1)))
+        with pytest.raises(ConfigError, match="single-rail"):
+            s.take_plans([RAIL, RAIL2])
+        assert s.pending_count() == 1  # the refusal must not drop sends
+
+    def test_multirail_false_single_rail_ok(self):
+        s = AggregationStrategy(multirail=False)
+        for i in range(4):
+            s.push(_send(KiB(1), tag=i))
+        plans = s.take_plans([RAIL])
+        assert len(plans) == 1
+        assert len(plans[0].entries) == 4
+
 
 class TestSplit:
     def test_small_message_single_rail(self):

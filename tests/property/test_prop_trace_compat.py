@@ -25,7 +25,7 @@ from hypothesis import strategies as st
 
 import repro.network.message as _message
 import repro.nmad.request as _request
-from repro.config import EngineKind
+from repro.config import EngineKind, FastPathConfig, TimingModel
 from repro.faults import FaultAction, FaultPlan, FaultRule
 from repro.harness.runner import ClusterRuntime
 from repro.network.message import PacketKind
@@ -68,6 +68,7 @@ def trace_digest(
     compute_us: float = 20.0,
     waitany: bool = False,
     categories: "tuple[str, ...] | None" = None,
+    timing: "TimingModel | None" = None,
 ) -> str:
     """Digest of one fig5/fig6-shaped seeded run.
 
@@ -84,6 +85,7 @@ def trace_digest(
         engine=engine,
         tracer=tracer,
         seed=seed,
+        timing=timing,
         faults=_fault_plan(seed) if faults else None,
     )
 
@@ -154,6 +156,17 @@ def test_golden_trace_digests(engine: str, seed: int, faults: bool) -> None:
     key = (engine, seed, faults)
     assert GOLDEN, "golden digests missing - regenerate with the module docstring command"
     assert trace_digest(engine, seed, faults) == GOLDEN[key]
+
+
+@pytest.mark.parametrize("engine,seed,faults", _CASES)
+def test_fastpath_off_matches_golden(engine: str, seed: int, faults: bool) -> None:
+    """Disabling the message-path fast path (no event fusion, no wire
+    pooling) must reproduce the exact golden digests: the fast path is a
+    pure wall-clock optimisation, invisible in simulated behaviour. With
+    the default-on config pinned by ``test_golden_trace_digests``, this
+    also proves on == off byte-for-byte."""
+    slow = TimingModel().replace(fastpath=FastPathConfig(fuse_submit=False, pool_wire=False))
+    assert trace_digest(engine, seed, faults, timing=slow) == GOLDEN[(engine, seed, faults)]
 
 
 @settings(max_examples=10, deadline=None)
