@@ -9,6 +9,9 @@
   traffic (Fig. 7/8, Table 1);
 * :mod:`repro.apps.workloads` — generic synthetic workload generators used
   by extra examples and ablation benches;
+* :mod:`repro.apps.traffic` — composable network traffic generators
+  (arrival process × size sampler × loop discipline) driving the
+  multi-job interference harness and topology benchmarks;
 * :mod:`repro.apps.pdes` — PHOLD-style and token-ring partition programs
   for the conservative parallel kernel (:mod:`repro.sim.partition`).
 """
@@ -16,6 +19,17 @@
 from .convolution import ConvolutionConfig, ConvolutionResult, run_convolution
 from .overlap import OverlapConfig, OverlapResult, run_overlap
 from .pdes import PholdProgram, RingProgram
+from .traffic import (
+    ClosedLoop,
+    FixedSize,
+    OnOffArrivals,
+    OpenLoop,
+    ParetoSize,
+    PeriodicArrivals,
+    PoissonArrivals,
+    TrafficMessage,
+    UniformSize,
+)
 from .workloads import Phase, irregular_phases, master_worker_plan, uniform_phases
 
 __all__ = [
@@ -31,4 +45,13 @@ __all__ = [
     "master_worker_plan",
     "PholdProgram",
     "RingProgram",
+    "TrafficMessage",
+    "PeriodicArrivals",
+    "PoissonArrivals",
+    "OnOffArrivals",
+    "FixedSize",
+    "UniformSize",
+    "ParetoSize",
+    "OpenLoop",
+    "ClosedLoop",
 ]

@@ -1,0 +1,278 @@
+"""Composable synthetic traffic generators (pmsim generator shape).
+
+Production traffic is not the fig4 ping-pong: arrivals are bursty,
+message sizes heavy-tailed, and load open-loop (senders do not wait for
+the network). This module provides the composable pieces — an *arrival
+process* × a *size sampler* × a loop discipline — that the multi-job
+interference harness (:mod:`repro.harness.multijob`) and the topology
+benchmarks feed onto modeled fabrics.
+
+Everything is deterministic given a :class:`numpy.random.Generator`: the
+harness derives one substream per (job, flow) from the run's root seed
+(:class:`repro.sim.rng.RngStreams`), so two runs with identical
+configuration replay the identical message schedule.
+
+Composition example::
+
+    wl = OpenLoop(
+        arrivals=OnOffArrivals(PoissonArrivals(mean_gap_us=20.0),
+                               on_us=400.0, off_us=800.0),
+        sizes=ParetoSize(alpha=1.4, scale_bytes=2048, cap_bytes=KiB(64)),
+        messages=200,
+    )
+    schedule = wl.schedule(rng)      # [TrafficMessage(at_us=..., size=...), ...]
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from ..errors import ConfigError
+
+__all__ = [
+    "TrafficMessage",
+    "ArrivalProcess",
+    "PeriodicArrivals",
+    "PoissonArrivals",
+    "OnOffArrivals",
+    "SizeSampler",
+    "FixedSize",
+    "UniformSize",
+    "ParetoSize",
+    "OpenLoop",
+    "ClosedLoop",
+]
+
+
+@dataclass(frozen=True)
+class TrafficMessage:
+    """One message of a generated workload.
+
+    ``at_us`` is the open-loop injection time (µs from flow start);
+    ``None`` marks closed-loop messages, issued only after the previous
+    one completed plus the workload's think time.
+    """
+
+    seq: int
+    size: int
+    at_us: "float | None"
+
+
+# --------------------------------------------------------------------- arrivals
+
+
+class ArrivalProcess(ABC):
+    """Produces the inter-arrival gaps (µs) of an open-loop flow."""
+
+    @abstractmethod
+    def gaps(self, rng: np.random.Generator) -> Iterator[float]:
+        """Infinite stream of inter-arrival gaps drawn from ``rng``."""
+
+
+@dataclass(frozen=True)
+class PeriodicArrivals(ArrivalProcess):
+    """Constant-rate injection: one message every ``gap_us``."""
+
+    gap_us: float
+
+    def __post_init__(self) -> None:
+        if self.gap_us <= 0:
+            raise ConfigError(f"gap_us must be > 0, got {self.gap_us}")
+
+    def gaps(self, rng: np.random.Generator) -> Iterator[float]:
+        while True:
+            yield self.gap_us
+
+
+@dataclass(frozen=True)
+class PoissonArrivals(ArrivalProcess):
+    """Open-loop Poisson process: exponential gaps, mean ``mean_gap_us``."""
+
+    mean_gap_us: float
+
+    def __post_init__(self) -> None:
+        if self.mean_gap_us <= 0:
+            raise ConfigError(f"mean_gap_us must be > 0, got {self.mean_gap_us}")
+
+    def gaps(self, rng: np.random.Generator) -> Iterator[float]:
+        while True:
+            yield float(rng.exponential(self.mean_gap_us))
+
+
+@dataclass(frozen=True)
+class OnOffArrivals(ArrivalProcess):
+    """Burst modulation: ``inner`` arrivals gated by on/off windows.
+
+    The flow alternates between an *on* window of ``on_us`` (arrivals
+    follow ``inner``) and a silent *off* window of ``off_us``. An arrival
+    whose gap crosses the end of the current on-window is pushed past the
+    off-window — the classic on/off burst model layered over any inner
+    process.
+    """
+
+    inner: ArrivalProcess
+    on_us: float
+    off_us: float
+
+    def __post_init__(self) -> None:
+        if self.on_us <= 0 or self.off_us <= 0:
+            raise ConfigError(
+                f"on_us and off_us must be > 0, got ({self.on_us}, {self.off_us})"
+            )
+
+    def gaps(self, rng: np.random.Generator) -> Iterator[float]:
+        window_left = self.on_us
+        for gap in self.inner.gaps(rng):
+            pause = 0.0
+            while gap > window_left:
+                # burn the rest of this on-window, sit out the off-window
+                gap -= window_left
+                pause += window_left + self.off_us
+                window_left = self.on_us
+            window_left -= gap
+            yield pause + gap
+
+
+# ------------------------------------------------------------------------ sizes
+
+
+class SizeSampler(ABC):
+    """Produces message sizes (bytes)."""
+
+    @abstractmethod
+    def sizes(self, rng: np.random.Generator) -> Iterator[int]:
+        """Infinite stream of message sizes drawn from ``rng``."""
+
+
+@dataclass(frozen=True)
+class FixedSize(SizeSampler):
+    """Every message is ``nbytes``."""
+
+    nbytes: int
+
+    def __post_init__(self) -> None:
+        if self.nbytes < 1:
+            raise ConfigError(f"nbytes must be >= 1, got {self.nbytes}")
+
+    def sizes(self, rng: np.random.Generator) -> Iterator[int]:
+        while True:
+            yield self.nbytes
+
+
+@dataclass(frozen=True)
+class UniformSize(SizeSampler):
+    """Sizes uniform over ``[lo_bytes, hi_bytes]``."""
+
+    lo_bytes: int
+    hi_bytes: int
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.lo_bytes <= self.hi_bytes:
+            raise ConfigError(
+                f"need 1 <= lo_bytes <= hi_bytes, got ({self.lo_bytes}, {self.hi_bytes})"
+            )
+
+    def sizes(self, rng: np.random.Generator) -> Iterator[int]:
+        while True:
+            yield int(rng.integers(self.lo_bytes, self.hi_bytes + 1))
+
+
+@dataclass(frozen=True)
+class ParetoSize(SizeSampler):
+    """Heavy-tailed (Pareto) sizes: mostly small, occasionally huge.
+
+    ``size = scale_bytes · (1 + Pareto(alpha))`` clamped to
+    ``[scale_bytes, cap_bytes]`` — the classic elephant/mice mix. Lower
+    ``alpha`` means heavier tail (alpha ≤ 1 has infinite mean before the
+    cap).
+    """
+
+    alpha: float
+    scale_bytes: int
+    cap_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.alpha <= 0:
+            raise ConfigError(f"alpha must be > 0, got {self.alpha}")
+        if not 1 <= self.scale_bytes <= self.cap_bytes:
+            raise ConfigError(
+                f"need 1 <= scale_bytes <= cap_bytes, got "
+                f"({self.scale_bytes}, {self.cap_bytes})"
+            )
+
+    def sizes(self, rng: np.random.Generator) -> Iterator[int]:
+        while True:
+            raw = self.scale_bytes * (1.0 + float(rng.pareto(self.alpha)))
+            yield min(self.cap_bytes, int(raw))
+
+
+# -------------------------------------------------------------------- workloads
+
+
+@dataclass(frozen=True)
+class OpenLoop:
+    """Open-loop workload: injection times fixed in advance.
+
+    The sender injects at the generated instants whether or not earlier
+    messages completed — offered load is independent of network state, so
+    congestion shows up as queueing delay, not reduced throughput.
+    """
+
+    arrivals: ArrivalProcess
+    sizes: SizeSampler
+    messages: int
+
+    def __post_init__(self) -> None:
+        if self.messages < 1:
+            raise ConfigError(f"messages must be >= 1, got {self.messages}")
+
+    @property
+    def closed(self) -> bool:
+        return False
+
+    def schedule(self, rng: np.random.Generator) -> list[TrafficMessage]:
+        """Materialize the deterministic message schedule for one flow."""
+        out: list[TrafficMessage] = []
+        t = 0.0
+        gaps = self.arrivals.gaps(rng)
+        sizes = self.sizes.sizes(rng)
+        for seq in range(self.messages):
+            t += next(gaps)
+            out.append(TrafficMessage(seq=seq, size=next(sizes), at_us=t))
+        return out
+
+
+@dataclass(frozen=True)
+class ClosedLoop:
+    """Closed-loop workload: each message waits for the previous one.
+
+    The sender completes message *k*, thinks for ``think_us``, then issues
+    *k+1* — offered load self-throttles under congestion (the interactive
+    request/reply regime).
+    """
+
+    sizes: SizeSampler
+    messages: int
+    think_us: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.messages < 1:
+            raise ConfigError(f"messages must be >= 1, got {self.messages}")
+        if self.think_us < 0:
+            raise ConfigError(f"think_us must be >= 0, got {self.think_us}")
+
+    @property
+    def closed(self) -> bool:
+        return True
+
+    def schedule(self, rng: np.random.Generator) -> list[TrafficMessage]:
+        """Materialize sizes; injection instants are completion-driven."""
+        sizes = self.sizes.sizes(rng)
+        return [
+            TrafficMessage(seq=seq, size=next(sizes), at_us=None)
+            for seq in range(self.messages)
+        ]

@@ -9,6 +9,9 @@
 * :mod:`repro.harness.sweep` — generic parameter sweeps for ablations.
 * :mod:`repro.harness.parallel` — multicore fan-out for sweeps and
   replications (``run_grid``/``run_many``, ``REPRO_BENCH_WORKERS``).
+* :mod:`repro.harness.multijob` — shared-fabric multi-job runs: several
+  apps' flows on one modeled interconnect, per-job latency percentiles
+  (the interference measurement surface behind ``bench_interconnects``).
 * :mod:`repro.harness.executors` — the unified execution surface:
   :class:`~repro.harness.executors.ExecutionConfig` and the
   :class:`~repro.harness.executors.Executor` protocol behind every entry
@@ -24,6 +27,7 @@ from .executors import (
     SerialExecutor,
     make_executor,
 )
+from .multijob import JobResult, JobSpec, MultiJobReport, run_multi_job
 from .parallel import derive_task_seeds, resolve_workers, run_grid, run_many, task_pool
 from .report import ascii_plot, format_series_table, format_table
 from .runner import ClusterRuntime, NodeRuntime
@@ -81,6 +85,10 @@ __all__ = [
     "EXECUTION_MODES",
     "resolve_workers",
     "derive_task_seeds",
+    "JobSpec",
+    "JobResult",
+    "MultiJobReport",
+    "run_multi_job",
     "LatencyCollector",
     "LatencySummary",
     "node_utilization",

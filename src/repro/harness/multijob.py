@@ -1,0 +1,240 @@
+"""Shared-fabric multi-job runs: several apps on one modeled interconnect.
+
+A *job* is a named set of flows (src → dst node pairs) driving a
+:mod:`repro.apps.traffic` workload. ``run_multi_job`` places every job's
+flows on one cluster — one fabric, one interconnect model — so jobs
+contend for the same links, and reports per-job one-way delivery
+latencies (p50/p95/p99). Running a job alone and then alongside a
+neighbour quantifies *interference*: on a contended fat-tree the shared
+p99 visibly degrades versus the isolated baseline
+(``benchmarks/bench_interconnects.py`` pins this).
+
+Measurement: each message's payload carries its injection timestamp; the
+receiver records ``now - sent_at`` when the matching receive completes.
+That one-way latency includes link queueing at every contended hop —
+exactly the quantity interference moves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Generator, Optional
+
+import numpy as np
+
+from ..apps.traffic import ClosedLoop, OpenLoop, TrafficMessage
+from ..config import EngineKind, TimingModel
+from ..errors import HarnessError
+from ..network.interconnect import Topology
+
+__all__ = ["JobSpec", "JobResult", "MultiJobReport", "run_multi_job"]
+
+#: tag-space stride between flows (a flow's messages use base..base+n-1)
+_FLOW_TAG_STRIDE = 1 << 16
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One application sharing the fabric.
+
+    ``flows`` are (src, dst) cluster-node pairs; every flow runs its own
+    copy of ``workload`` on an independent RNG substream derived from the
+    run seed, so adding a job never perturbs another job's schedule.
+    """
+
+    name: str
+    flows: tuple[tuple[int, int], ...]
+    workload: "OpenLoop | ClosedLoop"
+
+    def __post_init__(self) -> None:
+        if not self.flows:
+            raise HarnessError(f"job {self.name!r} has no flows")
+        for src, dst in self.flows:
+            if src == dst:
+                raise HarnessError(
+                    f"job {self.name!r} flow {src}->{dst} is a loopback"
+                )
+
+
+@dataclass
+class JobResult:
+    """Per-job one-way delivery latencies."""
+
+    name: str
+    latencies_us: list[float] = field(default_factory=list)
+
+    @property
+    def count(self) -> int:
+        return len(self.latencies_us)
+
+    def percentile(self, q: float) -> float:
+        if not self.latencies_us:
+            return 0.0
+        return float(np.percentile(np.asarray(self.latencies_us), q))
+
+    @property
+    def mean_us(self) -> float:
+        return float(np.mean(self.latencies_us)) if self.latencies_us else 0.0
+
+    @property
+    def p50_us(self) -> float:
+        return self.percentile(50)
+
+    @property
+    def p95_us(self) -> float:
+        return self.percentile(95)
+
+    @property
+    def p99_us(self) -> float:
+        return self.percentile(99)
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "count": float(self.count),
+            "mean_us": self.mean_us,
+            "p50_us": self.p50_us,
+            "p95_us": self.p95_us,
+            "p99_us": self.p99_us,
+        }
+
+
+@dataclass
+class MultiJobReport:
+    """Everything one shared-fabric run produced."""
+
+    jobs: dict[str, JobResult]
+    end_time_us: float
+    #: fabric-level snapshot: carried totals + the per-link lane
+    fabric: dict[str, float]
+
+    def job(self, name: str) -> JobResult:
+        try:
+            return self.jobs[name]
+        except KeyError:
+            raise HarnessError(
+                f"no job {name!r} in report (have {sorted(self.jobs)})"
+            ) from None
+
+
+def _sender_body(
+    nm_peer: int,
+    tag_base: int,
+    schedule: list[TrafficMessage],
+    think_us: float,
+    closed: bool,
+) -> Any:
+    def body(ctx: Any) -> Generator[Any, Any, None]:
+        nm = ctx.env["nm"]
+        pending = []
+        for msg in schedule:
+            if closed:
+                req = yield from nm.isend(
+                    ctx, nm_peer, tag_base + msg.seq, msg.size, payload=ctx.now
+                )
+                yield from nm.swait(ctx, req)
+                if think_us > 0:
+                    yield ctx.sleep(think_us)
+            else:
+                at = msg.at_us
+                if at is not None and at > ctx.now:
+                    yield ctx.sleep(at - ctx.now)
+                req = yield from nm.isend(
+                    ctx, nm_peer, tag_base + msg.seq, msg.size, payload=ctx.now
+                )
+                pending.append(req)
+        if pending:
+            yield from nm.wait_all(ctx, pending)
+
+    return body
+
+
+def _receiver_body(
+    src: int, tag_base: int, schedule: list[TrafficMessage], sink: list[float]
+) -> Any:
+    def body(ctx: Any) -> Generator[Any, Any, None]:
+        nm = ctx.env["nm"]
+        for msg in schedule:
+            req = yield from nm.recv(ctx, src, tag_base + msg.seq, msg.size)
+            sink.append(ctx.now - req.data)
+
+    return body
+
+
+def run_multi_job(
+    jobs: "list[JobSpec] | tuple[JobSpec, ...]",
+    *,
+    nodes: int,
+    topology: "str | Topology | None" = None,
+    contention: bool = True,
+    engine: str = EngineKind.PIOMAN,
+    seed: int = 0,
+    timing: Optional[TimingModel] = None,
+    sockets: int = 1,
+    cores_per_socket: int = 2,
+    **build_kwargs: Any,
+) -> MultiJobReport:
+    """Run every job's flows on one shared fabric; return per-job latencies.
+
+    ``contention=True`` (default) switches the interconnect model's
+    per-link serialization on — without it jobs cannot interfere and the
+    run only measures base path latency. Extra keyword arguments are
+    forwarded to :meth:`ClusterRuntime.build`.
+    """
+    from .runner import ClusterRuntime  # local import: runner imports harness widely
+
+    if not jobs:
+        raise HarnessError("run_multi_job needs at least one job")
+    names = [job.name for job in jobs]
+    if len(set(names)) != len(names):
+        raise HarnessError(f"duplicate job names: {names}")
+    rt = ClusterRuntime.build(
+        engine=engine,
+        nodes=nodes,
+        sockets=sockets,
+        cores_per_socket=cores_per_socket,
+        topology=topology,
+        ingress_contention=contention,
+        seed=seed,
+        timing=timing,
+        **build_kwargs,
+    )
+    results: dict[str, JobResult] = {}
+    flow_index = 0
+    for job in jobs:
+        result = JobResult(job.name)
+        results[job.name] = result
+        for src, dst in job.flows:
+            if not (0 <= src < nodes and 0 <= dst < nodes):
+                raise HarnessError(
+                    f"job {job.name!r} flow {src}->{dst} is outside the "
+                    f"{nodes}-node cluster"
+                )
+            rng = rt.rng.stream(f"traffic.{job.name}.{src}->{dst}")
+            schedule = job.workload.schedule(rng)
+            wl = job.workload
+            closed = wl.closed
+            think = wl.think_us if isinstance(wl, ClosedLoop) else 0.0
+            tag_base = flow_index * _FLOW_TAG_STRIDE
+            if len(schedule) >= _FLOW_TAG_STRIDE:
+                raise HarnessError(
+                    f"flow {src}->{dst} has {len(schedule)} messages; "
+                    f"max {_FLOW_TAG_STRIDE - 1} per flow"
+                )
+            rt.spawn(
+                src,
+                _sender_body(dst, tag_base, schedule, think, closed),
+                name=f"{job.name}.tx{src}->{dst}",
+            )
+            rt.spawn(
+                dst,
+                _receiver_body(src, tag_base, schedule, result.latencies_us),
+                name=f"{job.name}.rx{src}->{dst}",
+            )
+            flow_index += 1
+    end = rt.run()
+    fabric_snapshot: dict[str, float] = {}
+    for fabric in rt.fabrics:
+        for key, value in fabric.metrics().items():
+            fabric_snapshot[f"{fabric.name}.{key}"] = value
+    rt.close()
+    return MultiJobReport(jobs=results, end_time_us=end, fabric=fabric_snapshot)

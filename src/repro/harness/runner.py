@@ -25,6 +25,7 @@ from ..faults import FaultInjector, FaultPlan
 from ..marcel.scheduler import MarcelScheduler
 from ..marcel.thread import MarcelThread, Priority, ThreadContext
 from ..network.fabric import Fabric
+from ..network.interconnect import Topology, make_topology, topology_from_config
 from ..network.nic import Nic
 from ..network.shm import ShmChannel
 from ..nmad.core import NmSession
@@ -106,6 +107,8 @@ class ClusterRuntime:
         self.engine_kind = engine_kind
         #: the ExecutionConfig ``build`` was given (None = defaults)
         self.execution: Optional["ExecutionConfig"] = None
+        #: every fabric (one per rail); each owns an interconnect model
+        self.fabrics: list[Fabric] = []
         #: shared fault injector when the platform was built with a plan
         self.fault_injector: Optional[FaultInjector] = None
         #: unified metrics (see ``repro.obs``); ``build`` replaces this with
@@ -136,6 +139,7 @@ class ClusterRuntime:
         offload_policy: Optional[str] = None,
         offload_policy_kwargs: Optional[dict[str, Any]] = None,
         ingress_contention: bool = False,
+        topology: "str | Topology | None" = None,
         faults: Optional[FaultPlan] = None,
         recover: bool = True,
         metrics: Optional[bool] = None,
@@ -172,6 +176,17 @@ class ClusterRuntime:
         override (when set) beats ``timing.kernel.queue`` for the kernel
         built here, and the config is stashed on the runtime as
         ``rt.execution`` so downstream harness calls can reuse it.
+
+        ``topology`` selects the interconnect model per fabric (see
+        :mod:`repro.network.interconnect` and ``docs/topology.md``): a
+        spec string (``"direct"``, ``"fattree:4"``, ``"dragonfly:4,2,2"``)
+        builds one fresh model per rail from ``timing.interconnect``'s
+        parameters, while a :class:`~repro.network.interconnect.Topology`
+        instance is used directly (single-rail only — a model carries
+        per-fabric link-cursor state). ``None`` follows
+        ``timing.interconnect.topology`` (default ``"direct"``, the seed
+        behaviour). ``ingress_contention=True`` forces the model's
+        per-link contention on, whatever the topology.
         """
         EngineKind.validate(engine)
         if rails < 1:
@@ -200,8 +215,42 @@ class ClusterRuntime:
             nic_model = ib_nic_model()
         else:
             nic_model = tcp_nic_model()
+        if isinstance(topology, Topology):
+            if rails > 1:
+                raise HarnessError(
+                    "a Topology instance carries per-fabric link state and "
+                    f"cannot be shared across {rails} rails; pass a spec "
+                    "string (e.g. 'fattree:4') to build one model per rail"
+                )
+            models = [topology]
+        elif topology is None:
+            models = [
+                topology_from_config(timing.interconnect, force_contention=False)
+                for _ in range(rails)
+            ]
+        else:
+            icfg = timing.interconnect
+            models = [
+                make_topology(
+                    topology,
+                    fattree_k=icfg.fattree_k,
+                    dragonfly_a=icfg.dragonfly_a,
+                    dragonfly_p=icfg.dragonfly_p,
+                    dragonfly_h=icfg.dragonfly_h,
+                    hop_latency_us=icfg.hop_latency_us,
+                    global_latency_us=icfg.global_latency_us,
+                    link_bw=icfg.link_bw or None,
+                    contention=icfg.contention,
+                )
+                for _ in range(rails)
+            ]
         fabrics = [
-            Fabric(sim, name=f"{interconnect}{r}", ingress_contention=ingress_contention)
+            Fabric(
+                sim,
+                name=f"{interconnect}{r}",
+                ingress_contention=ingress_contention,
+                topology=models[r],
+            )
             for r in range(rails)
         ]
         injector: Optional[FaultInjector] = None
@@ -257,6 +306,7 @@ class ClusterRuntime:
             )
         rt = cls(sim, cluster, node_rts, timing, tracer, rng, engine)
         rt.execution = execution
+        rt.fabrics = fabrics
         rt.fault_injector = injector
         obs = timing.obs
         enabled = obs.enabled if metrics is None else metrics
@@ -288,6 +338,10 @@ class ClusterRuntime:
         )
         if self.fault_injector is not None:
             reg.register_collector("faults", self.fault_injector.stats)
+        # per-fabric interconnect lane: carried totals plus the per-link
+        # sub-lane (fabric.<name>.link.<link>.{frames,bytes,queued_us,util})
+        for fabric in self.fabrics:
+            reg.register_collector(f"fabric.{fabric.name}", fabric.metrics)
         rel_keys = frozenset(ReliabilityLayer.STAT_KEYS)
         rdv_keys = frozenset(RDV_STAT_KEYS)
         for nrt in self.nodes:

@@ -9,6 +9,15 @@ belongs to :mod:`repro.nmad`.
 """
 
 from .fabric import Fabric
+from .interconnect import (
+    Direct,
+    Dragonfly,
+    FatTree,
+    Link,
+    Topology,
+    make_topology,
+    topology_from_config,
+)
 from .lookahead import (
     fabric_lookahead_us,
     nic_lookahead_us,
@@ -26,6 +35,13 @@ __all__ = [
     "CompletionRecord",
     "Nic",
     "Fabric",
+    "Topology",
+    "Link",
+    "Direct",
+    "FatTree",
+    "Dragonfly",
+    "make_topology",
+    "topology_from_config",
     "ShmChannel",
     "MemoryRegistry",
     "require_lookahead",

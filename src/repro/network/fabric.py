@@ -1,11 +1,14 @@
 """The interconnect fabric connecting NICs.
 
-The fabric owns delivery timing: a packet handed over by a NIC at transmit
-start ``t`` arrives at the destination NIC at
-``t + wire_latency + wire_size/wire_bw``. The sending NIC already serializes
-its own transmissions (single TX engine), so the fabric itself is
-contention-free — a reasonable model for the paper's 2-node Myri-10G
-testbed where the switch is never the bottleneck.
+The fabric *routes* packets; delivery timing belongs to its pluggable
+interconnect model (:mod:`repro.network.interconnect`). The default
+:class:`~repro.network.interconnect.Direct` model is the paper's
+contention-free point-to-point wire: a packet handed over by a NIC at
+transmit start ``t`` arrives at the destination NIC at
+``t + wire_latency + wire_size/wire_bw`` — a reasonable model for the
+2-node Myri-10G testbed where the switch is never the bottleneck. Fat-tree
+and dragonfly models route the same packets over a switch hierarchy with
+per-link contention instead.
 """
 
 from __future__ import annotations
@@ -16,6 +19,7 @@ from typing import TYPE_CHECKING, Optional
 from ..errors import RouteError
 from ..sim.events import Priority as EventPriority
 from ..sim.kernel import Simulator
+from .interconnect import Direct, Topology
 from .message import Packet
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -28,19 +32,30 @@ __all__ = ["Fabric"]
 class Fabric:
     """Point-to-point delivery between registered NICs.
 
-    ``ingress_contention=True`` additionally serializes arrivals *per
-    destination NIC* at wire rate — the switch egress port model. With it,
-    several senders flooding one node queue behind each other instead of
-    arriving simultaneously (used by the fairness/congestion tests; off by
-    default to keep the paper experiments' single-flow timing exact).
+    ``topology`` selects the interconnect model (default: contention-free
+    :class:`~repro.network.interconnect.Direct`). ``ingress_contention=True``
+    is the legacy shorthand that switches the model's per-link contention
+    on — under the default model that serializes arrivals *per destination
+    NIC* at wire rate, the switch egress-port rule (used by the fairness/
+    congestion tests; off by default to keep the paper experiments'
+    single-flow timing exact).
     """
 
-    def __init__(self, sim: Simulator, name: str = "fabric", ingress_contention: bool = False) -> None:
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str = "fabric",
+        ingress_contention: bool = False,
+        topology: Optional[Topology] = None,
+    ) -> None:
         self.sim = sim
         self.name = name
-        self.ingress_contention = ingress_contention
+        #: the interconnect model owning routing and delivery timing; one
+        #: model instance per fabric (it carries per-link cursor state)
+        self.model: Topology = topology if topology is not None else Direct()
+        if ingress_contention:
+            self.model.contention = True
         self._nics: dict[int, "Nic"] = {}
-        self._ingress_free_at: dict[int, float] = {}
         #: optional fault-injection hook (see :mod:`repro.faults`); consulted
         #: once per transmitted packet when set
         self.injector: Optional["FaultInjector"] = None
@@ -48,7 +63,32 @@ class Fabric:
         self.packets_carried = 0
         self.bytes_carried = 0
         self.packets_dropped = 0
-        self.ingress_queued_us = 0.0
+
+    @property
+    def ingress_contention(self) -> bool:
+        """Whether the interconnect model serializes frames per link."""
+        return self.model.contention
+
+    @property
+    def ingress_queued_us(self) -> float:
+        """Total time frames spent queued behind busy links."""
+        return self.model.queued_us()
+
+    def metrics(self) -> dict[str, float]:
+        """Flat metrics lane: carried totals plus per-link sub-keys.
+
+        Registered by the harness as the ``fabric.<name>`` collector, so
+        snapshots carry ``fabric.<name>.link.<link>.{frames,bytes,
+        queued_us,busy_us,util}`` alongside the fabric-wide counters.
+        """
+        out: dict[str, float] = {
+            "packets": float(self.packets_carried),
+            "bytes": float(self.bytes_carried),
+            "dropped": float(self.packets_dropped),
+            "queued_us": self.model.queued_us(),
+        }
+        out.update(self.model.link_stats(self.sim.now))
+        return out
 
     def set_injector(self, injector: Optional["FaultInjector"]) -> None:
         """Install (or clear) the fault-injection hook for this fabric."""
@@ -57,6 +97,7 @@ class Fabric:
     def attach(self, nic: "Nic") -> None:
         if nic.node_index in self._nics:
             raise RouteError(f"node n{nic.node_index} already has a NIC on {self.name}")
+        self.model.validate_node(nic.node_index)
         self._nics[nic.node_index] = nic
 
     def nic_of(self, node_index: int) -> "Nic":
@@ -68,8 +109,10 @@ class Fabric:
     def transmit(self, src_nic: "Nic", packet: Packet, tx_time: float) -> None:
         """Carry ``packet``; transmission starts ``tx_time`` µs from now.
 
-        Arrival = start + latency + wire_size/bw (store-and-forward of the
-        whole frame, matching how MX exposes message completions).
+        The interconnect model prices the journey (per-hop latency,
+        store-and-forward drain, link queueing under contention — the
+        default direct model collapses to start + latency +
+        wire_size/bw, matching how MX exposes message completions).
         """
         dst = self.nic_of(packet.dst_node)
         if dst is src_nic:
@@ -77,10 +120,8 @@ class Fabric:
                 f"fabric loopback n{packet.src_node}->n{packet.dst_node}; "
                 "intra-node traffic must use the shared-memory channel"
             )
-        model = src_nic.model
-        drain = packet.wire_size() / model.wire_bw
-        delay = tx_time + model.wire_latency_us + drain
         duplicates = 0
+        extra_delay_us = 0.0
         if self.injector is not None:
             decision = self.injector.decide(packet, self.sim.now + tx_time)
             if not decision.deliver:
@@ -93,19 +134,9 @@ class Fabric:
                 packet = dataclasses.replace(
                     packet, headers={**packet.headers, "corrupted": True}
                 )
-            delay += decision.extra_delay_us
+            extra_delay_us = decision.extra_delay_us
             duplicates = decision.duplicates
-        if self.ingress_contention:
-            arrival = self.sim.now + delay
-            free_at = self._ingress_free_at.get(packet.dst_node, 0.0)
-            if free_at > arrival - drain:
-                # the egress port is still transmitting an earlier frame:
-                # this one queues behind it
-                queued = free_at - (arrival - drain)
-                self.ingress_queued_us += queued
-                arrival += queued
-            self._ingress_free_at[packet.dst_node] = arrival
-            delay = arrival - self.sim.now
+        delay = self.model.delivery_delay(self, src_nic, packet, tx_time, extra_delay_us)
         self.packets_carried += 1
         self.bytes_carried += packet.wire_size()
         self.sim.schedule(
@@ -113,8 +144,13 @@ class Fabric:
         )
         for i in range(duplicates):
             # a duplicated frame trails the original by one extra drain time
+            # and traverses the same serialization path, so under contention
+            # it consults and advances the link cursors like any other frame
+            dup_delay = self.model.delivery_delay(
+                self, src_nic, packet, tx_time, extra_delay_us, trail=i + 1
+            )
             self.sim.schedule(
-                delay + (i + 1) * drain,
+                dup_delay,
                 dst.deliver,
                 packet,
                 priority=EventPriority.INTERRUPT,

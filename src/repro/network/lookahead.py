@@ -14,9 +14,16 @@ hard-codes knowledge of timing-model internals:
 
 * :func:`nic_lookahead_us` — one NIC model's floor (its wire latency).
 * :func:`timing_lookahead_us` — a whole :class:`~repro.config.TimingModel`.
-* :func:`fabric_lookahead_us` — the min over every NIC attached to a live
-  :class:`~repro.network.fabric.Fabric` (heterogeneous rails take the min:
-  the earliest possible arrival governs safety).
+* :func:`fabric_lookahead_us` — a live :class:`~repro.network.fabric.Fabric`:
+  the fabric's interconnect model prices the **minimum path latency** over
+  every attached node pair (:meth:`Topology.min_path_latency_us`), with
+  inherit-from-NIC links valued at the *minimum* attached NIC latency
+  (heterogeneous rails take the min: the earliest possible arrival governs
+  safety). For the default :class:`~repro.network.interconnect.Direct`
+  model this is exactly the old NIC-wire-latency floor, so partitioned-run
+  digests are unchanged; fat-tree/dragonfly models add their switch-hop
+  latencies, *raising* the lookahead (larger safe horizons, fewer null
+  messages).
 * :func:`require_lookahead` — validation: conservative synchronization
   deadlocks at zero lookahead, so a non-positive value is a configuration
   error, not a warning.
@@ -75,16 +82,20 @@ def timing_lookahead_us(timing: TimingModel) -> float:
 
 
 def fabric_lookahead_us(fabric: "Fabric") -> float:
-    """Min wire latency over every NIC attached to ``fabric``.
+    """Minimum end-to-end path latency of ``fabric``'s interconnect model.
 
     With heterogeneous NICs the *fastest* wire governs safety — a message
     can always take the quickest path, so the guarantee must assume it.
+    The fabric's topology then adds the switch hops of the cheapest route:
+    for the default direct model this degenerates to the minimum NIC wire
+    latency (the pre-topology behaviour, bit-exact); fat-tree/dragonfly
+    models legitimately raise the bound.
     """
     models = [nic.model for nic in fabric._nics.values()]
     if not models:
         raise ConfigError(
             f"fabric {fabric.name!r} has no attached NICs to derive lookahead from"
         )
-    return require_lookahead(
-        min(m.wire_latency_us for m in models), f"fabric {fabric.name!r} lookahead"
-    )
+    min_nic = min(m.wire_latency_us for m in models)
+    value = fabric.model.min_path_latency_us(min_nic, sorted(fabric._nics))
+    return require_lookahead(value, f"fabric {fabric.name!r} lookahead")

@@ -1,0 +1,104 @@
+"""Tests for the composable traffic generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps.traffic import (
+    ClosedLoop,
+    FixedSize,
+    OnOffArrivals,
+    OpenLoop,
+    ParetoSize,
+    PeriodicArrivals,
+    PoissonArrivals,
+    UniformSize,
+)
+from repro.errors import ConfigError
+from repro.units import KiB
+
+pytestmark = pytest.mark.topo
+
+
+def _rng(seed: int = 0) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+def test_schedule_deterministic():
+    wl = OpenLoop(PoissonArrivals(10.0), ParetoSize(1.4, 512, KiB(64)), 50)
+    assert wl.schedule(_rng(7)) == wl.schedule(_rng(7))
+    assert wl.schedule(_rng(7)) != wl.schedule(_rng(8))
+
+
+def test_periodic_gaps_constant():
+    wl = OpenLoop(PeriodicArrivals(5.0), FixedSize(100), 10)
+    sched = wl.schedule(_rng())
+    ats = [m.at_us for m in sched]
+    assert ats == pytest.approx([5.0 * (i + 1) for i in range(10)])
+    assert all(m.size == 100 for m in sched)
+
+
+def test_poisson_mean_gap():
+    wl = OpenLoop(PoissonArrivals(20.0), FixedSize(1), 4000)
+    sched = wl.schedule(_rng(3))
+    gaps = np.diff([0.0] + [m.at_us for m in sched])
+    assert np.mean(gaps) == pytest.approx(20.0, rel=0.1)
+    assert np.all(gaps >= 0)
+
+
+def test_onoff_inserts_silent_windows():
+    # inner rate 1/µs, on for 10µs, off for 100µs: consecutive arrivals are
+    # either ~1µs apart (same burst) or >100µs apart (crossed an off window)
+    wl = OpenLoop(
+        OnOffArrivals(PeriodicArrivals(1.0), on_us=10.0, off_us=100.0),
+        FixedSize(1),
+        50,
+    )
+    gaps = np.diff([0.0] + [m.at_us for m in wl.schedule(_rng())])
+    small = gaps[gaps < 50.0]
+    big = gaps[gaps >= 50.0]
+    assert len(small) > 0 and len(big) > 0
+    assert np.all(big >= 100.0)
+
+
+def test_uniform_sizes_in_range():
+    wl = OpenLoop(PeriodicArrivals(1.0), UniformSize(100, 200), 500)
+    sizes = [m.size for m in wl.schedule(_rng())]
+    assert min(sizes) >= 100 and max(sizes) <= 200
+    assert len(set(sizes)) > 1
+
+
+def test_pareto_heavy_tail_clamped():
+    wl = OpenLoop(PeriodicArrivals(1.0), ParetoSize(1.1, 1000, 50_000), 2000)
+    sizes = np.array([m.size for m in wl.schedule(_rng(5))])
+    assert sizes.min() >= 1000 and sizes.max() <= 50_000
+    # heavy tail: p99 well above the median
+    assert np.percentile(sizes, 99) > 5 * np.median(sizes)
+
+
+def test_closed_loop_shape():
+    wl = ClosedLoop(FixedSize(64), 5, think_us=3.0)
+    sched = wl.schedule(_rng())
+    assert wl.closed and not OpenLoop(PeriodicArrivals(1.0), FixedSize(1), 1).closed
+    assert [m.seq for m in sched] == [0, 1, 2, 3, 4]
+    assert all(m.at_us is None for m in sched)
+
+
+def test_validation():
+    with pytest.raises(ConfigError):
+        PeriodicArrivals(0.0)
+    with pytest.raises(ConfigError):
+        PoissonArrivals(-1.0)
+    with pytest.raises(ConfigError):
+        OnOffArrivals(PeriodicArrivals(1.0), on_us=0.0, off_us=5.0)
+    with pytest.raises(ConfigError):
+        FixedSize(0)
+    with pytest.raises(ConfigError):
+        UniformSize(10, 5)
+    with pytest.raises(ConfigError):
+        ParetoSize(0.0, 100, 1000)
+    with pytest.raises(ConfigError):
+        OpenLoop(PeriodicArrivals(1.0), FixedSize(1), 0)
+    with pytest.raises(ConfigError):
+        ClosedLoop(FixedSize(1), 3, think_us=-1.0)

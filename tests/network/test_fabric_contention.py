@@ -109,3 +109,75 @@ def test_end_to_end_flood_slower_with_contention():
         return end
 
     assert run(True) > run(False)
+
+
+# --------------------------------------------------------- duplicate frames
+
+
+def _dup_injector(seed: int = 0, **rule_kwargs) -> "FaultInjector":
+    from repro.faults import FaultAction, FaultInjector, FaultPlan, FaultRule
+
+    return FaultInjector(
+        FaultPlan(
+            rules=[FaultRule(FaultAction.DUPLICATE, every_nth=1, **rule_kwargs)],
+            seed=seed,
+        )
+    )
+
+
+@pytest.mark.topo
+def test_duplicates_serialize_under_contention(sim):
+    """Regression: duplicated frames must traverse the same per-link
+    serialization path as originals. Previously a duplicate was scheduled
+    at ``delay + (i+1)*drain`` without consulting or advancing the link
+    cursor, so a concurrent flow's frame could overlap the duplicate on a
+    busy link."""
+    fabric, nics = _three_node_net(sim, contention=True)
+    fabric.set_injector(_dup_injector())
+    times = _arrivals(sim, nics, [KiB(16), KiB(16)])
+    # 2 originals + 2 duplicates, all to node 2: four frames on one link
+    assert len(times) == 4
+    drain = (KiB(16) + 40) / NicModel().wire_bw
+    gaps = [b - a for a, b in zip(times, times[1:])]
+    for gap in gaps:
+        # every consecutive pair must be at least one full drain apart —
+        # the link carries one frame at a time
+        assert gap >= drain * 0.999, f"frames overlapped: gaps={gaps}"
+
+
+@pytest.mark.topo
+def test_duplicates_advance_link_cursor(sim):
+    """A duplicate occupies the link: a concurrent clean frame behind it
+    queues for the duplicate's drain too, not just the original's."""
+    fabric, nics = _three_node_net(sim, contention=True)
+    # only node 0's frame duplicates; node 1 sends a clean frame at t=0
+    fabric.set_injector(_dup_injector(src_node=0))
+    times = []
+    nics[2].add_activity_listener(lambda: times.append(sim.now))
+    nics[0].submit_dma(Packet(PacketKind.EAGER, 0, 2, KiB(16)))
+    nics[1].submit_dma(Packet(PacketKind.EAGER, 1, 2, KiB(16)))
+    sim.run()
+    assert len(times) == 3  # original + duplicate + clean frame
+    drain = (KiB(16) + 40) / NicModel().wire_bw
+    gaps = [b - a for a, b in zip(times, times[1:])]
+    # all three frames serialized on the n2 link: each gap a full drain.
+    # Pre-fix, the duplicate ignored the cursor and overlapped the clean
+    # frame, producing a sub-drain gap.
+    for gap in gaps:
+        assert gap >= drain * 0.999, f"frames overlapped: gaps={gaps}"
+    assert fabric.ingress_queued_us > 0
+
+
+@pytest.mark.topo
+def test_duplicates_without_contention_keep_trailing_gap(sim):
+    """Contention off: a duplicate still trails the original by exactly one
+    drain time (the pre-refactor timing, pinned by the golden traces)."""
+    fabric, nics = _three_node_net(sim, contention=False)
+    fabric.set_injector(_dup_injector())
+    times = []
+    nics[2].add_activity_listener(lambda: times.append(sim.now))
+    nics[0].submit_dma(Packet(PacketKind.EAGER, 0, 2, KiB(16)))
+    sim.run()
+    assert len(times) == 2
+    drain = (KiB(16) + 40) / NicModel().wire_bw
+    assert times[1] - times[0] == pytest.approx(drain)

@@ -69,6 +69,7 @@ def trace_digest(
     waitany: bool = False,
     categories: "tuple[str, ...] | None" = None,
     timing: "TimingModel | None" = None,
+    topology: "str | None" = None,
 ) -> str:
     """Digest of one fig5/fig6-shaped seeded run.
 
@@ -86,6 +87,7 @@ def trace_digest(
         tracer=tracer,
         seed=seed,
         timing=timing,
+        topology=topology,
         faults=_fault_plan(seed) if faults else None,
     )
 
@@ -167,6 +169,20 @@ def test_fastpath_off_matches_golden(engine: str, seed: int, faults: bool) -> No
     also proves on == off byte-for-byte."""
     slow = TimingModel().replace(fastpath=FastPathConfig(fuse_submit=False, pool_wire=False))
     assert trace_digest(engine, seed, faults, timing=slow) == GOLDEN[(engine, seed, faults)]
+
+
+@pytest.mark.topo
+@pytest.mark.parametrize("engine,seed,faults", _CASES)
+def test_explicit_direct_topology_matches_golden(
+    engine: str, seed: int, faults: bool
+) -> None:
+    """``topology="direct"`` must reproduce the goldens byte-for-byte: the
+    pluggable interconnect layer's default model prices delivery with the
+    exact pre-refactor floating-point operation order (including the
+    fault-injected duplicate trailing rule), so extracting the model is
+    invisible across the whole trace suite."""
+    digest = trace_digest(engine, seed, faults, topology="direct")
+    assert digest == GOLDEN[(engine, seed, faults)]
 
 
 @settings(max_examples=10, deadline=None)
